@@ -1,0 +1,74 @@
+#ifndef LSBENCH_BENCH_BENCH_COMMON_H_
+#define LSBENCH_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/driver.h"
+#include "core/run_spec.h"
+#include "data/dataset.h"
+#include "sut/systems.h"
+
+namespace lsbench {
+namespace bench {
+
+/// Scale knob honored by every figure bench: LSBENCH_QUICK=1 shrinks
+/// datasets and op counts ~10x so the full suite stays fast on CI.
+inline bool QuickMode() {
+  const char* env = std::getenv("LSBENCH_QUICK");
+  return env != nullptr && env[0] == '1';
+}
+
+inline size_t ScaledKeys(size_t full) { return QuickMode() ? full / 10 : full; }
+inline uint64_t ScaledOps(uint64_t full) {
+  return QuickMode() ? full / 10 : full;
+}
+
+/// The standard dataset family used by the figure benches: a drift from
+/// uniform toward a tight clustered distribution, plus a lognormal used as
+/// the out-of-sample hold-out.
+inline std::vector<Dataset> StandardDriftDatasets(size_t num_keys,
+                                                  uint64_t seed) {
+  DatasetOptions options;
+  options.num_keys = num_keys;
+  options.seed = seed;
+  const UniformUnit uniform;
+  const ClusteredUnit clustered(6, 0.004, seed + 1);
+  std::vector<Dataset> datasets =
+      GenerateDriftSequence(uniform, clustered, 5, options);
+  DatasetOptions holdout_options = options;
+  holdout_options.seed = seed + 99;
+  datasets.push_back(
+      GenerateDataset(LognormalUnit(0.0, 1.5), holdout_options));
+  datasets.back().name = "holdout_" + datasets.back().name;
+  return datasets;
+}
+
+/// Runs `spec` against `sut` with a real clock and returns the result,
+/// aborting the process on error (benches have no error recovery story).
+inline RunResult MustRun(const RunSpec& spec, SystemUnderTest* sut) {
+  DriverOptions options;
+  options.enforce_holdout_once = false;  // Benches rerun specs freely.
+  BenchmarkDriver driver(nullptr, options);
+  Result<RunResult> result = driver.Run(spec, sut);
+  if (!result.ok()) {
+    std::fprintf(stderr, "benchmark run failed: %s\n",
+                 result.status().ToString().c_str());
+    std::abort();
+  }
+  return std::move(result).value();
+}
+
+/// Prints a section header for bench output.
+inline void Header(const std::string& title) {
+  std::printf("\n################################################################\n");
+  std::printf("# %s\n", title.c_str());
+  std::printf("################################################################\n");
+}
+
+}  // namespace bench
+}  // namespace lsbench
+
+#endif  // LSBENCH_BENCH_BENCH_COMMON_H_

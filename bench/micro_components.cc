@@ -1,0 +1,196 @@
+// Micro-benchmarks for the learned components beyond indexing: learned sort
+// vs std::sort, cardinality estimators (latency and accuracy), the
+// similarity statistics powering the phi axis, and the drift detector.
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+
+#include "data/dataset.h"
+#include "learned/cardinality.h"
+#include "learned/join.h"
+#include "learned/drift_detector.h"
+#include "learned/learned_sort.h"
+#include "stats/similarity.h"
+#include "util/random.h"
+
+namespace lsbench {
+namespace {
+
+std::vector<Key> SortInput(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  const LognormalUnit dist(0.0, 1.5);
+  std::vector<Key> keys(n);
+  for (Key& k : keys) k = static_cast<Key>(dist.Sample(&rng) * 9e18);
+  return keys;
+}
+
+void BM_StdSort(benchmark::State& state) {
+  const auto input = SortInput(static_cast<size_t>(state.range(0)), 1);
+  for (auto _ : state) {
+    auto data = input;
+    std::sort(data.begin(), data.end());
+    benchmark::DoNotOptimize(data.data());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_StdSort)->Arg(100000)->Arg(1000000);
+
+void BM_LearnedSort(benchmark::State& state) {
+  const auto input = SortInput(static_cast<size_t>(state.range(0)), 1);
+  for (auto _ : state) {
+    auto data = input;
+    LearnedSort(&data);
+    benchmark::DoNotOptimize(data.data());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_LearnedSort)->Arg(100000)->Arg(1000000);
+
+const std::vector<Key>& EstimatorKeys() {
+  static const auto& keys = *new std::vector<Key>(
+      GenerateDataset(ClusteredUnit(20, 0.003, 3),
+                      {200000, uint64_t{1} << 44, 5})
+          .keys);
+  return keys;
+}
+
+void BM_EquiDepthEstimate(benchmark::State& state) {
+  const EquiDepthHistogram hist(EstimatorKeys(), 128);
+  Rng rng(7);
+  for (auto _ : state) {
+    const Key lo = rng.Next() % (uint64_t{1} << 44);
+    benchmark::DoNotOptimize(
+        hist.EstimateRange(lo, lo + (uint64_t{1} << 36)));
+  }
+}
+BENCHMARK(BM_EquiDepthEstimate);
+
+void BM_LearnedEstimate(benchmark::State& state) {
+  const LearnedCardinalityEstimator est(EstimatorKeys(), {});
+  Rng rng(9);
+  for (auto _ : state) {
+    const Key lo = rng.Next() % (uint64_t{1} << 44);
+    benchmark::DoNotOptimize(
+        est.EstimateRange(lo, lo + (uint64_t{1} << 36)));
+  }
+}
+BENCHMARK(BM_LearnedEstimate);
+
+void BM_LearnedEstimatorFeedback(benchmark::State& state) {
+  LearnedCardinalityEstimator est(EstimatorKeys(), {});
+  Rng rng(11);
+  for (auto _ : state) {
+    const Key lo = rng.Next() % (uint64_t{1} << 44);
+    est.Feedback(lo, lo + (uint64_t{1} << 36), 1000.0);
+  }
+  benchmark::DoNotOptimize(est.feedback_count());
+}
+BENCHMARK(BM_LearnedEstimatorFeedback);
+
+void BM_KolmogorovSmirnov(benchmark::State& state) {
+  Rng rng(13);
+  std::vector<double> a, b;
+  for (int64_t i = 0; i < state.range(0); ++i) {
+    a.push_back(rng.NextDouble());
+    b.push_back(rng.NextGaussian());
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(KolmogorovSmirnov(a, b).statistic);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_KolmogorovSmirnov)->Arg(1024)->Arg(16384);
+
+void BM_MmdSquared(benchmark::State& state) {
+  Rng rng(17);
+  std::vector<double> a, b;
+  for (int64_t i = 0; i < state.range(0); ++i) {
+    a.push_back(rng.NextDouble());
+    b.push_back(rng.NextGaussian());
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MmdSquared(a, b));
+  }
+}
+BENCHMARK(BM_MmdSquared)->Arg(256)->Arg(1024);
+
+// Join kernels: a 1:16 probe:build size ratio where learned skipping pays.
+struct JoinInputs {
+  std::vector<Key> small;
+  std::vector<Key> large;
+};
+
+const JoinInputs& JoinData() {
+  static const JoinInputs& inputs = *new JoinInputs([] {
+    JoinInputs in;
+    Rng rng(21);
+    Key k = 0;
+    for (int i = 0; i < 1000000; ++i) {
+      k += 1 + rng.NextBounded(20);
+      in.large.push_back(k);
+      if (i % 16 == 0) in.small.push_back(k);
+    }
+    return in;
+  }());
+  return inputs;
+}
+
+void BM_MergeJoin(benchmark::State& state) {
+  const JoinInputs& in = JoinData();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MergeJoin(in.small, in.large).matches);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(in.large.size()));
+}
+BENCHMARK(BM_MergeJoin);
+
+void BM_HashJoin(benchmark::State& state) {
+  const JoinInputs& in = JoinData();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(HashJoin(in.small, in.large).matches);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(in.large.size()));
+}
+BENCHMARK(BM_HashJoin);
+
+void BM_LearnedJoin(benchmark::State& state) {
+  const JoinInputs& in = JoinData();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(LearnedJoin(in.small, in.large).matches);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(in.large.size()));
+}
+BENCHMARK(BM_LearnedJoin);
+
+void BM_DriftDetectorObserve(benchmark::State& state) {
+  DriftDetector detector;
+  Rng rng(19);
+  for (int i = 0; i < 3000; ++i) detector.Observe(rng.NextDouble());
+  detector.Freeze();
+  for (auto _ : state) {
+    detector.Observe(rng.NextDouble());
+  }
+  benchmark::DoNotOptimize(detector.window_size());
+}
+BENCHMARK(BM_DriftDetectorObserve);
+
+void BM_DriftDetectorCheck(benchmark::State& state) {
+  DriftDetector detector;
+  Rng rng(23);
+  for (int i = 0; i < 3000; ++i) detector.Observe(rng.NextDouble());
+  detector.Freeze();
+  for (int i = 0; i < 1024; ++i) detector.Observe(rng.NextDouble());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(detector.CurrentDistance());
+  }
+}
+BENCHMARK(BM_DriftDetectorCheck);
+
+}  // namespace
+}  // namespace lsbench
+
+BENCHMARK_MAIN();

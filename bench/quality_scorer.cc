@@ -1,0 +1,102 @@
+// The dataset/workload quality tool of paper §V-C: "this tool could
+// attribute low marks to uniform data distributions and workloads while
+// favoring datasets exhibiting skew or varying query load." Scores the
+// library's dataset generators, a drifting sequence, and several workload
+// traces, demonstrating the scoring rubric end to end.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "data/quality.h"
+
+namespace lsbench {
+namespace {
+
+void Main() {
+  DatasetOptions options;
+  options.num_keys = bench::ScaledKeys(100000);
+  options.seed = 61;
+
+  bench::Header("Dataset quality scores (0-100, higher = better input)");
+  std::printf("%-26s %8s %8s %8s %8s  %s\n", "dataset", "skew", "spacing",
+              "drift", "overall", "verdict");
+
+  struct Entry {
+    std::string name;
+    DataQualityReport report;
+  };
+  std::vector<Entry> entries;
+  entries.push_back(
+      {"uniform", ScoreDataset(GenerateDataset(UniformUnit(), options))});
+  entries.push_back(
+      {"gaussian",
+       ScoreDataset(GenerateDataset(GaussianUnit(0.5, 0.1), options))});
+  entries.push_back(
+      {"lognormal",
+       ScoreDataset(GenerateDataset(LognormalUnit(0, 2), options))});
+  entries.push_back(
+      {"pareto",
+       ScoreDataset(GenerateDataset(ParetoUnit(1.1), options))});
+  entries.push_back(
+      {"clustered",
+       ScoreDataset(GenerateDataset(ClusteredUnit(8, 0.003, 5), options))});
+  entries.push_back({"emails", ScoreDataset(GenerateEmailDataset(
+                                   bench::ScaledKeys(30000), 7))});
+
+  const UniformUnit uniform;
+  const ClusteredUnit clustered(6, 0.004, 9);
+  entries.push_back(
+      {"drift(uniform->clustered)",
+       ScoreDatasetSequence(
+           GenerateDriftSequence(uniform, clustered, 5, options))});
+  entries.push_back(
+      {"static(uniform x5)",
+       ScoreDatasetSequence(
+           GenerateDriftSequence(uniform, uniform, 5, options))});
+
+  for (const Entry& e : entries) {
+    std::printf("%-26s %8.1f %8.1f %8.1f %8.1f  %s\n", e.name.c_str(),
+                e.report.skew_score, e.report.spacing_score,
+                e.report.drift_score, e.report.overall,
+                e.report.summary.c_str());
+  }
+
+  bench::Header("Workload trace quality scores");
+  std::printf("%-26s %10s %10s %8s  %s\n", "trace", "load_var",
+              "acc_skew", "overall", "verdict");
+  struct Trace {
+    std::string name;
+    std::vector<double> arrivals;
+    std::vector<double> access;
+  };
+  std::vector<Trace> traces;
+  traces.push_back({"flat+uniform", std::vector<double>(60, 100.0),
+                    std::vector<double>(5000, 1.0)});
+  std::vector<double> diurnal;
+  for (int i = 0; i < 60; ++i) {
+    diurnal.push_back(100.0 * (1.0 + 0.8 * std::sin(i * 0.2)));
+  }
+  std::vector<double> zipfish;
+  for (int i = 0; i < 5000; ++i) {
+    zipfish.push_back(1000.0 / (1 + i));
+  }
+  traces.push_back({"diurnal+zipf", diurnal, zipfish});
+  std::vector<double> bursty;
+  for (int i = 0; i < 60; ++i) bursty.push_back(i % 12 == 0 ? 2000.0 : 60.0);
+  traces.push_back({"bursty+zipf", bursty, zipfish});
+
+  for (const Trace& t : traces) {
+    const WorkloadQualityReport r = ScoreWorkloadTrace(t.arrivals, t.access);
+    std::printf("%-26s %10.1f %10.1f %8.1f  %s\n", t.name.c_str(),
+                r.load_variation_score, r.access_skew_score, r.overall,
+                r.summary.c_str());
+  }
+}
+
+}  // namespace
+}  // namespace lsbench
+
+int main() {
+  lsbench::Main();
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Learned-scheduler experiment (§II cites RL-based scheduling for data
+// processing clusters): mean flow time / slowdown of FIFO, oracle SJF, and
+// learned SJF on an overloaded server, before and after an execution-
+// environment change (analytics queries suddenly 10x more expensive). The
+// learned policy approaches the oracle once trained, mispredicts through
+// the shift, and recovers with feedback.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "sched/scheduler.h"
+
+namespace lsbench {
+namespace {
+
+void PrintRow(const std::string& policy, const std::string& phase,
+              const ScheduleMetrics& m) {
+  std::printf("%-12s %-14s %10.4f %12.4f %12.1f %12.4f\n", policy.c_str(),
+              phase.c_str(), m.mean_flow_seconds, m.p99_flow_seconds,
+              m.mean_slowdown, m.makespan_seconds);
+}
+
+void Main() {
+  const size_t jobs_per_phase = bench::ScaledOps(40000);
+  // Offered load slightly above capacity so queueing discipline matters.
+  const double qps = 18000.0;
+  const double base_scale = 20.0;
+
+  bench::Header("Learned scheduling — flow time under an environment shift");
+  std::printf("%-12s %-14s %10s %12s %12s %12s\n", "policy", "phase",
+              "mean_flow_s", "p99_flow_s", "slowdown", "makespan_s");
+
+  // Phase 1 jobs (training distribution) and phase 2 jobs (analytics 10x).
+  const auto phase1 = GenerateJobs(jobs_per_phase, qps, base_scale, 31);
+  const double phase2_start =
+      phase1.empty() ? 0.0 : phase1.back().arrival_seconds + 0.001;
+  auto phase2 = GenerateJobs(jobs_per_phase, qps, base_scale, 32,
+                             phase2_start);
+  for (Job& job : phase2) {
+    if (job.query_class == 2) job.true_service_seconds *= 10.0;
+  }
+
+  FifoPolicy fifo;
+  OracleSjfPolicy oracle;
+  LearnedSjfPolicy learned;
+
+  PrintRow("fifo", "steady", SimulateSchedule(phase1, &fifo));
+  PrintRow("sjf_oracle", "steady", SimulateSchedule(phase1, &oracle));
+  PrintRow("sjf_learned", "steady", SimulateSchedule(phase1, &learned));
+
+  PrintRow("fifo", "shifted", SimulateSchedule(phase2, &fifo));
+  PrintRow("sjf_oracle", "shifted", SimulateSchedule(phase2, &oracle));
+  // The learned policy carries its phase-1 model into the shifted phase
+  // (stale analytics estimates), then keeps learning within the phase.
+  PrintRow("sjf_learned", "shifted", SimulateSchedule(phase2, &learned));
+  // A second pass over the shifted distribution: fully re-learned.
+  const auto phase3 = GenerateJobs(jobs_per_phase, qps, base_scale, 33);
+  auto phase3_shifted = phase3;
+  for (Job& job : phase3_shifted) {
+    if (job.query_class == 2) job.true_service_seconds *= 10.0;
+  }
+  PrintRow("sjf_learned", "re-learned", SimulateSchedule(phase3_shifted,
+                                                         &learned));
+
+  std::printf(
+      "\n=> learned SJF sits between FIFO and the oracle; its gap to the\n"
+      "   oracle widens right after the shift and closes again with\n"
+      "   execution feedback — the scheduling instance of Fig. 1b/1c.\n");
+}
+
+}  // namespace
+}  // namespace lsbench
+
+int main() {
+  lsbench::Main();
+  return 0;
+}

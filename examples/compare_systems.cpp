@@ -1,0 +1,68 @@
+// Example: the fair-comparison harness. Runs one dynamic benchmark spec
+// against four systems — traditional, static learned (RMI and PGM), and the
+// continuously adaptive index — and prints a side-by-side table of the
+// paper's metric suite, plus an archived CSV trace of the exact operation
+// stream used (for reproducibility / benchmark-as-a-service hand-off).
+
+#include <cstdio>
+
+#include "core/comparison.h"
+#include "core/replay.h"
+#include "data/dataset.h"
+#include "sut/systems.h"
+
+int main() {
+  using namespace lsbench;
+
+  RunSpec spec;
+  spec.name = "four_way_comparison";
+  DatasetOptions options;
+  options.num_keys = 50000;
+  options.seed = 1;
+  spec.datasets.push_back(GenerateDataset(UniformUnit(), options));
+  options.seed = 2;
+  spec.datasets.push_back(
+      GenerateDataset(ClusteredUnit(6, 0.005, 3), options));
+
+  PhaseSpec steady;
+  steady.name = "steady";
+  steady.mix.get = 0.7;
+  steady.mix.insert = 0.3;
+  steady.access = AccessPattern::kZipfian;
+  steady.num_operations = 60000;
+  spec.phases.push_back(steady);
+
+  PhaseSpec shifted = steady;
+  shifted.name = "shifted";
+  shifted.dataset_index = 1;
+  shifted.transition_in = TransitionKind::kLinear;
+  shifted.transition_operations = 10000;
+  spec.phases.push_back(shifted);
+
+  BTreeSystem btree;
+  LearnedSystemOptions rmi_options;
+  rmi_options.retrain_policy = RetrainPolicy::kDeltaThreshold;
+  LearnedKvSystem rmi(rmi_options);
+  LearnedSystemOptions pgm_options;
+  pgm_options.index_kind = LearnedSystemOptions::IndexKind::kPgm;
+  pgm_options.retrain_policy = RetrainPolicy::kDriftTriggered;
+  LearnedKvSystem pgm(pgm_options);
+  AdaptiveKvSystem adaptive;
+
+  const Result<ComparisonReport> report =
+      CompareSystems(spec, {&btree, &rmi, &pgm, &adaptive});
+  if (!report.ok()) {
+    std::fprintf(stderr, "comparison failed: %s\n",
+                 report.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s\n", RenderComparison(report.value()).c_str());
+
+  // Archive the steady phase's exact operation stream for later replay.
+  const OperationTrace trace =
+      RecordTrace(spec.datasets[0], steady, 1000, spec.seed);
+  std::printf("archived trace: %zu ops, first lines of CSV:\n", trace.size());
+  const std::string csv = trace.ToCsv();
+  std::printf("%.*s...\n", 120, csv.c_str());
+  return 0;
+}

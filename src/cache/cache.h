@@ -1,0 +1,168 @@
+#ifndef LSBENCH_CACHE_CACHE_H_
+#define LSBENCH_CACHE_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "index/kv_index.h"
+#include "util/random.h"
+
+namespace lsbench {
+
+/// Cache simulator interface. §II of the paper lists "learning-based
+/// caches" among the actively explored learned components; this module
+/// provides the substrate to benchmark them: classical policies (LRU, LFU,
+/// FIFO) and a learned admission/eviction policy that scores keys by online
+/// reuse statistics. Caches store keys only (a block/row id); the benchmark
+/// observes hits and misses.
+class Cache {
+ public:
+  virtual ~Cache() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Records an access. Returns true on a hit. On a miss the policy may
+  /// admit the key (possibly evicting another).
+  virtual bool Access(Key key) = 0;
+
+  virtual size_t size() const = 0;
+  virtual size_t capacity() const = 0;
+
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+  double HitRate() const {
+    const uint64_t total = hits_ + misses_;
+    return total == 0 ? 0.0
+                      : static_cast<double>(hits_) / static_cast<double>(total);
+  }
+  void ResetCounters() {
+    hits_ = 0;
+    misses_ = 0;
+  }
+
+ protected:
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+};
+
+/// Least-recently-used with an intrusive recency list. O(1) per access.
+class LruCache final : public Cache {
+ public:
+  explicit LruCache(size_t capacity);
+
+  std::string name() const override { return "lru"; }
+  bool Access(Key key) override;
+  size_t size() const override { return map_.size(); }
+  size_t capacity() const override { return capacity_; }
+
+ private:
+  size_t capacity_;
+  std::list<Key> order_;  // Front = most recent.
+  std::unordered_map<Key, std::list<Key>::iterator> map_;
+};
+
+/// Least-frequently-used with frequency buckets (O(1) LFU).
+class LfuCache final : public Cache {
+ public:
+  explicit LfuCache(size_t capacity);
+
+  std::string name() const override { return "lfu"; }
+  bool Access(Key key) override;
+  size_t size() const override { return entries_.size(); }
+  size_t capacity() const override { return capacity_; }
+
+ private:
+  struct Entry {
+    uint64_t frequency;
+    std::list<Key>::iterator position;
+  };
+
+  void Touch(Key key, Entry* entry);
+
+  size_t capacity_;
+  std::unordered_map<Key, Entry> entries_;
+  /// frequency -> keys at that frequency (front = most recently touched).
+  std::map<uint64_t, std::list<Key>> buckets_;
+};
+
+/// First-in-first-out: admission order eviction, no recency tracking.
+class FifoCache final : public Cache {
+ public:
+  explicit FifoCache(size_t capacity);
+
+  std::string name() const override { return "fifo"; }
+  bool Access(Key key) override;
+  size_t size() const override { return map_.size(); }
+  size_t capacity() const override { return capacity_; }
+
+ private:
+  size_t capacity_;
+  std::list<Key> order_;  // Front = oldest.
+  std::unordered_map<Key, std::list<Key>::iterator> map_;
+};
+
+/// Learned cache: an online reuse-probability model gates admission and
+/// picks evictions (a TinyLFU-flavored design). Per-key ghost statistics
+/// (EWMA access rate) survive eviction in a bounded ghost table, so the
+/// model keeps learning about keys it rejected — and, like any learned
+/// component, it specializes to the access distribution and must re-learn
+/// after a shift.
+class LearnedCache final : public Cache {
+ public:
+  struct Options {
+    /// EWMA decay applied per logical tick (higher = longer memory).
+    double decay = 0.999;
+    /// Ghost-statistics table size as a multiple of capacity.
+    double ghost_factor = 4.0;
+  };
+
+  LearnedCache(size_t capacity, Options options);
+  explicit LearnedCache(size_t capacity)
+      : LearnedCache(capacity, Options()) {}
+
+  std::string name() const override { return "learned"; }
+  bool Access(Key key) override;
+  size_t size() const override { return resident_.size(); }
+  size_t capacity() const override { return capacity_; }
+
+  size_t ghost_size() const { return scores_.size(); }
+
+ private:
+  /// Decayed score of `key` at the current tick.
+  double ScoreOf(Key key) const;
+  void Bump(Key key);
+  void EvictGhostsIfNeeded();
+  /// Samples resident keys and returns the lowest-scored one
+  /// (Redis-style sampled eviction, O(1) amortized).
+  Key FindEvictionVictim();
+  void AdmitResident(Key key);
+  void RemoveResident(Key key);
+
+  struct Stat {
+    double score = 0.0;
+    uint64_t last_tick = 0;
+  };
+
+  size_t capacity_;
+  Options options_;
+  uint64_t tick_ = 0;
+  Rng rng_{0xCAC4E};
+  std::unordered_map<Key, Stat> scores_;        // Resident + ghosts.
+  std::unordered_map<Key, size_t> resident_;    // Key -> slot in keys vector.
+  std::vector<Key> resident_keys_;
+};
+
+/// Factory covering every policy.
+enum class CachePolicy { kLru, kLfu, kFifo, kLearned };
+
+std::string CachePolicyToString(CachePolicy policy);
+std::unique_ptr<Cache> MakeCache(CachePolicy policy, size_t capacity);
+
+}  // namespace lsbench
+
+#endif  // LSBENCH_CACHE_CACHE_H_

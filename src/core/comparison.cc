@@ -1,0 +1,84 @@
+#include "core/comparison.h"
+
+#include <sstream>
+
+#include "report/ascii_chart.h"
+#include "util/assert.h"
+#include "util/string_util.h"
+
+namespace lsbench {
+
+size_t ComparisonReport::BestThroughputIndex() const {
+  size_t best = 0;
+  for (size_t i = 1; i < rows.size(); ++i) {
+    if (rows[i].mean_throughput > rows[best].mean_throughput) best = i;
+  }
+  return best;
+}
+
+ComparisonRow MakeComparisonRow(const RunResult& result) {
+  ComparisonRow row;
+  row.sut_name = result.sut_name;
+  row.mean_throughput = result.metrics.mean_throughput;
+  row.p50_latency_nanos = result.metrics.overall_latency.Median();
+  row.p99_latency_nanos = result.metrics.overall_latency.P99();
+  row.sla_violations = result.metrics.total_sla_violations;
+  for (const PhaseMetrics& pm : result.metrics.phases) {
+    row.adjustment_excess_seconds += pm.adjustment_excess_seconds;
+  }
+  row.area_vs_ideal = result.metrics.area_vs_ideal;
+  row.offline_train_seconds = result.OfflineTrainSeconds();
+  row.online_train_seconds = result.final_sut_stats.online_train_seconds;
+  row.retrain_events = result.final_sut_stats.retrain_events;
+  row.memory_bytes = result.final_sut_stats.memory_bytes;
+  return row;
+}
+
+Result<ComparisonReport> CompareSystems(
+    const RunSpec& spec, const std::vector<SystemUnderTest*>& suts,
+    const Clock* clock, DriverOptions driver_options) {
+  if (suts.empty()) {
+    return Status::InvalidArgument("no systems to compare");
+  }
+  ComparisonReport report;
+  report.run_name = spec.name;
+  BenchmarkDriver driver(clock, driver_options);
+  for (SystemUnderTest* sut : suts) {
+    LSBENCH_ASSERT(sut != nullptr);
+    Result<RunResult> result = driver.Run(spec, sut);
+    if (!result.ok()) return result.status();
+    report.rows.push_back(MakeComparisonRow(result.value()));
+    report.results.push_back(std::move(result).value());
+  }
+  return report;
+}
+
+std::string RenderComparison(const ComparisonReport& report) {
+  std::ostringstream os;
+  os << "=== Comparison on run '" << report.run_name << "' ===\n";
+  std::vector<std::vector<std::string>> rows;
+  for (const ComparisonRow& r : report.rows) {
+    rows.push_back({r.sut_name, HumanCount(r.mean_throughput),
+                    HumanDuration(r.p50_latency_nanos),
+                    HumanDuration(r.p99_latency_nanos),
+                    std::to_string(r.sla_violations),
+                    FormatDouble(r.adjustment_excess_seconds, 4),
+                    FormatDouble(r.area_vs_ideal, 1),
+                    FormatDouble(r.offline_train_seconds +
+                                     r.online_train_seconds,
+                                 3),
+                    std::to_string(r.retrain_events),
+                    HumanCount(static_cast<double>(r.memory_bytes))});
+  }
+  os << RenderTable({"system", "tput", "p50", "p99", "sla_viol",
+                     "adj_excess_s", "area_ideal", "train_s", "retrains",
+                     "mem_B"},
+                    rows);
+  if (!report.rows.empty()) {
+    os << "best mean throughput: "
+       << report.rows[report.BestThroughputIndex()].sut_name << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace lsbench

@@ -1,0 +1,202 @@
+#include "core/driver.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "util/assert.h"
+#include "workload/generator.h"
+
+namespace lsbench {
+
+namespace {
+
+/// Process-wide registry of spec hashes whose hold-out phases have already
+/// executed (§V-A: hold-out distributions may only run once). Heap-allocated
+/// and never destroyed (trivial-destruction rule for statics).
+std::unordered_set<uint64_t>& HoldoutRegistry() {
+  static auto* registry = new std::unordered_set<uint64_t>();
+  return *registry;
+}
+
+}  // namespace
+
+double RunResult::OfflineTrainSeconds() const {
+  double total = 0.0;
+  for (const TrainEvent& t : train_events) total += t.Seconds();
+  return total;
+}
+
+std::vector<KeyValue> BuildLoadImage(const RunSpec& spec) {
+  LSBENCH_ASSERT(!spec.phases.empty());
+  const Dataset& ds = spec.datasets[spec.phases[0].dataset_index];
+  std::vector<KeyValue> pairs;
+  pairs.reserve(ds.keys.size());
+  for (size_t i = 0; i < ds.keys.size(); ++i) {
+    pairs.emplace_back(ds.keys[i], static_cast<Value>(i));
+  }
+  return pairs;
+}
+
+BenchmarkDriver::BenchmarkDriver(const Clock* clock, DriverOptions options)
+    : clock_(clock != nullptr ? clock : &default_clock_), options_(options) {
+  if (options_.virtual_clock != nullptr) {
+    LSBENCH_ASSERT_MSG(clock == options_.virtual_clock,
+                       "simulation mode requires clock == virtual_clock");
+  }
+}
+
+void BenchmarkDriver::ResetHoldoutRegistryForTesting() {
+  HoldoutRegistry().clear();
+}
+
+void BenchmarkDriver::WaitUntil(int64_t target_abs_nanos) {
+  if (options_.virtual_clock != nullptr) {
+    if (options_.virtual_clock->NowNanos() < target_abs_nanos) {
+      options_.virtual_clock->SetNanos(target_abs_nanos);
+    }
+    return;
+  }
+  while (clock_->NowNanos() < target_abs_nanos) {
+    // Spin: open-loop pacing needs sub-microsecond resolution.
+  }
+}
+
+Result<RunResult> BenchmarkDriver::Run(const RunSpec& spec,
+                                       SystemUnderTest* sut) {
+  LSBENCH_ASSERT(sut != nullptr);
+  LSBENCH_RETURN_NOT_OK(spec.Validate());
+
+  const bool has_holdout =
+      std::any_of(spec.phases.begin(), spec.phases.end(),
+                  [](const PhaseSpec& p) { return p.holdout; });
+  if (has_holdout && options_.enforce_holdout_once) {
+    const uint64_t hash = spec.StructuralHash();
+    if (HoldoutRegistry().count(hash) > 0) {
+      return Status::FailedPrecondition(
+          "spec '" + spec.name +
+          "' contains hold-out phases and has already executed once");
+    }
+    HoldoutRegistry().insert(hash);
+  }
+
+  RunResult result;
+  result.sut_name = sut->name();
+  result.run_name = spec.name;
+
+  // ---- Load ----
+  {
+    Stopwatch watch(clock_);
+    const Status st = sut->Load(BuildLoadImage(spec));
+    if (!st.ok()) return st;
+    result.load_seconds = watch.ElapsedSeconds();
+  }
+
+  // ---- Offline training (timed, first-class) ----
+  if (spec.offline_training) {
+    TrainEvent te;
+    te.start_nanos = clock_->NowNanos();
+    const TrainReport report = sut->Train();
+    te.end_nanos = clock_->NowNanos();
+    te.work_items = report.work_items;
+    if (report.trained) result.train_events.push_back(te);
+  }
+
+  // ---- Execution ----
+  const int64_t run_start = clock_->NowNanos();
+  Rng master(spec.seed);
+  result.events.reserve([&] {
+    uint64_t total = 0;
+    for (const PhaseSpec& p : spec.phases) total += p.num_operations;
+    return total;
+  }());
+
+  std::unique_ptr<OperationGenerator> prev_generator;
+  int64_t last_completion_rel = 0;
+
+  for (size_t phase_idx = 0; phase_idx < spec.phases.size(); ++phase_idx) {
+    const PhaseSpec& phase = spec.phases[phase_idx];
+    const Dataset& dataset = spec.datasets[phase.dataset_index];
+
+    PhaseBoundary boundary;
+    boundary.phase = static_cast<int32_t>(phase_idx);
+    boundary.holdout = phase.holdout;
+    boundary.start_nanos = clock_->NowNanos() - run_start;
+
+    sut->OnPhaseStart(static_cast<int>(phase_idx), phase.holdout);
+
+    auto generator = std::make_unique<OperationGenerator>(
+        &dataset, phase, master.Fork(phase_idx * 2 + 1).Next());
+    Rng mix_rng = master.Fork(phase_idx * 2 + 2);
+    std::unique_ptr<ArrivalProcess> arrival =
+        MakeArrivalProcess(phase.arrival, phase.arrival_rate_qps);
+
+    const bool blend =
+        phase_idx > 0 && prev_generator != nullptr &&
+        phase.transition_operations > 0 &&
+        phase.transition_in != TransitionKind::kAbrupt;
+
+    int64_t intended_rel = clock_->NowNanos() - run_start;
+    for (uint64_t op_idx = 0; op_idx < phase.num_operations; ++op_idx) {
+      // Pick the source generator: during a transition window the old
+      // phase's stream fades out per the configured ramp.
+      OperationGenerator* source = generator.get();
+      if (blend && op_idx < phase.transition_operations) {
+        const double progress =
+            static_cast<double>(op_idx) /
+            static_cast<double>(phase.transition_operations);
+        const double new_fraction =
+            TransitionMixFraction(phase.transition_in, progress);
+        if (!mix_rng.NextBool(new_fraction)) source = prev_generator.get();
+      }
+      const Operation op = source->Next();
+
+      // Arrival pacing: open-loop streams fix the intended arrival times;
+      // closed-loop issues immediately after the previous completion.
+      const double inter = arrival->NextInterarrivalSeconds(
+          &mix_rng, static_cast<double>(intended_rel) * 1e-9);
+      int64_t arrival_rel;
+      if (inter <= 0.0) {
+        arrival_rel = last_completion_rel;
+      } else {
+        intended_rel += static_cast<int64_t>(inter * 1e9);
+        arrival_rel = intended_rel;
+      }
+      WaitUntil(run_start + arrival_rel);
+
+      const OpResult op_result = sut->Execute(op);
+      if (options_.virtual_clock != nullptr) {
+        options_.virtual_clock->AdvanceNanos(options_.virtual_service_nanos);
+      }
+      const int64_t completion_rel = clock_->NowNanos() - run_start;
+
+      OpEvent event;
+      event.timestamp_nanos = completion_rel;
+      event.latency_nanos = std::max<int64_t>(0, completion_rel - arrival_rel);
+      event.phase = static_cast<int32_t>(phase_idx);
+      event.type = op.type;
+      event.ok = op_result.ok;
+      event.rows = op_result.rows;
+      result.events.push_back(event);
+      last_completion_rel = completion_rel;
+    }
+
+    boundary.end_nanos = clock_->NowNanos() - run_start;
+    boundary.operations = phase.num_operations;
+    result.boundaries.push_back(boundary);
+    prev_generator = std::move(generator);
+  }
+
+  // ---- Metrics ----
+  MetricsOptions mopts;
+  mopts.interval_nanos = spec.interval_nanos;
+  mopts.boxplot_sample_nanos = spec.boxplot_sample_nanos;
+  mopts.adjustment_window_ops = spec.adjustment_window_ops;
+  mopts.sla_nanos = spec.sla.threshold_nanos;
+  mopts.sla_auto_percentile = spec.sla.auto_percentile;
+  mopts.sla_auto_margin = spec.sla.auto_margin;
+  result.metrics = ComputeRunMetrics(result.events, result.boundaries, mopts);
+  result.final_sut_stats = sut->GetStats();
+  return result;
+}
+
+}  // namespace lsbench

@@ -1,0 +1,79 @@
+#ifndef LSBENCH_CORE_DRIVER_H_
+#define LSBENCH_CORE_DRIVER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/events.h"
+#include "core/metrics.h"
+#include "core/run_spec.h"
+#include "sut/sut.h"
+#include "util/clock.h"
+#include "util/status.h"
+
+namespace lsbench {
+
+/// Everything a single benchmark run produces.
+struct RunResult {
+  std::string sut_name;
+  std::string run_name;
+  RunMetrics metrics;
+  EventStream events;
+  std::vector<PhaseBoundary> boundaries;
+  /// Timed offline/load work (not part of the event stream).
+  double load_seconds = 0.0;
+  std::vector<TrainEvent> train_events;
+  SutStats final_sut_stats;
+
+  /// Total offline training wall time across train_events, seconds.
+  double OfflineTrainSeconds() const;
+};
+
+/// Driver configuration beyond the RunSpec.
+struct DriverOptions {
+  /// When non-null, the driver runs in *simulation mode*: it never spins on
+  /// wall time; instead it advances this clock to each intended arrival and
+  /// by `virtual_service_nanos` per executed operation. The same object
+  /// must be the driver's clock. Deterministic end-to-end runs for tests.
+  VirtualClock* virtual_clock = nullptr;
+  int64_t virtual_service_nanos = 100000;  // 100 us.
+  /// Enforce the paper's single-execution rule for hold-out phases via the
+  /// process-wide registry.
+  bool enforce_holdout_once = true;
+};
+
+/// The LSBench benchmark driver: executes a RunSpec against a SUT, producing
+/// a timestamped event stream and the full metric suite. Implements the
+/// paper's execution model — phase sequencing with configurable transitions,
+/// training as a timed first-class step, open/closed-loop arrivals, and
+/// hold-out phases that are never trained on and run at most once.
+class BenchmarkDriver {
+ public:
+  /// `clock` must outlive the driver; nullptr selects an internal RealClock.
+  explicit BenchmarkDriver(const Clock* clock = nullptr,
+                           DriverOptions options = {});
+
+  /// Runs the full benchmark. The SUT is loaded, optionally trained, then
+  /// driven through every phase.
+  Result<RunResult> Run(const RunSpec& spec, SystemUnderTest* sut);
+
+  /// Clears the process-wide hold-out registry (tests only).
+  static void ResetHoldoutRegistryForTesting();
+
+ private:
+  /// Busy-waits (real clock) or jumps (virtual clock) to `target_abs_nanos`.
+  void WaitUntil(int64_t target_abs_nanos);
+
+  RealClock default_clock_;
+  const Clock* clock_;
+  DriverOptions options_;
+};
+
+/// Builds the initial load image for a spec: the first phase's dataset as
+/// (key, ordinal) pairs.
+std::vector<KeyValue> BuildLoadImage(const RunSpec& spec);
+
+}  // namespace lsbench
+
+#endif  // LSBENCH_CORE_DRIVER_H_

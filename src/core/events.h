@@ -1,0 +1,48 @@
+#ifndef LSBENCH_CORE_EVENTS_H_
+#define LSBENCH_CORE_EVENTS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "workload/operation.h"
+
+namespace lsbench {
+
+/// One completed operation, as observed by the benchmark driver. Every
+/// metric in LSBench is a pure function of a stream of these (plus phase
+/// boundaries), which keeps the metric layer deterministic and testable
+/// against synthetic streams.
+struct OpEvent {
+  int64_t timestamp_nanos = 0;  ///< Completion time (run-relative).
+  int64_t latency_nanos = 0;    ///< Completion minus intended arrival.
+  int32_t phase = 0;
+  OpType type = OpType::kGet;
+  bool ok = false;
+  uint64_t rows = 0;
+};
+
+/// When a phase ran, and whether it was out-of-sample.
+struct PhaseBoundary {
+  int32_t phase = 0;
+  int64_t start_nanos = 0;
+  int64_t end_nanos = 0;
+  bool holdout = false;
+  uint64_t operations = 0;
+};
+
+/// Timing of a training invocation (offline or between phases).
+struct TrainEvent {
+  int64_t start_nanos = 0;
+  int64_t end_nanos = 0;
+  uint64_t work_items = 0;
+
+  double Seconds() const {
+    return static_cast<double>(end_nanos - start_nanos) * 1e-9;
+  }
+};
+
+using EventStream = std::vector<OpEvent>;
+
+}  // namespace lsbench
+
+#endif  // LSBENCH_CORE_EVENTS_H_

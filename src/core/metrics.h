@@ -1,0 +1,126 @@
+#ifndef LSBENCH_CORE_METRICS_H_
+#define LSBENCH_CORE_METRICS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/events.h"
+#include "stats/descriptive.h"
+#include "util/histogram.h"
+
+namespace lsbench {
+
+/// One point of the Fig. 1b cumulative-completions curve.
+struct CumulativePoint {
+  int64_t t_nanos = 0;
+  uint64_t completed = 0;
+};
+
+/// Samples the cumulative completed-queries curve at interval boundaries.
+/// `events` must be sorted by timestamp (the driver emits them sorted).
+std::vector<CumulativePoint> BuildCumulativeCurve(const EventStream& events,
+                                                  int64_t interval_nanos);
+
+/// Signed area (in query-seconds) between the measured cumulative curve and
+/// the ideal constant-throughput line through (start, 0) -> (end, total):
+/// negative means the system lagged the ideal early and caught up late (the
+/// paper's single-value adaptability summary for Fig. 1b).
+double AreaVsIdeal(const std::vector<CumulativePoint>& curve);
+
+/// Signed area between two cumulative curves (a - b), interpolating where
+/// sample times differ. Positive means `a` stayed ahead.
+double AreaBetweenCurves(const std::vector<CumulativePoint>& a,
+                         const std::vector<CumulativePoint>& b);
+
+/// One reporting interval of the Fig. 1c SLA-band chart.
+struct LatencyBand {
+  int64_t start_nanos = 0;
+  uint64_t within_sla = 0;
+  uint64_t violated = 0;
+
+  uint64_t Total() const { return within_sla + violated; }
+};
+
+/// Buckets completions into `interval_nanos` bands split by the SLA
+/// threshold. Empty trailing intervals are preserved up to the last event.
+std::vector<LatencyBand> BuildSlaBands(const EventStream& events,
+                                       int64_t interval_nanos,
+                                       int64_t sla_nanos);
+
+/// SLA threshold calibrated from observed latencies: percentile * margin
+/// (§V-D2: derive the threshold from a baseline's latency statistics).
+int64_t CalibrateSla(const EventStream& events, double percentile,
+                     double margin);
+
+/// §V-D2's extension of Fig. 1c: "Increasing the number of bands and
+/// color-coding them appropriately (e.g., green-yellow-orange-red) could
+/// provide additional visual insight." One interval's completions split
+/// into K+1 latency classes given K ascending thresholds: counts[0] holds
+/// latencies <= thresholds[0], ..., counts[K] holds latencies above the
+/// last threshold.
+struct MultiBand {
+  int64_t start_nanos = 0;
+  std::vector<uint64_t> counts;
+
+  uint64_t Total() const;
+};
+
+/// Buckets completions into multi-threshold bands. `thresholds_nanos` must
+/// be non-empty and strictly ascending.
+std::vector<MultiBand> BuildMultiBands(
+    const EventStream& events, int64_t interval_nanos,
+    const std::vector<int64_t>& thresholds_nanos);
+
+/// Per-phase performance summary — the ingredients of one Fig. 1a box.
+struct PhaseMetrics {
+  int32_t phase = 0;
+  bool holdout = false;
+  uint64_t operations = 0;
+  double duration_seconds = 0.0;
+  double mean_throughput = 0.0;  ///< ops/s over the whole phase.
+  /// Box-plot statistics over per-sample throughput (ops/s measured in
+  /// sub-intervals of boxplot_sample_nanos).
+  BoxPlotSummary throughput_box;
+  Histogram latency;
+  uint64_t sla_violations = 0;
+  /// Adjustment-speed metric: sum of latency above the SLA threshold over
+  /// the first `adjustment_window_ops` operations of the phase, seconds.
+  double adjustment_excess_seconds = 0.0;
+};
+
+/// Everything the benchmark reports about one run, computed purely from the
+/// event stream and phase boundaries.
+struct RunMetrics {
+  uint64_t total_operations = 0;
+  double wall_seconds = 0.0;
+  double mean_throughput = 0.0;
+  int64_t sla_nanos = 0;
+  uint64_t total_sla_violations = 0;
+  Histogram overall_latency;
+  std::vector<PhaseMetrics> phases;
+  std::vector<CumulativePoint> cumulative;
+  std::vector<LatencyBand> bands;
+  double area_vs_ideal = 0.0;
+};
+
+/// Parameters mirrored from the RunSpec (kept separate so metric code does
+/// not depend on workload specs).
+struct MetricsOptions {
+  int64_t interval_nanos = 1000000000;
+  int64_t boxplot_sample_nanos = 100000000;
+  uint64_t adjustment_window_ops = 1000;
+  /// Fixed SLA threshold; 0 requests calibration from phase 0.
+  int64_t sla_nanos = 0;
+  double sla_auto_percentile = 0.99;
+  double sla_auto_margin = 2.0;
+};
+
+/// Computes the full metric suite. `events` must be sorted by timestamp and
+/// each event's phase must match one of `boundaries`.
+RunMetrics ComputeRunMetrics(const EventStream& events,
+                             const std::vector<PhaseBoundary>& boundaries,
+                             const MetricsOptions& options);
+
+}  // namespace lsbench
+
+#endif  // LSBENCH_CORE_METRICS_H_

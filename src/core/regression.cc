@@ -1,0 +1,97 @@
+#include "core/regression.h"
+
+#include <sstream>
+
+#include "util/string_util.h"
+
+namespace lsbench {
+
+namespace {
+
+void Flag(RegressionReport* report, const std::string& metric,
+          double baseline, double candidate, double limit) {
+  report->findings.push_back({metric, baseline, candidate, limit});
+}
+
+}  // namespace
+
+RegressionReport CheckRegression(const RunResult& baseline,
+                                 const RunResult& candidate,
+                                 const RegressionTolerances& tolerances) {
+  RegressionReport report;
+
+  if (baseline.metrics.phases.size() != candidate.metrics.phases.size()) {
+    Flag(&report, "phase_count",
+         static_cast<double>(baseline.metrics.phases.size()),
+         static_cast<double>(candidate.metrics.phases.size()), 0.0);
+    return report;  // Further comparisons would be apples-to-oranges.
+  }
+
+  // Throughput floor.
+  const double base_tput = baseline.metrics.mean_throughput;
+  const double cand_tput = candidate.metrics.mean_throughput;
+  if (base_tput > 0.0 &&
+      cand_tput < base_tput * tolerances.min_throughput_ratio) {
+    Flag(&report, "mean_throughput", base_tput, cand_tput,
+         base_tput * tolerances.min_throughput_ratio);
+  }
+
+  // p99 latency ceiling.
+  const double base_p99 = baseline.metrics.overall_latency.P99();
+  const double cand_p99 = candidate.metrics.overall_latency.P99();
+  if (base_p99 > 0.0 &&
+      cand_p99 > base_p99 * tolerances.max_p99_latency_ratio) {
+    Flag(&report, "p99_latency_nanos", base_p99, cand_p99,
+         base_p99 * tolerances.max_p99_latency_ratio);
+  }
+
+  // SLA violations ceiling (with absolute slack for small counts).
+  const double base_viol =
+      static_cast<double>(baseline.metrics.total_sla_violations);
+  const double cand_viol =
+      static_cast<double>(candidate.metrics.total_sla_violations);
+  const double viol_limit =
+      base_viol * tolerances.max_violation_ratio +
+      static_cast<double>(tolerances.violation_slack);
+  if (cand_viol > viol_limit) {
+    Flag(&report, "sla_violations", base_viol, cand_viol, viol_limit);
+  }
+
+  // Training budget ceiling.
+  const double base_train = baseline.OfflineTrainSeconds() +
+                            baseline.final_sut_stats.online_train_seconds;
+  const double cand_train = candidate.OfflineTrainSeconds() +
+                            candidate.final_sut_stats.online_train_seconds;
+  if (base_train > 0.0 &&
+      cand_train > base_train * tolerances.max_train_seconds_ratio) {
+    Flag(&report, "train_seconds", base_train, cand_train,
+         base_train * tolerances.max_train_seconds_ratio);
+  }
+
+  // Per-phase throughput floors (a phase-local regression can hide inside
+  // a healthy global mean — the Lesson-2 failure mode).
+  for (size_t i = 0; i < baseline.metrics.phases.size(); ++i) {
+    const double b = baseline.metrics.phases[i].mean_throughput;
+    const double c = candidate.metrics.phases[i].mean_throughput;
+    if (b > 0.0 && c < b * tolerances.min_throughput_ratio) {
+      Flag(&report, "phase" + std::to_string(i) + "_throughput", b, c,
+           b * tolerances.min_throughput_ratio);
+    }
+  }
+  return report;
+}
+
+std::string RenderRegressionReport(const RegressionReport& report) {
+  if (report.Passed()) return "regression check: PASS\n";
+  std::ostringstream os;
+  os << "regression check: FAIL (" << report.findings.size()
+     << " finding(s))\n";
+  for (const RegressionFinding& f : report.findings) {
+    os << "  " << f.metric << ": baseline=" << FormatDouble(f.baseline, 2)
+       << " candidate=" << FormatDouble(f.candidate, 2)
+       << " limit=" << FormatDouble(f.limit, 2) << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace lsbench

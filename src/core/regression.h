@@ -1,0 +1,54 @@
+#ifndef LSBENCH_CORE_REGRESSION_H_
+#define LSBENCH_CORE_REGRESSION_H_
+
+#include <string>
+#include <vector>
+
+#include "core/driver.h"
+
+namespace lsbench {
+
+/// Benchmark-to-benchmark regression checking: compare a candidate run
+/// against a baseline run of the same spec and flag the metrics that moved
+/// past tolerance. This is how a benchmark gets used in practice — §IV's
+/// "help developers compare systems and choose the right trade-offs"
+/// includes comparing *versions of the same system* over time.
+
+/// Tolerances for the comparison. Ratios are candidate/baseline bounds.
+struct RegressionTolerances {
+  double min_throughput_ratio = 0.95;   ///< Candidate may lose up to 5%.
+  double max_p99_latency_ratio = 1.20;  ///< p99 may grow up to 20%.
+  double max_violation_ratio = 1.50;    ///< SLA violations may grow 50%.
+  /// Absolute slack added to violation comparison so tiny counts don't
+  /// trip the ratio (5 -> 8 violations is noise).
+  uint64_t violation_slack = 10;
+  double max_train_seconds_ratio = 1.50;
+};
+
+/// One flagged metric.
+struct RegressionFinding {
+  std::string metric;
+  double baseline = 0.0;
+  double candidate = 0.0;
+  double limit = 0.0;  ///< The bound that was crossed.
+};
+
+struct RegressionReport {
+  std::vector<RegressionFinding> findings;
+
+  bool Passed() const { return findings.empty(); }
+};
+
+/// Compares candidate vs baseline under the tolerances. Both runs should
+/// come from the same spec (same phases/ops); phase counts are compared as
+/// a sanity check and mismatches are reported as a finding.
+RegressionReport CheckRegression(const RunResult& baseline,
+                                 const RunResult& candidate,
+                                 const RegressionTolerances& tolerances = {});
+
+/// Human-readable verdict ("PASS" or the findings, one line each).
+std::string RenderRegressionReport(const RegressionReport& report);
+
+}  // namespace lsbench
+
+#endif  // LSBENCH_CORE_REGRESSION_H_

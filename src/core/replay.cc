@@ -1,0 +1,85 @@
+#include "core/replay.h"
+
+#include "util/assert.h"
+#include "workload/generator.h"
+
+namespace lsbench {
+
+OperationTrace RecordTrace(const Dataset& dataset, const PhaseSpec& phase,
+                           size_t count, uint64_t seed) {
+  OperationGenerator generator(&dataset, phase, seed);
+  OperationTrace trace;
+  for (size_t i = 0; i < count; ++i) trace.Append(generator.Next());
+  return trace;
+}
+
+Result<RunResult> ReplayTrace(const OperationTrace& trace,
+                              const std::vector<KeyValue>& load_image,
+                              SystemUnderTest* sut, const Clock* clock,
+                              ReplayOptions options) {
+  LSBENCH_ASSERT(sut != nullptr);
+  if (trace.empty()) {
+    return Status::InvalidArgument("empty trace");
+  }
+  RealClock default_clock;
+  if (clock == nullptr) clock = &default_clock;
+  if (options.virtual_clock != nullptr) {
+    LSBENCH_ASSERT_MSG(clock == options.virtual_clock,
+                       "simulation mode requires clock == virtual_clock");
+  }
+
+  RunResult result;
+  result.sut_name = sut->name();
+  result.run_name = "trace_replay";
+
+  {
+    Stopwatch watch(clock);
+    const Status st = sut->Load(load_image);
+    if (!st.ok()) return st;
+    result.load_seconds = watch.ElapsedSeconds();
+  }
+  if (options.offline_training) {
+    TrainEvent te;
+    te.start_nanos = clock->NowNanos();
+    const TrainReport report = sut->Train();
+    te.end_nanos = clock->NowNanos();
+    te.work_items = report.work_items;
+    if (report.trained) result.train_events.push_back(te);
+  }
+
+  sut->OnPhaseStart(0, /*holdout=*/false);
+  const int64_t run_start = clock->NowNanos();
+  int64_t last_completion_rel = 0;
+  result.events.reserve(trace.size());
+  for (const Operation& op : trace.operations()) {
+    const int64_t arrival_rel = last_completion_rel;  // Closed loop.
+    const OpResult op_result = sut->Execute(op);
+    if (options.virtual_clock != nullptr) {
+      options.virtual_clock->AdvanceNanos(options.virtual_service_nanos);
+    }
+    const int64_t completion_rel = clock->NowNanos() - run_start;
+    OpEvent event;
+    event.timestamp_nanos = completion_rel;
+    event.latency_nanos = std::max<int64_t>(0, completion_rel - arrival_rel);
+    event.phase = 0;
+    event.type = op.type;
+    event.ok = op_result.ok;
+    event.rows = op_result.rows;
+    result.events.push_back(event);
+    last_completion_rel = completion_rel;
+  }
+
+  PhaseBoundary boundary;
+  boundary.phase = 0;
+  boundary.start_nanos = 0;
+  boundary.end_nanos = clock->NowNanos() - run_start;
+  boundary.operations = trace.size();
+  result.boundaries.push_back(boundary);
+
+  result.metrics =
+      ComputeRunMetrics(result.events, result.boundaries, options.metrics);
+  result.final_sut_stats = sut->GetStats();
+  return result;
+}
+
+}  // namespace lsbench

@@ -1,0 +1,38 @@
+#ifndef LSBENCH_CORE_REPLAY_H_
+#define LSBENCH_CORE_REPLAY_H_
+
+#include <vector>
+
+#include "core/driver.h"
+#include "workload/trace.h"
+
+namespace lsbench {
+
+/// Executes a recorded operation trace against a SUT as a single closed-loop
+/// phase: load, optional training, then one timed Execute per trace entry.
+/// This is the replay half of the trace story — the exact stream archived
+/// from one evaluation can be re-driven against a different system, which is
+/// how a benchmark-as-a-service would evaluate SUTs on hidden hold-out
+/// traces (§V-A).
+struct ReplayOptions {
+  bool offline_training = true;
+  MetricsOptions metrics;
+  /// Simulation mode, as in DriverOptions.
+  VirtualClock* virtual_clock = nullptr;
+  int64_t virtual_service_nanos = 100000;
+};
+
+Result<RunResult> ReplayTrace(const OperationTrace& trace,
+                              const std::vector<KeyValue>& load_image,
+                              SystemUnderTest* sut,
+                              const Clock* clock = nullptr,
+                              ReplayOptions options = {});
+
+/// Records `count` operations from a generator into a trace (helper for
+/// producing archives from phase specs).
+OperationTrace RecordTrace(const Dataset& dataset, const PhaseSpec& phase,
+                           size_t count, uint64_t seed);
+
+}  // namespace lsbench
+
+#endif  // LSBENCH_CORE_REPLAY_H_

@@ -1,0 +1,100 @@
+#include "core/run_spec.h"
+
+namespace lsbench {
+
+namespace {
+
+uint64_t MixHash(uint64_t h, uint64_t v) {
+  h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  return h;
+}
+
+uint64_t HashDouble(double d) {
+  // Bit-cast; NaNs are not expected in specs.
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(d));
+  __builtin_memcpy(&bits, &d, sizeof(bits));
+  return bits;
+}
+
+uint64_t HashString(const std::string& s) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (char c : s) h = MixHash(h, static_cast<uint8_t>(c));
+  return h;
+}
+
+}  // namespace
+
+Status RunSpec::Validate() const {
+  if (datasets.empty()) {
+    return Status::InvalidArgument("run spec has no datasets");
+  }
+  if (phases.empty()) {
+    return Status::InvalidArgument("run spec has no phases");
+  }
+  for (size_t i = 0; i < datasets.size(); ++i) {
+    if (datasets[i].empty()) {
+      return Status::InvalidArgument("dataset " + std::to_string(i) +
+                                     " is empty");
+    }
+  }
+  for (size_t i = 0; i < phases.size(); ++i) {
+    const PhaseSpec& p = phases[i];
+    if (p.dataset_index < 0 ||
+        static_cast<size_t>(p.dataset_index) >= datasets.size()) {
+      return Status::InvalidArgument("phase " + std::to_string(i) +
+                                     " references missing dataset");
+    }
+    if (p.num_operations == 0) {
+      return Status::InvalidArgument("phase " + std::to_string(i) +
+                                     " has zero operations");
+    }
+    if (p.mix.Total() <= 0.0) {
+      return Status::InvalidArgument("phase " + std::to_string(i) +
+                                     " has an empty operation mix");
+    }
+    if (p.transition_operations > p.num_operations) {
+      return Status::InvalidArgument(
+          "phase " + std::to_string(i) +
+          " transition is longer than the phase itself");
+    }
+  }
+  if (interval_nanos <= 0 || boxplot_sample_nanos <= 0) {
+    return Status::InvalidArgument("reporting intervals must be positive");
+  }
+  return Status::OK();
+}
+
+uint64_t RunSpec::StructuralHash() const {
+  uint64_t h = HashString(name);
+  h = MixHash(h, seed);
+  for (const Dataset& ds : datasets) {
+    h = MixHash(h, HashString(ds.name));
+    h = MixHash(h, ds.keys.size());
+    h = MixHash(h, ds.seed);
+    h = MixHash(h, ds.domain_max);
+  }
+  for (const PhaseSpec& p : phases) {
+    h = MixHash(h, HashString(p.name));
+    h = MixHash(h, static_cast<uint64_t>(p.dataset_index));
+    h = MixHash(h, HashDouble(p.mix.get));
+    h = MixHash(h, HashDouble(p.mix.scan));
+    h = MixHash(h, HashDouble(p.mix.insert));
+    h = MixHash(h, HashDouble(p.mix.update));
+    h = MixHash(h, HashDouble(p.mix.del));
+    h = MixHash(h, HashDouble(p.mix.range_count));
+    h = MixHash(h, static_cast<uint64_t>(p.access));
+    h = MixHash(h, HashDouble(p.access_param));
+    h = MixHash(h, static_cast<uint64_t>(p.arrival));
+    h = MixHash(h, HashDouble(p.arrival_rate_qps));
+    h = MixHash(h, p.num_operations);
+    h = MixHash(h, static_cast<uint64_t>(p.transition_in));
+    h = MixHash(h, p.transition_operations);
+    h = MixHash(h, p.holdout ? 1 : 0);
+    h = MixHash(h, p.scan_length);
+    h = MixHash(h, HashDouble(p.range_selectivity));
+  }
+  return h;
+}
+
+}  // namespace lsbench

@@ -1,0 +1,55 @@
+#ifndef LSBENCH_CORE_RUN_SPEC_H_
+#define LSBENCH_CORE_RUN_SPEC_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "util/status.h"
+#include "workload/spec.h"
+
+namespace lsbench {
+
+/// Service-level-agreement settings for the SLA-band metric (Fig. 1c).
+struct SlaSpec {
+  /// Fixed threshold; 0 selects calibration (`auto_percentile` of the
+  /// first phase's latencies becomes the threshold, scaled by
+  /// `auto_margin`). The paper recommends deriving the threshold from a
+  /// baseline system's latency statistics.
+  int64_t threshold_nanos = 0;
+  double auto_percentile = 0.99;
+  double auto_margin = 2.0;
+};
+
+/// The complete description of one benchmark run: datasets, the phase
+/// sequence over them, SLA, and reporting granularity. A RunSpec plus a
+/// seed fully determines the operation stream.
+struct RunSpec {
+  std::string name = "unnamed_run";
+  std::vector<Dataset> datasets;
+  std::vector<PhaseSpec> phases;
+  SlaSpec sla;
+  /// Width of the reporting interval for bands/timelines, in nanoseconds.
+  int64_t interval_nanos = 1000000000;  // 1 s, per the paper's example.
+  /// Sub-interval used to sample throughput for box plots (Fig. 1a).
+  int64_t boxplot_sample_nanos = 100000000;  // 100 ms.
+  /// First N queries after a phase change considered by the
+  /// adjustment-speed metric (§V-D2).
+  uint64_t adjustment_window_ops = 1000;
+  /// Run an offline training pass (timed) before execution.
+  bool offline_training = true;
+  uint64_t seed = 42;
+
+  /// Structural validation: phases reference valid datasets, lengths are
+  /// nonzero, datasets are nonempty.
+  Status Validate() const;
+
+  /// Stable hash of the spec's structure — the identity under which the
+  /// driver enforces single execution of hold-out phases (§V-A).
+  uint64_t StructuralHash() const;
+};
+
+}  // namespace lsbench
+
+#endif  // LSBENCH_CORE_RUN_SPEC_H_

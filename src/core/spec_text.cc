@@ -1,0 +1,328 @@
+#include "core/spec_text.h"
+
+#include <cstdlib>
+
+#include "util/string_util.h"
+
+namespace lsbench {
+
+namespace {
+
+std::string Trim(const std::string& s) {
+  size_t begin = 0;
+  size_t end = s.size();
+  while (begin < end && (s[begin] == ' ' || s[begin] == '\t')) ++begin;
+  while (end > begin && (s[end - 1] == ' ' || s[end - 1] == '\t' ||
+                         s[end - 1] == '\r')) {
+    --end;
+  }
+  return s.substr(begin, end - begin);
+}
+
+Result<double> ParseDouble(const std::string& value,
+                           const std::string& key) {
+  char* end = nullptr;
+  const double v = std::strtod(value.c_str(), &end);
+  if (end == value.c_str() || *end != '\0') {
+    return Status::InvalidArgument("bad number for '" + key + "': " + value);
+  }
+  return v;
+}
+
+Result<uint64_t> ParseU64(const std::string& value, const std::string& key) {
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(value.c_str(), &end, 10);
+  if (end == value.c_str() || *end != '\0') {
+    return Status::InvalidArgument("bad integer for '" + key + "': " + value);
+  }
+  return static_cast<uint64_t>(v);
+}
+
+Result<bool> ParseBool(const std::string& value, const std::string& key) {
+  if (value == "true" || value == "1" || value == "yes") return true;
+  if (value == "false" || value == "0" || value == "no") return false;
+  return Status::InvalidArgument("bad bool for '" + key + "': " + value);
+}
+
+/// Accumulated description of one [dataset] section.
+struct DatasetDesc {
+  std::string kind = "uniform";
+  size_t num_keys = 100000;
+  uint64_t seed = 42;
+  double param1 = 0.0;
+  double param2 = 0.0;
+};
+
+Result<Dataset> BuildDataset(const DatasetDesc& desc) {
+  if (desc.kind == "emails") {
+    return GenerateEmailDataset(desc.num_keys, desc.seed);
+  }
+  DatasetOptions options;
+  options.num_keys = desc.num_keys;
+  options.seed = desc.seed;
+  std::unique_ptr<UnitDistribution> dist;
+  if (desc.kind == "uniform") {
+    dist = MakeUniform();
+  } else if (desc.kind == "gaussian") {
+    dist = MakeGaussian(desc.param1 > 0 ? desc.param1 : 0.5,
+                        desc.param2 > 0 ? desc.param2 : 0.1);
+  } else if (desc.kind == "lognormal") {
+    dist = MakeLognormal(desc.param1, desc.param2 > 0 ? desc.param2 : 1.0);
+  } else if (desc.kind == "pareto") {
+    dist = MakePareto(desc.param1 > 0 ? desc.param1 : 1.5);
+  } else if (desc.kind == "clustered") {
+    dist = MakeClustered(desc.param1 > 0 ? static_cast<int>(desc.param1) : 8,
+                         desc.param2 > 0 ? desc.param2 : 0.01, desc.seed);
+  } else {
+    return Status::InvalidArgument("unknown dataset kind: " + desc.kind);
+  }
+  return GenerateDataset(*dist, options);
+}
+
+Status ParseMix(const std::string& value, OperationMix* mix) {
+  *mix = OperationMix();
+  mix->get = 0.0;
+  for (const std::string& part : Split(value, ',')) {
+    const std::vector<std::string> kv = Split(Trim(part), ':');
+    if (kv.size() != 2) {
+      return Status::InvalidArgument("bad mix component: " + part);
+    }
+    const Result<double> frac = ParseDouble(Trim(kv[1]), "mix");
+    if (!frac.ok()) return frac.status();
+    const std::string op = Trim(kv[0]);
+    if (op == "get") {
+      mix->get = frac.value();
+    } else if (op == "scan") {
+      mix->scan = frac.value();
+    } else if (op == "insert") {
+      mix->insert = frac.value();
+    } else if (op == "update") {
+      mix->update = frac.value();
+    } else if (op == "delete") {
+      mix->del = frac.value();
+    } else if (op == "range_count") {
+      mix->range_count = frac.value();
+    } else {
+      return Status::InvalidArgument("unknown op in mix: " + op);
+    }
+  }
+  return Status::OK();
+}
+
+Result<AccessPattern> ParseAccess(const std::string& value) {
+  if (value == "uniform") return AccessPattern::kUniform;
+  if (value == "zipfian") return AccessPattern::kZipfian;
+  if (value == "hotspot") return AccessPattern::kHotSpot;
+  if (value == "latest") return AccessPattern::kLatest;
+  if (value == "sequential") return AccessPattern::kSequential;
+  return Status::InvalidArgument("unknown access pattern: " + value);
+}
+
+Result<ArrivalPattern> ParseArrival(const std::string& value) {
+  if (value == "closed") return ArrivalPattern::kClosedLoop;
+  if (value == "poisson") return ArrivalPattern::kPoisson;
+  if (value == "diurnal") return ArrivalPattern::kDiurnal;
+  if (value == "bursty") return ArrivalPattern::kBursty;
+  return Status::InvalidArgument("unknown arrival pattern: " + value);
+}
+
+Result<TransitionKind> ParseTransition(const std::string& value) {
+  if (value == "abrupt") return TransitionKind::kAbrupt;
+  if (value == "linear") return TransitionKind::kLinear;
+  if (value == "cosine") return TransitionKind::kCosine;
+  return Status::InvalidArgument("unknown transition kind: " + value);
+}
+
+}  // namespace
+
+Result<RunSpec> ParseRunSpecText(const std::string& text) {
+  RunSpec spec;
+  enum class Section { kTop, kDataset, kPhase };
+  Section section = Section::kTop;
+  DatasetDesc dataset_desc;
+  bool dataset_open = false;
+  PhaseSpec phase;
+  bool phase_open = false;
+
+  auto close_dataset = [&]() -> Status {
+    if (!dataset_open) return Status::OK();
+    Result<Dataset> ds = BuildDataset(dataset_desc);
+    if (!ds.ok()) return ds.status();
+    spec.datasets.push_back(std::move(ds).value());
+    dataset_desc = DatasetDesc();
+    dataset_open = false;
+    return Status::OK();
+  };
+  auto close_phase = [&]() -> Status {
+    if (!phase_open) return Status::OK();
+    spec.phases.push_back(phase);
+    phase = PhaseSpec();
+    phase_open = false;
+    return Status::OK();
+  };
+
+  size_t line_no = 0;
+  for (const std::string& raw_line : Split(text, '\n')) {
+    ++line_no;
+    std::string line = raw_line;
+    const size_t hash = line.find('#');
+    if (hash != std::string::npos) line = line.substr(0, hash);
+    line = Trim(line);
+    if (line.empty()) continue;
+
+    if (line == "[dataset]") {
+      LSBENCH_RETURN_NOT_OK(close_dataset());
+      LSBENCH_RETURN_NOT_OK(close_phase());
+      section = Section::kDataset;
+      dataset_open = true;
+      continue;
+    }
+    if (line == "[phase]") {
+      LSBENCH_RETURN_NOT_OK(close_dataset());
+      LSBENCH_RETURN_NOT_OK(close_phase());
+      section = Section::kPhase;
+      phase_open = true;
+      continue;
+    }
+    if (line.front() == '[') {
+      return Status::InvalidArgument("unknown section at line " +
+                                     std::to_string(line_no) + ": " + line);
+    }
+
+    const size_t eq = line.find('=');
+    if (eq == std::string::npos) {
+      return Status::InvalidArgument("expected key = value at line " +
+                                     std::to_string(line_no));
+    }
+    const std::string key = Trim(line.substr(0, eq));
+    const std::string value = Trim(line.substr(eq + 1));
+
+    switch (section) {
+      case Section::kTop: {
+        if (key == "name") {
+          spec.name = value;
+        } else if (key == "seed") {
+          const auto v = ParseU64(value, key);
+          if (!v.ok()) return v.status();
+          spec.seed = v.value();
+        } else if (key == "interval_ms") {
+          const auto v = ParseU64(value, key);
+          if (!v.ok()) return v.status();
+          spec.interval_nanos = static_cast<int64_t>(v.value()) * 1000000;
+        } else if (key == "boxplot_sample_ms") {
+          const auto v = ParseU64(value, key);
+          if (!v.ok()) return v.status();
+          spec.boxplot_sample_nanos =
+              static_cast<int64_t>(v.value()) * 1000000;
+        } else if (key == "offline_training") {
+          const auto v = ParseBool(value, key);
+          if (!v.ok()) return v.status();
+          spec.offline_training = v.value();
+        } else if (key == "sla_ms") {
+          const auto v = ParseU64(value, key);
+          if (!v.ok()) return v.status();
+          spec.sla.threshold_nanos = static_cast<int64_t>(v.value()) * 1000000;
+        } else if (key == "sla_auto_percentile") {
+          const auto v = ParseDouble(value, key);
+          if (!v.ok()) return v.status();
+          spec.sla.auto_percentile = v.value();
+        } else if (key == "sla_auto_margin") {
+          const auto v = ParseDouble(value, key);
+          if (!v.ok()) return v.status();
+          spec.sla.auto_margin = v.value();
+        } else if (key == "adjustment_window_ops") {
+          const auto v = ParseU64(value, key);
+          if (!v.ok()) return v.status();
+          spec.adjustment_window_ops = v.value();
+        } else {
+          return Status::InvalidArgument("unknown top-level key: " + key);
+        }
+        break;
+      }
+      case Section::kDataset: {
+        if (key == "kind") {
+          dataset_desc.kind = value;
+        } else if (key == "num_keys") {
+          const auto v = ParseU64(value, key);
+          if (!v.ok()) return v.status();
+          dataset_desc.num_keys = v.value();
+        } else if (key == "seed") {
+          const auto v = ParseU64(value, key);
+          if (!v.ok()) return v.status();
+          dataset_desc.seed = v.value();
+        } else if (key == "param1") {
+          const auto v = ParseDouble(value, key);
+          if (!v.ok()) return v.status();
+          dataset_desc.param1 = v.value();
+        } else if (key == "param2") {
+          const auto v = ParseDouble(value, key);
+          if (!v.ok()) return v.status();
+          dataset_desc.param2 = v.value();
+        } else {
+          return Status::InvalidArgument("unknown dataset key: " + key);
+        }
+        break;
+      }
+      case Section::kPhase: {
+        if (key == "name") {
+          phase.name = value;
+        } else if (key == "dataset") {
+          const auto v = ParseU64(value, key);
+          if (!v.ok()) return v.status();
+          phase.dataset_index = static_cast<int>(v.value());
+        } else if (key == "ops") {
+          const auto v = ParseU64(value, key);
+          if (!v.ok()) return v.status();
+          phase.num_operations = v.value();
+        } else if (key == "mix") {
+          LSBENCH_RETURN_NOT_OK(ParseMix(value, &phase.mix));
+        } else if (key == "access") {
+          const auto v = ParseAccess(value);
+          if (!v.ok()) return v.status();
+          phase.access = v.value();
+        } else if (key == "access_param") {
+          const auto v = ParseDouble(value, key);
+          if (!v.ok()) return v.status();
+          phase.access_param = v.value();
+        } else if (key == "arrival") {
+          const auto v = ParseArrival(value);
+          if (!v.ok()) return v.status();
+          phase.arrival = v.value();
+        } else if (key == "arrival_qps") {
+          const auto v = ParseDouble(value, key);
+          if (!v.ok()) return v.status();
+          phase.arrival_rate_qps = v.value();
+        } else if (key == "transition") {
+          const auto v = ParseTransition(value);
+          if (!v.ok()) return v.status();
+          phase.transition_in = v.value();
+        } else if (key == "transition_ops") {
+          const auto v = ParseU64(value, key);
+          if (!v.ok()) return v.status();
+          phase.transition_operations = v.value();
+        } else if (key == "holdout") {
+          const auto v = ParseBool(value, key);
+          if (!v.ok()) return v.status();
+          phase.holdout = v.value();
+        } else if (key == "scan_length") {
+          const auto v = ParseU64(value, key);
+          if (!v.ok()) return v.status();
+          phase.scan_length = static_cast<uint32_t>(v.value());
+        } else if (key == "range_selectivity") {
+          const auto v = ParseDouble(value, key);
+          if (!v.ok()) return v.status();
+          phase.range_selectivity = v.value();
+        } else {
+          return Status::InvalidArgument("unknown phase key: " + key);
+        }
+        break;
+      }
+    }
+  }
+  LSBENCH_RETURN_NOT_OK(close_dataset());
+  LSBENCH_RETURN_NOT_OK(close_phase());
+  LSBENCH_RETURN_NOT_OK(spec.Validate());
+  return spec;
+}
+
+}  // namespace lsbench

@@ -1,0 +1,53 @@
+#ifndef LSBENCH_CORE_SPEC_TEXT_H_
+#define LSBENCH_CORE_SPEC_TEXT_H_
+
+#include <string>
+
+#include "core/run_spec.h"
+#include "util/status.h"
+
+namespace lsbench {
+
+/// Parses the LSBench textual spec format into a RunSpec (datasets are
+/// generated eagerly from their described distributions). The format is a
+/// line-based INI dialect:
+///
+/// ```
+/// # top-level keys before any section
+/// name = demo
+/// seed = 42
+/// interval_ms = 1000
+/// offline_training = true
+///
+/// [dataset]                 # one section per dataset, in index order
+/// kind = clustered          # uniform|gaussian|lognormal|pareto|clustered|emails
+/// num_keys = 50000
+/// seed = 7
+/// param1 = 5                # kind-specific (see below)
+/// param2 = 0.01
+///
+/// [phase]                   # one section per phase, in execution order
+/// name = warm
+/// dataset = 0
+/// ops = 50000
+/// mix = get:0.7,insert:0.3  # get,scan,insert,update,delete,range_count
+/// access = zipfian          # uniform|zipfian|hotspot|latest|sequential
+/// access_param = 0.99
+/// arrival = closed          # closed|poisson|diurnal|bursty
+/// arrival_qps = 10000
+/// transition = linear       # abrupt|linear|cosine
+/// transition_ops = 5000
+/// holdout = false
+/// scan_length = 100
+/// range_selectivity = 0.001
+/// ```
+///
+/// Dataset kind parameters: gaussian(param1=mean, param2=stddev),
+/// lognormal(param1=mu, param2=sigma), pareto(param1=alpha),
+/// clustered(param1=num_clusters, param2=spread); uniform and emails take
+/// none. Unknown keys are rejected (typo safety).
+Result<RunSpec> ParseRunSpecText(const std::string& text);
+
+}  // namespace lsbench
+
+#endif  // LSBENCH_CORE_SPEC_TEXT_H_

@@ -1,0 +1,51 @@
+#ifndef LSBENCH_CORE_SPECIALIZATION_H_
+#define LSBENCH_CORE_SPECIALIZATION_H_
+
+#include <string>
+#include <vector>
+
+#include "core/driver.h"
+#include "core/run_spec.h"
+#include "stats/descriptive.h"
+
+namespace lsbench {
+
+/// One row of the Fig. 1a specialization chart: a (workload, data
+/// distribution) phase with its dissimilarity Φ from the baseline phase and
+/// the SUT's throughput distribution there.
+struct SpecializationEntry {
+  int32_t phase = 0;
+  std::string phase_name;
+  bool holdout = false;
+  /// Φ dissimilarity vs the baseline phase (0 = identical, 1 = maximally
+  /// different); combines the data KS statistic and workload Jaccard.
+  double phi = 0.0;
+  double data_ks = 0.0;            ///< KS statistic between the datasets.
+  double workload_jaccard = 1.0;   ///< Plan-subtree Jaccard similarity.
+  BoxPlotSummary throughput_box;
+  double mean_throughput = 0.0;
+};
+
+/// The Fig. 1a report: entries sorted by ascending Φ (the paper: "it should
+/// be sufficient to sort the results by Φ value").
+struct SpecializationReport {
+  int32_t baseline_phase = 0;
+  std::vector<SpecializationEntry> entries;
+};
+
+/// Options for Φ computation.
+struct SpecializationOptions {
+  int32_t baseline_phase = 0;
+  size_t similarity_sample = 2000;  ///< Ops sampled per phase signature.
+  size_t ks_sample = 4096;          ///< Keys subsampled per dataset for KS.
+  double data_weight = 0.5;         ///< Weight of the data term inside Φ.
+};
+
+/// Builds the specialization report from a completed run.
+SpecializationReport BuildSpecializationReport(
+    const RunSpec& spec, const RunResult& result,
+    const SpecializationOptions& options = {});
+
+}  // namespace lsbench
+
+#endif  // LSBENCH_CORE_SPECIALIZATION_H_

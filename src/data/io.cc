@@ -1,0 +1,112 @@
+#include "data/io.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+namespace lsbench {
+
+namespace {
+
+/// RAII stdio handle (no exceptions, explicit Status plumbing).
+class File {
+ public:
+  File(const std::string& path, const char* mode)
+      : file_(std::fopen(path.c_str(), mode)) {}
+  ~File() {
+    if (file_ != nullptr) std::fclose(file_);
+  }
+  File(const File&) = delete;
+  File& operator=(const File&) = delete;
+
+  bool ok() const { return file_ != nullptr; }
+  std::FILE* get() { return file_; }
+
+ private:
+  std::FILE* file_;
+};
+
+}  // namespace
+
+Status SaveKeysBinary(const Dataset& dataset, const std::string& path) {
+  File file(path, "wb");
+  if (!file.ok()) return Status::IoError("cannot open for write: " + path);
+  const uint64_t count = dataset.keys.size();
+  if (std::fwrite(&count, sizeof(count), 1, file.get()) != 1) {
+    return Status::IoError("short write: " + path);
+  }
+  if (count > 0 &&
+      std::fwrite(dataset.keys.data(), sizeof(Key), count, file.get()) !=
+          count) {
+    return Status::IoError("short write: " + path);
+  }
+  return Status::OK();
+}
+
+Result<Dataset> LoadKeysBinary(const std::string& path,
+                               const std::string& name) {
+  File file(path, "rb");
+  if (!file.ok()) return Status::IoError("cannot open for read: " + path);
+  uint64_t count = 0;
+  if (std::fread(&count, sizeof(count), 1, file.get()) != 1) {
+    return Status::IoError("missing header: " + path);
+  }
+  Dataset ds;
+  ds.name = name;
+  ds.keys.resize(count);
+  if (count > 0 &&
+      std::fread(ds.keys.data(), sizeof(Key), count, file.get()) != count) {
+    return Status::IoError("truncated key file: " + path);
+  }
+  for (size_t i = 1; i < ds.keys.size(); ++i) {
+    if (ds.keys[i - 1] >= ds.keys[i]) {
+      return Status::InvalidArgument(
+          "keys not sorted/unique at index " + std::to_string(i));
+    }
+  }
+  ds.domain_max = ds.keys.empty() ? 0 : ~Key{0};
+  return ds;
+}
+
+Status SaveKeysCsv(const Dataset& dataset, const std::string& path) {
+  File file(path, "w");
+  if (!file.ok()) return Status::IoError("cannot open for write: " + path);
+  std::fputs("key\n", file.get());
+  for (Key k : dataset.keys) {
+    std::fprintf(file.get(), "%llu\n", static_cast<unsigned long long>(k));
+  }
+  return Status::OK();
+}
+
+Result<Dataset> LoadKeysCsv(const std::string& path, const std::string& name) {
+  File file(path, "r");
+  if (!file.ok()) return Status::IoError("cannot open for read: " + path);
+  Dataset ds;
+  ds.name = name;
+  char line[128];
+  size_t line_no = 0;
+  while (std::fgets(line, sizeof(line), file.get()) != nullptr) {
+    ++line_no;
+    // Strip trailing newline/CR.
+    size_t len = std::strlen(line);
+    while (len > 0 && (line[len - 1] == '\n' || line[len - 1] == '\r')) {
+      line[--len] = '\0';
+    }
+    if (len == 0) continue;
+    if (line_no == 1 && std::strcmp(line, "key") == 0) continue;  // Header.
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(line, &end, 10);
+    if (end == line || *end != '\0') {
+      return Status::InvalidArgument("bad key on line " +
+                                     std::to_string(line_no));
+    }
+    ds.keys.push_back(static_cast<Key>(v));
+  }
+  std::sort(ds.keys.begin(), ds.keys.end());
+  ds.keys.erase(std::unique(ds.keys.begin(), ds.keys.end()), ds.keys.end());
+  ds.domain_max = ds.keys.empty() ? 0 : ~Key{0};
+  return ds;
+}
+
+}  // namespace lsbench

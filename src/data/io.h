@@ -1,0 +1,34 @@
+#ifndef LSBENCH_DATA_IO_H_
+#define LSBENCH_DATA_IO_H_
+
+#include <string>
+
+#include "data/dataset.h"
+#include "index/kv_index.h"
+#include "util/status.h"
+
+namespace lsbench {
+
+/// Dataset persistence. The binary format matches the SOSD convention so
+/// real-world key sets (books/osm/wiki dumps) can be dropped in when
+/// available: a little-endian uint64 count followed by that many
+/// little-endian uint64 keys, sorted ascending.
+
+/// Writes `dataset.keys` to `path` in SOSD binary format.
+Status SaveKeysBinary(const Dataset& dataset, const std::string& path);
+
+/// Reads a SOSD binary key file. Keys must be sorted ascending and unique;
+/// violations are rejected. `name` labels the resulting dataset.
+Result<Dataset> LoadKeysBinary(const std::string& path,
+                               const std::string& name);
+
+/// Writes keys as a one-column CSV with a "key" header.
+Status SaveKeysCsv(const Dataset& dataset, const std::string& path);
+
+/// Reads a one-column CSV of keys (header optional); sorts and
+/// de-duplicates.
+Result<Dataset> LoadKeysCsv(const std::string& path, const std::string& name);
+
+}  // namespace lsbench
+
+#endif  // LSBENCH_DATA_IO_H_

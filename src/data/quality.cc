@@ -1,0 +1,153 @@
+#include "data/quality.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/descriptive.h"
+#include "stats/similarity.h"
+#include "util/string_util.h"
+
+namespace lsbench {
+
+namespace {
+
+constexpr int kHistogramBins = 64;
+constexpr size_t kKsSampleCap = 4096;
+
+/// 1 - normalized entropy of an equi-width histogram over [0, 1): 0 for a
+/// perfectly uniform dataset, approaching 1 as mass concentrates.
+double SkewFraction(const std::vector<double>& normalized_keys) {
+  if (normalized_keys.empty()) return 0.0;
+  std::vector<double> bins(kHistogramBins, 0.0);
+  for (double v : normalized_keys) {
+    int b = static_cast<int>(v * kHistogramBins);
+    b = std::clamp(b, 0, kHistogramBins - 1);
+    bins[b] += 1.0;
+  }
+  const double n = static_cast<double>(normalized_keys.size());
+  double entropy = 0.0;
+  for (double c : bins) {
+    if (c <= 0.0) continue;
+    const double p = c / n;
+    entropy -= p * std::log2(p);
+  }
+  const double max_entropy = std::log2(static_cast<double>(kHistogramBins));
+  return std::clamp(1.0 - entropy / max_entropy, 0.0, 1.0);
+}
+
+/// Coefficient of variation of inter-key gaps, mapped to [0, 1]. Uniform
+/// random keys have exponential gaps (CV ~= 1); clustered data has much
+/// larger CV. Map CV=1 -> 0 and CV>=5 -> 1.
+double SpacingFraction(const std::vector<uint64_t>& keys) {
+  if (keys.size() < 3) return 0.0;
+  StreamingStats gaps;
+  for (size_t i = 1; i < keys.size(); ++i) {
+    gaps.Add(static_cast<double>(keys[i] - keys[i - 1]));
+  }
+  const double cv = gaps.CoefficientOfVariation();
+  return std::clamp((cv - 1.0) / 4.0, 0.0, 1.0);
+}
+
+std::string Verdict(double overall) {
+  if (overall >= 70.0) return "excellent benchmark dataset";
+  if (overall >= 40.0) return "acceptable benchmark dataset";
+  if (overall >= 15.0) return "weak benchmark dataset";
+  return "poor benchmark dataset (too predictable/uniform)";
+}
+
+}  // namespace
+
+DataQualityReport ScoreDataset(const Dataset& dataset) {
+  DataQualityReport r;
+  const std::vector<double> normalized = dataset.NormalizedKeys();
+  r.skew_score = 100.0 * SkewFraction(normalized);
+  r.spacing_score = 100.0 * SpacingFraction(dataset.keys);
+  r.drift_score = 0.0;
+  // Without drift, weight skew heavily: a single static snapshot is only as
+  // interesting as its shape.
+  r.overall = 0.6 * r.skew_score + 0.4 * r.spacing_score;
+  r.summary = Verdict(r.overall) + " [" + dataset.name + "]";
+  return r;
+}
+
+DataQualityReport ScoreDatasetSequence(
+    const std::vector<Dataset>& snapshots) {
+  if (snapshots.empty()) return DataQualityReport{};
+  if (snapshots.size() == 1) return ScoreDataset(snapshots[0]);
+
+  double skew_sum = 0.0;
+  double spacing_sum = 0.0;
+  for (const Dataset& ds : snapshots) {
+    skew_sum += SkewFraction(ds.NormalizedKeys());
+    spacing_sum += SpacingFraction(ds.keys);
+  }
+  double drift_sum = 0.0;
+  for (size_t i = 1; i < snapshots.size(); ++i) {
+    const auto a = Subsample(snapshots[i - 1].NormalizedKeys(), kKsSampleCap);
+    const auto b = Subsample(snapshots[i].NormalizedKeys(), kKsSampleCap);
+    drift_sum += KolmogorovSmirnov(a, b).statistic;
+  }
+  // Gradual drift has tiny per-step KS even when the total excursion is
+  // large, so score the larger of step drift and end-to-end drift.
+  const double end_to_end =
+      KolmogorovSmirnov(
+          Subsample(snapshots.front().NormalizedKeys(), kKsSampleCap),
+          Subsample(snapshots.back().NormalizedKeys(), kKsSampleCap))
+          .statistic;
+
+  DataQualityReport r;
+  const double n = static_cast<double>(snapshots.size());
+  r.skew_score = 100.0 * skew_sum / n;
+  r.spacing_score = 100.0 * spacing_sum / n;
+  r.drift_score =
+      100.0 * std::max(end_to_end,
+                       drift_sum / static_cast<double>(snapshots.size() - 1));
+  r.overall = 0.35 * r.skew_score + 0.25 * r.spacing_score +
+              0.4 * std::min(100.0, 2.0 * r.drift_score);
+  r.summary = Verdict(r.overall) + " [" + snapshots.front().name + " -> " +
+              snapshots.back().name + ", " +
+              std::to_string(snapshots.size()) + " snapshots]";
+  return r;
+}
+
+WorkloadQualityReport ScoreWorkloadTrace(
+    const std::vector<double>& per_interval_arrivals,
+    const std::vector<double>& per_key_access_counts) {
+  WorkloadQualityReport r;
+
+  // Load variation: CV of arrivals per interval; CV >= 1 scores 100.
+  StreamingStats load;
+  for (double a : per_interval_arrivals) load.Add(a);
+  const double cv = load.CoefficientOfVariation();
+  r.load_variation_score = 100.0 * std::clamp(cv, 0.0, 1.0);
+
+  // Access skew: fraction of total accesses hitting the hottest 10% keys.
+  // Uniform access over k keys puts 0.1 there -> score 0; a fully skewed
+  // workload puts ~1.0 there -> score 100.
+  if (!per_key_access_counts.empty()) {
+    std::vector<double> counts = per_key_access_counts;
+    std::sort(counts.begin(), counts.end(), std::greater<double>());
+    const size_t hot = std::max<size_t>(1, counts.size() / 10);
+    double hot_mass = 0.0, total = 0.0;
+    for (size_t i = 0; i < counts.size(); ++i) {
+      total += counts[i];
+      if (i < hot) hot_mass += counts[i];
+    }
+    if (total > 0.0) {
+      const double frac = hot_mass / total;
+      r.access_skew_score = 100.0 * std::clamp((frac - 0.1) / 0.9, 0.0, 1.0);
+    }
+  }
+
+  r.overall = 0.5 * r.load_variation_score + 0.5 * r.access_skew_score;
+  if (r.overall >= 60.0) {
+    r.summary = "dynamic, skewed workload (good benchmark input)";
+  } else if (r.overall >= 25.0) {
+    r.summary = "moderately dynamic workload";
+  } else {
+    r.summary = "static/uniform workload (poor benchmark input)";
+  }
+  return r;
+}
+
+}  // namespace lsbench

@@ -1,0 +1,45 @@
+#ifndef LSBENCH_DATA_QUALITY_H_
+#define LSBENCH_DATA_QUALITY_H_
+
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+
+namespace lsbench {
+
+/// Output of the dataset-quality tool the paper sketches in §V-C: "this tool
+/// could attribute low marks to uniform data distributions and workloads
+/// while favoring datasets exhibiting skew or varying query load." All
+/// component scores and the overall score are in [0, 100].
+struct DataQualityReport {
+  double skew_score = 0.0;     ///< Histogram-entropy deviation from uniform.
+  double spacing_score = 0.0;  ///< Variability of inter-key gaps.
+  double drift_score = 0.0;    ///< KS distance across snapshots (0 if only 1).
+  double overall = 0.0;
+  std::string summary;         ///< One-line human-readable verdict.
+};
+
+/// Scores a single dataset (drift_score is 0 — there is nothing to drift).
+DataQualityReport ScoreDataset(const Dataset& dataset);
+
+/// Scores an evolving dataset given as a sequence of snapshots; the drift
+/// component is the mean KS statistic between consecutive snapshots.
+DataQualityReport ScoreDatasetSequence(const std::vector<Dataset>& snapshots);
+
+/// Quality of a workload trace. Inputs are aggregates that any driver can
+/// produce: per-interval arrival counts and per-key access frequencies.
+struct WorkloadQualityReport {
+  double load_variation_score = 0.0;  ///< CV of per-interval arrivals.
+  double access_skew_score = 0.0;     ///< Mass on the hottest 10% of keys.
+  double overall = 0.0;
+  std::string summary;
+};
+
+WorkloadQualityReport ScoreWorkloadTrace(
+    const std::vector<double>& per_interval_arrivals,
+    const std::vector<double>& per_key_access_counts);
+
+}  // namespace lsbench
+
+#endif  // LSBENCH_DATA_QUALITY_H_

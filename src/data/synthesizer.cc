@@ -1,0 +1,130 @@
+#include "data/synthesizer.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "learned/model.h"
+#include "util/assert.h"
+#include "util/random.h"
+
+namespace lsbench {
+
+Dataset SynthesizeDatasetLike(const Dataset& original,
+                              const SynthesizeOptions& options) {
+  LSBENCH_ASSERT(!original.empty());
+  const size_t target =
+      options.num_keys > 0 ? options.num_keys : original.size();
+  const CdfModel cdf =
+      CdfModel::FitFromSorted(original.keys, options.cdf_knots);
+
+  Dataset synthetic;
+  synthetic.name = "synthetic_like_" + original.name;
+  synthetic.domain_max = original.domain_max;
+  synthetic.seed = options.seed;
+
+  Rng rng(options.seed);
+  std::unordered_set<Key> seen;
+  seen.reserve(target * 2);
+  // Inverse-transform sampling with a small additive jitter so quantile
+  // plateaus (flat CDF stretches) do not alias onto identical keys.
+  size_t attempts = 0;
+  const size_t max_attempts = target * 100 + 1000;
+  while (seen.size() < target && attempts < max_attempts) {
+    ++attempts;
+    const Key base = cdf.EvaluateInverse(rng.NextDouble());
+    const Key jitter = rng.NextBounded(256);
+    seen.insert(base + jitter);
+  }
+  synthetic.keys.assign(seen.begin(), seen.end());
+  std::sort(synthetic.keys.begin(), synthetic.keys.end());
+  return synthetic;
+}
+
+FittedWorkload FitPhaseSpecFromTrace(const OperationTrace& trace,
+                                     Key domain_max) {
+  FittedWorkload fitted;
+  fitted.phase.name = "fitted_from_trace";
+  if (trace.empty()) return fitted;
+
+  // 1. Operation mix: relative frequencies.
+  const std::vector<uint64_t> hist = trace.TypeHistogram();
+  const double total = static_cast<double>(trace.size());
+  fitted.phase.mix.get = hist[static_cast<int>(OpType::kGet)] / total;
+  fitted.phase.mix.scan = hist[static_cast<int>(OpType::kScan)] / total;
+  fitted.phase.mix.insert = hist[static_cast<int>(OpType::kInsert)] / total;
+  fitted.phase.mix.update = hist[static_cast<int>(OpType::kUpdate)] / total;
+  fitted.phase.mix.del = hist[static_cast<int>(OpType::kDelete)] / total;
+  fitted.phase.mix.range_count =
+      hist[static_cast<int>(OpType::kRangeCount)] / total;
+
+  // 2. Access skew: mass of read accesses on the hottest 10% of distinct
+  //    keys, mapped onto the closest generator family.
+  std::unordered_map<Key, uint64_t> access_counts;
+  uint64_t reads = 0;
+  for (const Operation& op : trace.operations()) {
+    if (op.type == OpType::kGet || op.type == OpType::kUpdate ||
+        op.type == OpType::kScan) {
+      ++access_counts[op.key];
+      ++reads;
+    }
+  }
+  fitted.distinct_keys = access_counts.size();
+  if (reads > 0 && !access_counts.empty()) {
+    std::vector<uint64_t> counts;
+    counts.reserve(access_counts.size());
+    for (const auto& [k, c] : access_counts) counts.push_back(c);
+    std::sort(counts.begin(), counts.end(), std::greater<uint64_t>());
+    const size_t hot = std::max<size_t>(1, counts.size() / 10);
+    uint64_t hot_mass = 0;
+    for (size_t i = 0; i < hot; ++i) hot_mass += counts[i];
+    fitted.hot10_mass =
+        static_cast<double>(hot_mass) / static_cast<double>(reads);
+  }
+  // Uniform access puts ~10% of mass on the top decile; zipfian(0.99) puts
+  // most of it there; a hotspot in between. Thresholds chosen accordingly.
+  if (fitted.hot10_mass < 0.2) {
+    fitted.phase.access = AccessPattern::kUniform;
+  } else if (fitted.hot10_mass < 0.6) {
+    fitted.phase.access = AccessPattern::kHotSpot;
+    fitted.phase.access_param = 0.1;
+  } else {
+    fitted.phase.access = AccessPattern::kZipfian;
+    fitted.phase.access_param = 0.99;
+  }
+
+  // 3. Scan length: mean over observed scans.
+  uint64_t scan_total = 0, scan_count = 0;
+  for (const Operation& op : trace.operations()) {
+    if (op.type == OpType::kScan) {
+      scan_total += op.scan_length;
+      ++scan_count;
+    }
+  }
+  if (scan_count > 0) {
+    fitted.phase.scan_length =
+        static_cast<uint32_t>(std::max<uint64_t>(1, scan_total / scan_count));
+  }
+
+  // 4. Range-count selectivity: mean relative predicate width.
+  if (domain_max > 0) {
+    double width_sum = 0.0;
+    uint64_t ranges = 0;
+    for (const Operation& op : trace.operations()) {
+      if (op.type == OpType::kRangeCount && op.range_end >= op.key) {
+        width_sum += static_cast<double>(op.range_end - op.key) /
+                     static_cast<double>(domain_max);
+        ++ranges;
+      }
+    }
+    if (ranges > 0) {
+      fitted.phase.range_selectivity = width_sum / static_cast<double>(ranges);
+    }
+  }
+
+  fitted.phase.num_operations = trace.size();
+  return fitted;
+}
+
+}  // namespace lsbench

@@ -1,0 +1,48 @@
+#ifndef LSBENCH_DATA_SYNTHESIZER_H_
+#define LSBENCH_DATA_SYNTHESIZER_H_
+
+#include <cstdint>
+
+#include "data/dataset.h"
+#include "workload/spec.h"
+#include "workload/trace.h"
+
+namespace lsbench {
+
+/// The §V-C synthesizer: "an interesting avenue for a new benchmark
+/// involves automatically generating synthetic datasets and workloads from
+/// real-world deployments". Given an observed dataset or operation trace,
+/// produce a synthetic equivalent that preserves the distributional
+/// features learned systems exploit — without shipping the original data.
+
+/// Generates `num_keys` fresh keys whose distribution matches `original`:
+/// fits a piecewise-linear CDF to the original keys and samples by inverse
+/// transform. The result shares no keys with the original beyond chance
+/// collisions; KS(original, synthetic) is small by construction.
+struct SynthesizeOptions {
+  size_t num_keys = 0;   ///< 0 = same cardinality as the original.
+  int cdf_knots = 512;   ///< Model capacity (higher = closer match).
+  uint64_t seed = 1;
+};
+
+Dataset SynthesizeDatasetLike(const Dataset& original,
+                              const SynthesizeOptions& options = {});
+
+/// Reverse-engineers a PhaseSpec from an observed operation trace: recovers
+/// the operation mix, the access skew (mapped to uniform / zipfian /
+/// hotspot by the hot-key mass), the typical scan length, and the
+/// range-count selectivity. The returned spec drives OperationGenerator to
+/// produce *fresh* operations statistically like the observed ones.
+struct FittedWorkload {
+  PhaseSpec phase;
+  /// Diagnostics of the fit.
+  double hot10_mass = 0.0;   ///< Access mass on the hottest 10% of keys.
+  uint64_t distinct_keys = 0;
+};
+
+FittedWorkload FitPhaseSpecFromTrace(const OperationTrace& trace,
+                                     Key domain_max);
+
+}  // namespace lsbench
+
+#endif  // LSBENCH_DATA_SYNTHESIZER_H_

@@ -1,0 +1,57 @@
+#include "index/bloom.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace lsbench {
+
+BloomFilter::BloomFilter(size_t expected_keys, int bits_per_key) {
+  expected_keys = std::max<size_t>(expected_keys, 1);
+  bits_per_key = std::max(bits_per_key, 1);
+  num_bits_ = std::max<size_t>(64, expected_keys * bits_per_key);
+  bits_.assign((num_bits_ + 63) / 64, 0);
+  // Optimal probe count k = ln(2) * bits/key, clamped to [1, 30].
+  num_probes_ = std::clamp(
+      static_cast<int>(std::round(0.693 * bits_per_key)), 1, 30);
+}
+
+uint64_t BloomFilter::Hash1(Key key) {
+  uint64_t z = key + 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t BloomFilter::Hash2(Key key) {
+  uint64_t z = key + 0x6a09e667f3bcc909ULL;
+  z = (z ^ (z >> 33)) * 0xff51afd7ed558ccdULL;
+  z = (z ^ (z >> 33)) * 0xc4ceb9fe1a85ec53ULL;
+  return z ^ (z >> 33);
+}
+
+void BloomFilter::Add(Key key) {
+  const uint64_t h1 = Hash1(key);
+  const uint64_t h2 = Hash2(key) | 1;  // Odd so all positions are reachable.
+  for (int i = 0; i < num_probes_; ++i) {
+    const uint64_t bit = (h1 + static_cast<uint64_t>(i) * h2) % num_bits_;
+    bits_[bit / 64] |= uint64_t{1} << (bit % 64);
+  }
+}
+
+bool BloomFilter::MayContain(Key key) const {
+  const uint64_t h1 = Hash1(key);
+  const uint64_t h2 = Hash2(key) | 1;
+  for (int i = 0; i < num_probes_; ++i) {
+    const uint64_t bit = (h1 + static_cast<uint64_t>(i) * h2) % num_bits_;
+    if ((bits_[bit / 64] & (uint64_t{1} << (bit % 64))) == 0) return false;
+  }
+  return true;
+}
+
+double BloomFilter::FillRatio() const {
+  size_t set = 0;
+  for (uint64_t word : bits_) set += __builtin_popcountll(word);
+  return static_cast<double>(set) / static_cast<double>(num_bits_);
+}
+
+}  // namespace lsbench

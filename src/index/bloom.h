@@ -1,0 +1,43 @@
+#ifndef LSBENCH_INDEX_BLOOM_H_
+#define LSBENCH_INDEX_BLOOM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "index/kv_index.h"
+
+namespace lsbench {
+
+/// Standard Bloom filter over 64-bit keys with double hashing (Kirsch &
+/// Mitzenmacher): k probe positions derived from two independent 64-bit
+/// hashes. Used by the LSM tree to skip runs that cannot contain a key.
+class BloomFilter {
+ public:
+  /// Sizes the filter for `expected_keys` at `bits_per_key` (default 10
+  /// bits/key ~= 1% false positives with 7 probes).
+  explicit BloomFilter(size_t expected_keys, int bits_per_key = 10);
+
+  void Add(Key key);
+
+  /// False means definitely absent; true means possibly present.
+  bool MayContain(Key key) const;
+
+  size_t MemoryBytes() const { return bits_.size() * sizeof(uint64_t); }
+  int num_probes() const { return num_probes_; }
+  size_t num_bits() const { return num_bits_; }
+
+  /// Measured fraction of set bits (fill ratio); useful in tests.
+  double FillRatio() const;
+
+ private:
+  static uint64_t Hash1(Key key);
+  static uint64_t Hash2(Key key);
+
+  size_t num_bits_;
+  int num_probes_;
+  std::vector<uint64_t> bits_;
+};
+
+}  // namespace lsbench
+
+#endif  // LSBENCH_INDEX_BLOOM_H_

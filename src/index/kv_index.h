@@ -1,0 +1,60 @@
+#ifndef LSBENCH_INDEX_KV_INDEX_H_
+#define LSBENCH_INDEX_KV_INDEX_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace lsbench {
+
+using Key = uint64_t;
+using Value = uint64_t;
+using KeyValue = std::pair<Key, Value>;
+
+/// Ordered key-value index abstraction shared by the traditional (B+-tree,
+/// sorted array, skip list) and learned (RMI, PGM, adaptive) data-access
+/// substrates. The benchmark's SUTs compose implementations of this
+/// interface; keeping it minimal is deliberate — the paper requires the
+/// benchmark to avoid imposing architectural constraints on the SUT.
+class KvIndex {
+ public:
+  virtual ~KvIndex() = default;
+
+  /// Short implementation name, e.g. "btree", "rmi".
+  virtual std::string name() const = 0;
+
+  /// Point lookup.
+  virtual std::optional<Value> Get(Key key) const = 0;
+
+  /// Inserts or overwrites.
+  virtual bool Insert(Key key, Value value) = 0;
+
+  /// Removes the key; returns whether it existed.
+  virtual bool Erase(Key key) = 0;
+
+  /// Appends to `out` up to `limit` pairs with key >= `from`, ascending.
+  /// Returns the number appended.
+  virtual size_t Scan(Key from, size_t limit,
+                      std::vector<KeyValue>* out) const = 0;
+
+  /// Number of live entries.
+  virtual size_t size() const = 0;
+
+  /// Approximate resident memory in bytes (payload + structure overhead).
+  virtual size_t MemoryBytes() const = 0;
+
+  bool empty() const { return size() == 0; }
+
+  /// Replaces the contents with `sorted_pairs` (strictly ascending keys).
+  /// Implementations override this when a bulk path is cheaper than repeated
+  /// Insert calls.
+  virtual void BulkLoad(const std::vector<KeyValue>& sorted_pairs) {
+    for (const auto& [k, v] : sorted_pairs) Insert(k, v);
+  }
+};
+
+}  // namespace lsbench
+
+#endif  // LSBENCH_INDEX_KV_INDEX_H_

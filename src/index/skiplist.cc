@@ -1,0 +1,128 @@
+#include "index/skiplist.h"
+
+#include "util/assert.h"
+
+namespace lsbench {
+
+SkipList::SkipList(uint64_t seed)
+    : head_(new SkipNode(0, 0, kMaxHeight)), rng_(seed) {}
+
+SkipList::~SkipList() {
+  SkipNode* node = head_;
+  while (node != nullptr) {
+    SkipNode* next = node->next[0];
+    delete node;
+    node = next;
+  }
+}
+
+int SkipList::RandomHeight() {
+  int h = 1;
+  while (h < kMaxHeight && rng_.NextBounded(4) == 0) ++h;
+  return h;
+}
+
+void SkipList::FindPrev(Key key, SkipNode** prev) const {
+  SkipNode* node = head_;
+  for (int level = height_ - 1; level >= 0; --level) {
+    while (node->next[level] != nullptr && node->next[level]->key < key) {
+      node = node->next[level];
+    }
+    prev[level] = node;
+  }
+  for (int level = height_; level < kMaxHeight; ++level) prev[level] = head_;
+}
+
+std::optional<Value> SkipList::Get(Key key) const {
+  SkipNode* prev[kMaxHeight];
+  FindPrev(key, prev);
+  const SkipNode* candidate = prev[0]->next[0];
+  if (candidate != nullptr && candidate->key == key) return candidate->value;
+  return std::nullopt;
+}
+
+bool SkipList::Insert(Key key, Value value) {
+  SkipNode* prev[kMaxHeight];
+  FindPrev(key, prev);
+  SkipNode* candidate = prev[0]->next[0];
+  if (candidate != nullptr && candidate->key == key) {
+    candidate->value = value;
+    return false;
+  }
+  const int h = RandomHeight();
+  auto* node = new SkipNode(key, value, h);
+  node_bytes_ += sizeof(SkipNode) + h * sizeof(SkipNode*);
+  if (h > height_) height_ = h;
+  for (int level = 0; level < h; ++level) {
+    node->next[level] = prev[level]->next[level];
+    prev[level]->next[level] = node;
+  }
+  ++size_;
+  return true;
+}
+
+bool SkipList::Erase(Key key) {
+  SkipNode* prev[kMaxHeight];
+  FindPrev(key, prev);
+  SkipNode* target = prev[0]->next[0];
+  if (target == nullptr || target->key != key) return false;
+  for (size_t level = 0; level < target->next.size(); ++level) {
+    if (prev[level]->next[level] == target) {
+      prev[level]->next[level] = target->next[level];
+    }
+  }
+  node_bytes_ -= sizeof(SkipNode) + target->next.size() * sizeof(SkipNode*);
+  delete target;
+  --size_;
+  while (height_ > 1 && head_->next[height_ - 1] == nullptr) --height_;
+  return true;
+}
+
+size_t SkipList::Scan(Key from, size_t limit,
+                      std::vector<KeyValue>* out) const {
+  SkipNode* prev[kMaxHeight];
+  FindPrev(from, prev);
+  const SkipNode* node = prev[0]->next[0];
+  size_t appended = 0;
+  while (node != nullptr && appended < limit) {
+    out->emplace_back(node->key, node->value);
+    node = node->next[0];
+    ++appended;
+  }
+  return appended;
+}
+
+size_t SkipList::MemoryBytes() const {
+  return sizeof(SkipNode) + kMaxHeight * sizeof(SkipNode*) + node_bytes_;
+}
+
+void SkipList::CheckInvariants() const {
+  // Level 0 must be strictly ascending and contain exactly size_ nodes.
+  size_t count = 0;
+  const SkipNode* node = head_->next[0];
+  Key last = 0;
+  bool first = true;
+  while (node != nullptr) {
+    if (!first) LSBENCH_ASSERT(last < node->key);
+    last = node->key;
+    first = false;
+    ++count;
+    node = node->next[0];
+  }
+  LSBENCH_ASSERT(count == size_);
+  // Every higher level must be a sorted sub-sequence of level 0.
+  for (int level = 1; level < height_; ++level) {
+    const SkipNode* n = head_->next[level];
+    bool lvl_first = true;
+    Key lvl_last = 0;
+    while (n != nullptr) {
+      if (!lvl_first) LSBENCH_ASSERT(lvl_last < n->key);
+      LSBENCH_ASSERT(static_cast<int>(n->next.size()) > level);
+      lvl_last = n->key;
+      lvl_first = false;
+      n = n->next[level];
+    }
+  }
+}
+
+}  // namespace lsbench

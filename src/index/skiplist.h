@@ -1,0 +1,61 @@
+#ifndef LSBENCH_INDEX_SKIPLIST_H_
+#define LSBENCH_INDEX_SKIPLIST_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "index/kv_index.h"
+#include "util/random.h"
+
+namespace lsbench {
+
+/// Probabilistic skip list (p = 1/4, max height 16). The write-optimized
+/// traditional baseline (the memtable structure of LSM engines): O(log n)
+/// expected point ops without any rebalancing machinery.
+class SkipList final : public KvIndex {
+ public:
+  explicit SkipList(uint64_t seed = 0xBEEF);
+  ~SkipList() override;
+
+  SkipList(const SkipList&) = delete;
+  SkipList& operator=(const SkipList&) = delete;
+
+  std::string name() const override { return "skiplist"; }
+  std::optional<Value> Get(Key key) const override;
+  bool Insert(Key key, Value value) override;
+  bool Erase(Key key) override;
+  size_t Scan(Key from, size_t limit,
+              std::vector<KeyValue>* out) const override;
+  size_t size() const override { return size_; }
+  size_t MemoryBytes() const override;
+
+  /// Verifies per-level ordering and that level 0 contains exactly size_
+  /// entries. Aborts on violation; for tests.
+  void CheckInvariants() const;
+
+ private:
+  static constexpr int kMaxHeight = 16;
+
+  struct SkipNode {
+    Key key;
+    Value value;
+    std::vector<SkipNode*> next;  // next[i] = successor at level i.
+    SkipNode(Key k, Value v, int height)
+        : key(k), value(v), next(height, nullptr) {}
+  };
+
+  int RandomHeight();
+  /// Node with the greatest key < `key` at each level; fills `prev[0..h)`.
+  void FindPrev(Key key, SkipNode** prev) const;
+
+  SkipNode* head_;  // Sentinel, full height.
+  int height_ = 1;
+  size_t size_ = 0;
+  size_t node_bytes_ = 0;
+  Rng rng_;
+};
+
+}  // namespace lsbench
+
+#endif  // LSBENCH_INDEX_SKIPLIST_H_

@@ -1,0 +1,92 @@
+#include "index/sorted_array.h"
+
+#include <algorithm>
+
+#include "util/assert.h"
+
+namespace lsbench {
+
+size_t SortedArrayIndex::LowerBound(Key key) const {
+  if (mode_ == SearchMode::kInterpolation) {
+    return InterpolationLowerBound(key);
+  }
+  return std::lower_bound(keys_.begin(), keys_.end(), key) - keys_.begin();
+}
+
+size_t SortedArrayIndex::InterpolationLowerBound(Key key) const {
+  size_t lo = 0;
+  size_t hi = keys_.size();
+  // Interpolate while the window is large; fall back to binary refinement.
+  while (hi - lo > 64) {
+    const Key klo = keys_[lo];
+    const Key khi = keys_[hi - 1];
+    if (key <= klo) return lo;
+    if (key > khi) return hi;
+    const double frac = static_cast<double>(key - klo) /
+                        static_cast<double>(khi - klo);
+    size_t probe = lo + static_cast<size_t>(
+                            frac * static_cast<double>(hi - 1 - lo));
+    probe = std::clamp(probe, lo, hi - 1);
+    if (keys_[probe] < key) {
+      lo = probe + 1;  // Answer is right of the probe.
+    } else {
+      hi = probe;  // keys_[probe] >= key: answer is at or left of it.
+    }
+  }
+  return std::lower_bound(keys_.begin() + lo, keys_.begin() + hi, key) -
+         keys_.begin();
+}
+
+std::optional<Value> SortedArrayIndex::Get(Key key) const {
+  const size_t pos = LowerBound(key);
+  if (pos >= keys_.size() || keys_[pos] != key) return std::nullopt;
+  return values_[pos];
+}
+
+bool SortedArrayIndex::Insert(Key key, Value value) {
+  const size_t pos = LowerBound(key);
+  if (pos < keys_.size() && keys_[pos] == key) {
+    values_[pos] = value;
+    return false;
+  }
+  keys_.insert(keys_.begin() + pos, key);
+  values_.insert(values_.begin() + pos, value);
+  return true;
+}
+
+bool SortedArrayIndex::Erase(Key key) {
+  const size_t pos = LowerBound(key);
+  if (pos >= keys_.size() || keys_[pos] != key) return false;
+  keys_.erase(keys_.begin() + pos);
+  values_.erase(values_.begin() + pos);
+  return true;
+}
+
+size_t SortedArrayIndex::Scan(Key from, size_t limit,
+                              std::vector<KeyValue>* out) const {
+  size_t pos = LowerBound(from);
+  size_t appended = 0;
+  for (; pos < keys_.size() && appended < limit; ++pos, ++appended) {
+    out->emplace_back(keys_[pos], values_[pos]);
+  }
+  return appended;
+}
+
+size_t SortedArrayIndex::MemoryBytes() const {
+  return keys_.capacity() * sizeof(Key) + values_.capacity() * sizeof(Value);
+}
+
+void SortedArrayIndex::BulkLoad(const std::vector<KeyValue>& sorted_pairs) {
+  keys_.clear();
+  values_.clear();
+  keys_.reserve(sorted_pairs.size());
+  values_.reserve(sorted_pairs.size());
+  for (const auto& [k, v] : sorted_pairs) {
+    LSBENCH_ASSERT_MSG(keys_.empty() || keys_.back() < k,
+                       "BulkLoad requires strictly ascending keys");
+    keys_.push_back(k);
+    values_.push_back(v);
+  }
+}
+
+}  // namespace lsbench

@@ -1,0 +1,51 @@
+#ifndef LSBENCH_INDEX_SORTED_ARRAY_H_
+#define LSBENCH_INDEX_SORTED_ARRAY_H_
+
+#include <string>
+#include <vector>
+
+#include "index/kv_index.h"
+
+namespace lsbench {
+
+/// Dense sorted array with binary or interpolation search. The simplest
+/// read-optimized baseline: O(log n) lookups, O(n) inserts. Interpolation
+/// search is the non-learned ancestor of learned indexes — fast on
+/// near-uniform data, degrading on skew — which makes it a useful contrast
+/// point in specialization experiments.
+class SortedArrayIndex final : public KvIndex {
+ public:
+  enum class SearchMode { kBinary, kInterpolation };
+
+  explicit SortedArrayIndex(SearchMode mode = SearchMode::kBinary)
+      : mode_(mode) {}
+
+  std::string name() const override {
+    return mode_ == SearchMode::kBinary ? "sorted_array"
+                                        : "sorted_array_interp";
+  }
+  std::optional<Value> Get(Key key) const override;
+  bool Insert(Key key, Value value) override;
+  bool Erase(Key key) override;
+  size_t Scan(Key from, size_t limit,
+              std::vector<KeyValue>* out) const override;
+  size_t size() const override { return keys_.size(); }
+  size_t MemoryBytes() const override;
+  void BulkLoad(const std::vector<KeyValue>& sorted_pairs) override;
+
+  const std::vector<Key>& keys() const { return keys_; }
+  const std::vector<Value>& values() const { return values_; }
+
+ private:
+  /// Index of the first key >= `key`.
+  size_t LowerBound(Key key) const;
+  size_t InterpolationLowerBound(Key key) const;
+
+  SearchMode mode_;
+  std::vector<Key> keys_;
+  std::vector<Value> values_;
+};
+
+}  // namespace lsbench
+
+#endif  // LSBENCH_INDEX_SORTED_ARRAY_H_

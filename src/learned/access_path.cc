@@ -1,0 +1,69 @@
+#include "learned/access_path.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace lsbench {
+
+std::string AccessPathToString(AccessPath path) {
+  return path == AccessPath::kIndexProbe ? "index_probe" : "full_scan";
+}
+
+AccessPath CostModel::Choose(double estimated_rows, double table_rows) const {
+  const double probe =
+      PredictCost(AccessPath::kIndexProbe, estimated_rows, table_rows);
+  const double scan =
+      PredictCost(AccessPath::kFullScan, estimated_rows, table_rows);
+  return probe <= scan ? AccessPath::kIndexProbe : AccessPath::kFullScan;
+}
+
+double StaticCostModel::PredictCost(AccessPath path, double estimated_rows,
+                                    double table_rows) const {
+  estimated_rows = std::max(0.0, estimated_rows);
+  table_rows = std::max(1.0, table_rows);
+  if (path == AccessPath::kIndexProbe) {
+    return constants_.probe_startup + std::log2(table_rows + 1.0) +
+           estimated_rows * constants_.probe_per_row;
+  }
+  return table_rows * constants_.scan_per_row;
+}
+
+OnlineCostModel::OnlineCostModel(Options options)
+    : learning_rate_(options.learning_rate),
+      probe_startup_(options.initial.probe_startup),
+      probe_per_row_(options.initial.probe_per_row),
+      scan_per_row_(options.initial.scan_per_row) {}
+
+double OnlineCostModel::PredictCost(AccessPath path, double estimated_rows,
+                                    double table_rows) const {
+  estimated_rows = std::max(0.0, estimated_rows);
+  table_rows = std::max(1.0, table_rows);
+  if (path == AccessPath::kIndexProbe) {
+    return probe_startup_ + std::log2(table_rows + 1.0) +
+           estimated_rows * probe_per_row_;
+  }
+  return table_rows * scan_per_row_;
+}
+
+void OnlineCostModel::Feedback(AccessPath path, double actual_rows,
+                               double table_rows, double observed_cost) {
+  ++feedback_count_;
+  table_rows = std::max(1.0, table_rows);
+  if (path == AccessPath::kIndexProbe) {
+    const double fixed = probe_startup_ + std::log2(table_rows + 1.0);
+    if (actual_rows >= 1.0) {
+      const double implied =
+          std::max(0.0, (observed_cost - fixed) / actual_rows);
+      probe_per_row_ += learning_rate_ * (implied - probe_per_row_);
+    } else {
+      // Zero-row probes reveal the startup cost.
+      probe_startup_ +=
+          learning_rate_ * (std::max(0.0, observed_cost) - probe_startup_);
+    }
+  } else {
+    const double implied = std::max(0.0, observed_cost / table_rows);
+    scan_per_row_ += learning_rate_ * (implied - scan_per_row_);
+  }
+}
+
+}  // namespace lsbench

@@ -1,0 +1,99 @@
+#ifndef LSBENCH_LEARNED_ACCESS_PATH_H_
+#define LSBENCH_LEARNED_ACCESS_PATH_H_
+
+#include <cstdint>
+#include <string>
+
+namespace lsbench {
+
+/// The two physical plans our mini-optimizer chooses between for a range
+/// query: probe the ordered index and walk, or scan everything and filter.
+enum class AccessPath { kIndexProbe, kFullScan };
+
+std::string AccessPathToString(AccessPath path);
+
+/// Cost model interface. Costs are in abstract work units (comparable within
+/// one model only); the optimizer picks the cheaper path.
+class CostModel {
+ public:
+  virtual ~CostModel() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Predicted cost of `path` for a range query expected to return
+  /// `estimated_rows` of `table_rows` total.
+  virtual double PredictCost(AccessPath path, double estimated_rows,
+                             double table_rows) const = 0;
+
+  /// Observed execution feedback (actual rows and measured cost). Static
+  /// models ignore it.
+  virtual void Feedback(AccessPath path, double actual_rows,
+                        double table_rows, double observed_cost) {
+    (void)path;
+    (void)actual_rows;
+    (void)table_rows;
+    (void)observed_cost;
+  }
+
+  /// Convenience: the cheaper path under this model.
+  AccessPath Choose(double estimated_rows, double table_rows) const;
+};
+
+/// Textbook static cost model with hand-tuned constants: index probe costs
+/// log2(n) + rows * per-row constant; scan costs n * scan constant. This is
+/// the "manually optimized, never adapts" baseline.
+class StaticCostModel final : public CostModel {
+ public:
+  struct Constants {
+    double probe_startup = 1.0;
+    double probe_per_row = 4.0;  // Random-ish access.
+    double scan_per_row = 1.0;   // Sequential access.
+  };
+
+  StaticCostModel() = default;
+  explicit StaticCostModel(Constants constants) : constants_(constants) {}
+
+  std::string name() const override { return "static_cost_model"; }
+  double PredictCost(AccessPath path, double estimated_rows,
+                     double table_rows) const override;
+
+ private:
+  Constants constants_ = Constants();
+};
+
+/// Online-learned cost model: starts from the static constants but refines
+/// per-path cost coefficients from observed executions via exponentially
+/// weighted updates — the learned-optimizer stand-in whose transition
+/// behavior (briefly wrong after a shift, then recovering) the adaptability
+/// metrics are designed to expose.
+class OnlineCostModel final : public CostModel {
+ public:
+  struct Options {
+    double learning_rate = 0.1;
+    StaticCostModel::Constants initial;
+  };
+
+  OnlineCostModel() : OnlineCostModel(Options()) {}
+  explicit OnlineCostModel(Options options);
+
+  std::string name() const override { return "online_cost_model"; }
+  double PredictCost(AccessPath path, double estimated_rows,
+                     double table_rows) const override;
+  void Feedback(AccessPath path, double actual_rows, double table_rows,
+                double observed_cost) override;
+
+  uint64_t feedback_count() const { return feedback_count_; }
+  double probe_per_row() const { return probe_per_row_; }
+  double scan_per_row() const { return scan_per_row_; }
+
+ private:
+  double learning_rate_;
+  double probe_startup_;
+  double probe_per_row_;
+  double scan_per_row_;
+  uint64_t feedback_count_ = 0;
+};
+
+}  // namespace lsbench
+
+#endif  // LSBENCH_LEARNED_ACCESS_PATH_H_

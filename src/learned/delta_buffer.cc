@@ -1,0 +1,76 @@
+#include "learned/delta_buffer.h"
+
+#include <algorithm>
+
+namespace lsbench {
+
+DeltaBuffer::Presence DeltaBuffer::Lookup(Key key, Value* value) const {
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) return Presence::kAbsent;
+  if (it->second.tombstone) return Presence::kTombstone;
+  if (value != nullptr) *value = it->second.value;
+  return Presence::kLive;
+}
+
+void DeltaBuffer::Put(Key key, Value value) {
+  entries_[key] = Entry{false, value};
+}
+
+void DeltaBuffer::Delete(Key key) { entries_[key] = Entry{true, 0}; }
+
+std::vector<KeyValue> DeltaBuffer::MergeWith(
+    const std::vector<KeyValue>& static_pairs) const {
+  std::vector<KeyValue> merged;
+  merged.reserve(static_pairs.size() + entries_.size());
+  auto sit = static_pairs.begin();
+  auto dit = entries_.begin();
+  while (sit != static_pairs.end() || dit != entries_.end()) {
+    if (dit == entries_.end() ||
+        (sit != static_pairs.end() && sit->first < dit->first)) {
+      merged.push_back(*sit);
+      ++sit;
+      continue;
+    }
+    if (sit != static_pairs.end() && sit->first == dit->first) {
+      ++sit;  // Delta shadows the static entry.
+    }
+    if (!dit->second.tombstone) {
+      merged.emplace_back(dit->first, dit->second.value);
+    }
+    ++dit;
+  }
+  return merged;
+}
+
+size_t DeltaBuffer::MergeScan(const std::vector<Key>& static_keys,
+                              const std::vector<Value>& static_values,
+                              Key from, size_t limit,
+                              std::vector<KeyValue>* out) const {
+  size_t si = std::lower_bound(static_keys.begin(), static_keys.end(), from) -
+              static_keys.begin();
+  auto dit = entries_.lower_bound(from);
+  size_t appended = 0;
+  while (appended < limit &&
+         (si < static_keys.size() || dit != entries_.end())) {
+    const bool take_delta =
+        dit != entries_.end() &&
+        (si >= static_keys.size() || dit->first <= static_keys[si]);
+    if (take_delta) {
+      if (si < static_keys.size() && static_keys[si] == dit->first) {
+        ++si;  // Shadowed.
+      }
+      if (!dit->second.tombstone) {
+        out->emplace_back(dit->first, dit->second.value);
+        ++appended;
+      }
+      ++dit;
+    } else {
+      out->emplace_back(static_keys[si], static_values[si]);
+      ++si;
+      ++appended;
+    }
+  }
+  return appended;
+}
+
+}  // namespace lsbench

@@ -1,0 +1,46 @@
+#include "learned/drift_detector.h"
+
+#include "stats/similarity.h"
+
+namespace lsbench {
+
+DriftDetector::DriftDetector(Options options, uint64_t seed)
+    : options_(options), reference_(options.reference_capacity, seed) {
+  window_.reserve(options_.window_capacity);
+}
+
+void DriftDetector::Observe(double value) {
+  if (!frozen_) {
+    reference_.Add(value);
+    return;
+  }
+  if (window_.size() < options_.window_capacity) {
+    window_.push_back(value);
+  } else {
+    window_[window_next_] = value;
+  }
+  window_next_ = (window_next_ + 1) % options_.window_capacity;
+}
+
+double DriftDetector::CurrentDistance() const {
+  if (!frozen_ || window_.size() < options_.min_window ||
+      reference_.sample().empty()) {
+    return 0.0;
+  }
+  return KolmogorovSmirnov(reference_.sample(), window_).statistic;
+}
+
+bool DriftDetector::DriftDetected() const {
+  return CurrentDistance() > options_.ks_threshold;
+}
+
+void DriftDetector::Rebase() {
+  reference_.Clear();
+  for (double v : window_) reference_.Add(v);
+  window_.clear();
+  window_next_ = 0;
+}
+
+void DriftDetector::Freeze() { frozen_ = true; }
+
+}  // namespace lsbench

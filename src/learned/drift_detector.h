@@ -1,0 +1,61 @@
+#ifndef LSBENCH_LEARNED_DRIFT_DETECTOR_H_
+#define LSBENCH_LEARNED_DRIFT_DETECTOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "stats/reservoir.h"
+
+namespace lsbench {
+
+/// Detects distribution change in a stream of observations (keys accessed,
+/// keys inserted, ...) by comparing a frozen reference sample against a
+/// sliding recent window with a two-sample KS test. Adaptive SUTs use this
+/// to decide *when* to retrain — the mechanism behind their recovery curves
+/// in the adaptability experiments.
+class DriftDetector {
+ public:
+  struct Options {
+    size_t reference_capacity = 2048;
+    size_t window_capacity = 1024;
+    /// Drift is reported when the KS statistic exceeds this.
+    double ks_threshold = 0.2;
+    /// Minimum observations in the window before a verdict is possible.
+    size_t min_window = 256;
+  };
+
+  DriftDetector() : DriftDetector(Options()) {}
+  explicit DriftDetector(Options options, uint64_t seed = 7);
+
+  /// Feeds one observation.
+  void Observe(double value);
+
+  /// Current KS statistic between the reference and the recent window
+  /// (0 when the window is still warming up).
+  double CurrentDistance() const;
+
+  /// True when the recent window has drifted beyond the threshold.
+  bool DriftDetected() const;
+
+  /// Promotes the recent window to become the new reference (call after
+  /// retraining on the new distribution) and clears the window.
+  void Rebase();
+
+  /// Freezes the current observations as the reference (call once after the
+  /// initial training phase).
+  void Freeze();
+
+  size_t reference_size() const { return reference_.sample().size(); }
+  size_t window_size() const { return window_.size(); }
+
+ private:
+  Options options_;
+  ReservoirSampler<double> reference_;
+  std::vector<double> window_;  // Ring buffer of the most recent values.
+  size_t window_next_ = 0;
+  bool frozen_ = false;
+};
+
+}  // namespace lsbench
+
+#endif  // LSBENCH_LEARNED_DRIFT_DETECTOR_H_

@@ -1,0 +1,75 @@
+#include "learned/join.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "learned/segment_model.h"
+#include "util/assert.h"
+
+namespace lsbench {
+
+JoinStats MergeJoin(const std::vector<Key>& a, const std::vector<Key>& b,
+                    std::vector<Key>* out) {
+  JoinStats stats;
+  size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    ++stats.comparisons;
+    if (a[i] == b[j]) {
+      ++stats.matches;
+      if (out != nullptr) out->push_back(a[i]);
+      ++i;
+      ++j;
+    } else if (a[i] < b[j]) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return stats;
+}
+
+JoinStats HashJoin(const std::vector<Key>& a, const std::vector<Key>& b,
+                   std::vector<Key>* out) {
+  JoinStats stats;
+  const std::vector<Key>& build = a.size() <= b.size() ? a : b;
+  const std::vector<Key>& probe = a.size() <= b.size() ? b : a;
+  std::unordered_set<Key> table(build.begin(), build.end());
+  stats.comparisons = build.size();  // Build-side hashing work.
+  for (Key k : probe) {
+    ++stats.comparisons;
+    if (table.count(k) > 0) {
+      ++stats.matches;
+      if (out != nullptr) out->push_back(k);
+    }
+  }
+  return stats;
+}
+
+JoinStats LearnedJoin(const std::vector<Key>& a, const std::vector<Key>& b,
+                      std::vector<Key>* out, LearnedJoinOptions options) {
+  JoinStats stats;
+  const std::vector<Key>& small = a.size() <= b.size() ? a : b;
+  const std::vector<Key>& large = a.size() <= b.size() ? b : a;
+  if (small.empty() || large.empty()) return stats;
+
+  SegmentModel model;
+  model.Build(large.data(), large.size(), options.epsilon);
+  stats.comparisons += large.size();  // One pass to fit the model.
+
+  for (Key key : small) {
+    const auto [lo, hi] = model.WindowFor(key);
+    const auto begin = large.begin() + lo;
+    const auto end = large.begin() + hi;
+    const auto it = std::lower_bound(begin, end, key);
+    stats.comparisons += static_cast<uint64_t>(
+        std::ceil(std::log2(static_cast<double>(hi - lo) + 1.0)));
+    if (it != end && *it == key) {
+      ++stats.matches;
+      if (out != nullptr) out->push_back(key);
+    }
+  }
+  return stats;
+}
+
+}  // namespace lsbench

@@ -1,0 +1,46 @@
+#ifndef LSBENCH_LEARNED_JOIN_H_
+#define LSBENCH_LEARNED_JOIN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "index/kv_index.h"
+
+namespace lsbench {
+
+/// Equi-join kernels over sorted unique key columns. §II of the paper:
+/// "A similar CDF approach can be used for joins where the model allows to
+/// skip over data records that will not join." The learned variant models
+/// the larger side's CDF and jumps directly to each probe's predicted
+/// position instead of scanning or binary-searching from scratch.
+
+/// Statistics from one join execution.
+struct JoinStats {
+  uint64_t matches = 0;
+  uint64_t comparisons = 0;  ///< Key comparisons performed (work measure).
+};
+
+/// Classic sort-merge intersection; O(|a| + |b|) comparisons.
+JoinStats MergeJoin(const std::vector<Key>& a, const std::vector<Key>& b,
+                    std::vector<Key>* out = nullptr);
+
+/// Hash join: builds on the smaller side; O(|a| + |b|) with hashing costs.
+JoinStats HashJoin(const std::vector<Key>& a, const std::vector<Key>& b,
+                   std::vector<Key>* out = nullptr);
+
+/// Learned join: fits a CDF model over the larger side (`epsilon`-bounded
+/// like a PGM) and, for each key of the smaller side, jumps to the
+/// predicted position and searches only the model-error window. When the
+/// smaller side is much smaller or only sparsely overlapping, this skips
+/// most of the larger side — the paper's record-skipping behavior.
+struct LearnedJoinOptions {
+  uint32_t epsilon = 32;  ///< Position-error bound of the model.
+};
+
+JoinStats LearnedJoin(const std::vector<Key>& a, const std::vector<Key>& b,
+                      std::vector<Key>* out = nullptr,
+                      LearnedJoinOptions options = {});
+
+}  // namespace lsbench
+
+#endif  // LSBENCH_LEARNED_JOIN_H_

@@ -1,0 +1,89 @@
+#include "learned/learned_sort.h"
+
+#include <algorithm>
+
+#include "learned/model.h"
+#include "util/assert.h"
+#include "util/random.h"
+
+namespace lsbench {
+
+LearnedSortStats LearnedSort(std::vector<Key>* data,
+                             const LearnedSortOptions& options) {
+  LSBENCH_ASSERT(data != nullptr);
+  LearnedSortStats stats;
+  stats.n = data->size();
+  const size_t n = data->size();
+  if (n < 64) {
+    std::sort(data->begin(), data->end());
+    stats.num_buckets = 1;
+    stats.model_fit_fraction = 1.0;
+    return stats;
+  }
+
+  // 1. Sample and fit the CDF model.
+  const size_t sample_size = std::min(options.sample_size, n);
+  Rng rng(options.seed);
+  std::vector<Key> sample;
+  sample.reserve(sample_size);
+  for (size_t i = 0; i < sample_size; ++i) {
+    sample.push_back((*data)[rng.NextBounded(n)]);
+  }
+  std::sort(sample.begin(), sample.end());
+  const CdfModel cdf = CdfModel::FitFromSorted(sample, options.num_knots);
+  stats.model_fit_fraction =
+      static_cast<double>(sample_size) / static_cast<double>(n);
+
+  // 2. Scatter into fixed-capacity buckets; overflow spills aside.
+  const size_t num_buckets =
+      std::max<size_t>(2, (n + options.bucket_size - 1) / options.bucket_size);
+  stats.num_buckets = num_buckets;
+  const size_t capacity = options.bucket_size * 2;  // Headroom before spill.
+  std::vector<std::vector<Key>> buckets(num_buckets);
+  for (auto& b : buckets) b.reserve(options.bucket_size);
+  std::vector<Key> spill;
+  for (Key k : *data) {
+    const double q = cdf.Evaluate(k);
+    size_t b = static_cast<size_t>(q * static_cast<double>(num_buckets));
+    if (b >= num_buckets) b = num_buckets - 1;
+    if (buckets[b].size() < capacity) {
+      buckets[b].push_back(k);
+    } else {
+      spill.push_back(k);
+    }
+  }
+  stats.spill_count = spill.size();
+
+  // 3. Sort each bucket and concatenate (buckets are ordered by CDF, so the
+  //    concatenation is nearly sorted up to model error).
+  data->clear();
+  for (auto& b : buckets) {
+    std::sort(b.begin(), b.end());
+    data->insert(data->end(), b.begin(), b.end());
+  }
+
+  // 4. Touch-up pass: insertion sort handles residual disorder from model
+  //    error in near-linear time on nearly-sorted data.
+  for (size_t i = 1; i < data->size(); ++i) {
+    Key k = (*data)[i];
+    size_t j = i;
+    while (j > 0 && (*data)[j - 1] > k) {
+      (*data)[j] = (*data)[j - 1];
+      --j;
+    }
+    (*data)[j] = k;
+  }
+
+  // 5. Merge the spill back in (sorted merge).
+  if (!spill.empty()) {
+    std::sort(spill.begin(), spill.end());
+    std::vector<Key> merged;
+    merged.reserve(data->size() + spill.size());
+    std::merge(data->begin(), data->end(), spill.begin(), spill.end(),
+               std::back_inserter(merged));
+    *data = std::move(merged);
+  }
+  return stats;
+}
+
+}  // namespace lsbench

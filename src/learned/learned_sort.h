@@ -1,0 +1,41 @@
+#ifndef LSBENCH_LEARNED_LEARNED_SORT_H_
+#define LSBENCH_LEARNED_LEARNED_SORT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "index/kv_index.h"
+
+namespace lsbench {
+
+/// Configuration for the learned sorter.
+struct LearnedSortOptions {
+  /// Sample size used to fit the CDF model.
+  size_t sample_size = 1024;
+  /// Number of CDF knots (model capacity).
+  int num_knots = 256;
+  /// Elements per output bucket (smaller = more buckets, better placement).
+  size_t bucket_size = 128;
+  uint64_t seed = 1234;
+};
+
+/// Statistics from one learned-sort invocation.
+struct LearnedSortStats {
+  size_t n = 0;
+  size_t num_buckets = 0;
+  size_t spill_count = 0;      ///< Elements that overflowed their bucket.
+  double model_fit_fraction = 0.0;  ///< Sample size / n.
+};
+
+/// Sorts `data` in place using the CDF-model distribution sort of Kristo et
+/// al. (SIGMOD'20): sample, fit a CDF model, scatter elements into
+/// model-predicted buckets, sort each small bucket, concatenate, and run a
+/// touch-up pass. Deterministic given options.seed. Returns placement
+/// statistics. Correctness does not depend on model quality — a bad model
+/// only increases spills and touch-up work.
+LearnedSortStats LearnedSort(std::vector<Key>* data,
+                             const LearnedSortOptions& options = {});
+
+}  // namespace lsbench
+
+#endif  // LSBENCH_LEARNED_LEARNED_SORT_H_

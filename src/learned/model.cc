@@ -1,0 +1,147 @@
+#include "learned/model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.h"
+
+namespace lsbench {
+
+size_t LinearModel::PredictClamped(double x, size_t n) const {
+  if (n == 0) return 0;
+  const double y = Predict(x);
+  if (y <= 0.0) return 0;
+  const double max_pos = static_cast<double>(n - 1);
+  if (y >= max_pos) return n - 1;
+  return static_cast<size_t>(y);
+}
+
+LinearModel FitLinear(const Key* keys, size_t n) {
+  LinearModel m;
+  if (n == 0) return m;
+  if (n == 1) {
+    m.slope = 0.0;
+    m.intercept = 0.0;
+    return m;
+  }
+  // Shift by the first key to keep the arithmetic well-conditioned for
+  // large 64-bit keys.
+  const double x0 = static_cast<double>(keys[0]);
+  double sum_x = 0.0, sum_y = 0.0, sum_xx = 0.0, sum_xy = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const double x = static_cast<double>(keys[i]) - x0;
+    const double y = static_cast<double>(i);
+    sum_x += x;
+    sum_y += y;
+    sum_xx += x * x;
+    sum_xy += x * y;
+  }
+  const double dn = static_cast<double>(n);
+  const double denom = dn * sum_xx - sum_x * sum_x;
+  if (denom == 0.0 || !std::isfinite(denom)) {
+    m.slope = 0.0;
+    m.intercept = sum_y / dn;
+    return m;
+  }
+  const double slope = (dn * sum_xy - sum_x * sum_y) / denom;
+  const double intercept_shifted = (sum_y - slope * sum_x) / dn;
+  m.slope = slope;
+  m.intercept = intercept_shifted - slope * x0;
+  return m;
+}
+
+LinearModel FitLinearTargets(const std::vector<double>& xs,
+                             const std::vector<double>& ys) {
+  LSBENCH_ASSERT(xs.size() == ys.size());
+  LinearModel m;
+  const size_t n = xs.size();
+  if (n == 0) return m;
+  double sum_x = 0.0, sum_y = 0.0, sum_xx = 0.0, sum_xy = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    sum_x += xs[i];
+    sum_y += ys[i];
+    sum_xx += xs[i] * xs[i];
+    sum_xy += xs[i] * ys[i];
+  }
+  const double dn = static_cast<double>(n);
+  const double denom = dn * sum_xx - sum_x * sum_x;
+  if (denom == 0.0 || !std::isfinite(denom)) {
+    m.slope = 0.0;
+    m.intercept = sum_y / dn;
+    return m;
+  }
+  m.slope = (dn * sum_xy - sum_x * sum_y) / denom;
+  m.intercept = (sum_y - m.slope * sum_x) / dn;
+  return m;
+}
+
+CdfModel CdfModel::FitFromSorted(const std::vector<Key>& sorted_sample,
+                                 int num_knots) {
+  LSBENCH_ASSERT(num_knots >= 2);
+  CdfModel model;
+  if (sorted_sample.empty()) {
+    model.knot_keys_ = {0, ~Key{0}};
+    model.knot_cdf_ = {0.0, 1.0};
+    return model;
+  }
+  const size_t n = sorted_sample.size();
+  model.knot_keys_.reserve(num_knots);
+  model.knot_cdf_.reserve(num_knots);
+  for (int k = 0; k < num_knots; ++k) {
+    const double q = static_cast<double>(k) / (num_knots - 1);
+    const size_t idx = std::min<size_t>(
+        static_cast<size_t>(q * static_cast<double>(n - 1)), n - 1);
+    const Key key = sorted_sample[idx];
+    // Keep knots strictly ascending in key; duplicates collapse.
+    if (!model.knot_keys_.empty() && key <= model.knot_keys_.back()) {
+      model.knot_cdf_.back() = std::max(model.knot_cdf_.back(), q);
+      continue;
+    }
+    model.knot_keys_.push_back(key);
+    model.knot_cdf_.push_back(q);
+  }
+  if (model.knot_keys_.size() == 1) {
+    // Single distinct key: make a tiny step.
+    model.knot_keys_.push_back(model.knot_keys_[0] + 1);
+    model.knot_cdf_ = {0.0, 1.0};
+  }
+  model.knot_cdf_.front() = 0.0;
+  model.knot_cdf_.back() = 1.0;
+  return model;
+}
+
+double CdfModel::Evaluate(Key key) const {
+  if (knot_keys_.empty()) return 0.0;
+  if (key <= knot_keys_.front()) return knot_cdf_.front();
+  if (key >= knot_keys_.back()) return knot_cdf_.back();
+  const size_t hi =
+      std::upper_bound(knot_keys_.begin(), knot_keys_.end(), key) -
+      knot_keys_.begin();
+  const size_t lo = hi - 1;
+  const double span =
+      static_cast<double>(knot_keys_[hi]) - static_cast<double>(knot_keys_[lo]);
+  const double frac =
+      span > 0.0
+          ? (static_cast<double>(key) - static_cast<double>(knot_keys_[lo])) /
+                span
+          : 0.0;
+  return knot_cdf_[lo] + frac * (knot_cdf_[hi] - knot_cdf_[lo]);
+}
+
+Key CdfModel::EvaluateInverse(double q) const {
+  if (knot_keys_.empty()) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  if (q <= knot_cdf_.front()) return knot_keys_.front();
+  if (q >= knot_cdf_.back()) return knot_keys_.back();
+  const size_t hi =
+      std::upper_bound(knot_cdf_.begin(), knot_cdf_.end(), q) -
+      knot_cdf_.begin();
+  const size_t lo = hi - 1;
+  const double span = knot_cdf_[hi] - knot_cdf_[lo];
+  const double frac = span > 0.0 ? (q - knot_cdf_[lo]) / span : 0.0;
+  const double key_span = static_cast<double>(knot_keys_[hi]) -
+                          static_cast<double>(knot_keys_[lo]);
+  return knot_keys_[lo] + static_cast<Key>(frac * key_span);
+}
+
+}  // namespace lsbench

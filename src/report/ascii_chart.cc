@@ -1,0 +1,258 @@
+#include "report/ascii_chart.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/string_util.h"
+
+namespace lsbench {
+
+namespace {
+
+struct Range {
+  double lo = 0.0;
+  double hi = 1.0;
+
+  double Clamp01(double v) const {
+    if (hi <= lo) return 0.0;
+    return std::clamp((v - lo) / (hi - lo), 0.0, 1.0);
+  }
+};
+
+Range FindRange(const std::vector<double>& values) {
+  Range r;
+  if (values.empty()) return r;
+  r.lo = values[0];
+  r.hi = values[0];
+  for (double v : values) {
+    r.lo = std::min(r.lo, v);
+    r.hi = std::max(r.hi, v);
+  }
+  if (r.hi == r.lo) r.hi = r.lo + 1.0;
+  return r;
+}
+
+}  // namespace
+
+std::string RenderBoxPlotChart(const std::vector<LabeledBox>& boxes,
+                               int width) {
+  if (boxes.empty()) return "(no data)\n";
+  size_t label_width = 0;
+  std::vector<double> extremes;
+  for (const LabeledBox& lb : boxes) {
+    label_width = std::max(label_width, lb.label.size());
+    if (lb.box.count == 0) continue;
+    extremes.push_back(lb.box.min);
+    extremes.push_back(lb.box.max);
+  }
+  const Range range = FindRange(extremes);
+  const int plot_width = std::max(20, width - static_cast<int>(label_width) - 3);
+
+  std::ostringstream os;
+  for (const LabeledBox& lb : boxes) {
+    os << PadRight(lb.label, label_width) << " |";
+    if (lb.box.count == 0) {
+      os << " (empty)\n";
+      continue;
+    }
+    std::string row(plot_width, ' ');
+    auto col = [&](double v) {
+      return std::clamp(
+          static_cast<int>(range.Clamp01(v) * (plot_width - 1)), 0,
+          plot_width - 1);
+    };
+    const int wl = col(lb.box.whisker_low);
+    const int q1 = col(lb.box.q1);
+    const int med = col(lb.box.median);
+    const int q3 = col(lb.box.q3);
+    const int wh = col(lb.box.whisker_high);
+    for (int i = wl; i <= wh; ++i) row[i] = '-';
+    for (int i = q1; i <= q3; ++i) row[i] = '=';
+    row[q1] = '[';
+    row[q3] = ']';
+    row[med] = '|';
+    row[wl] = '|';
+    row[wh] = '|';
+    for (double o : lb.box.outliers) row[col(o)] = 'o';
+    os << row << "\n";
+  }
+  os << PadRight("", label_width) << " +" << Repeat('-', plot_width) << "\n";
+  os << PadRight("", label_width) << "  " << HumanCount(range.lo)
+     << Repeat(' ',
+               std::max(1, plot_width - static_cast<int>(
+                                            HumanCount(range.lo).size() +
+                                            HumanCount(range.hi).size())))
+     << HumanCount(range.hi) << "\n";
+  return os.str();
+}
+
+std::string RenderLineChart(const std::vector<Series>& series, int width,
+                            int height, const std::string& x_label,
+                            const std::string& y_label) {
+  static const char kGlyphs[] = {'*', '+', 'x', 'o', '#', '@'};
+  std::vector<double> all_x, all_y;
+  for (const Series& s : series) {
+    all_x.insert(all_x.end(), s.xs.begin(), s.xs.end());
+    all_y.insert(all_y.end(), s.ys.begin(), s.ys.end());
+  }
+  if (all_x.empty()) return "(no data)\n";
+  const Range rx = FindRange(all_x);
+  const Range ry = FindRange(all_y);
+
+  std::vector<std::string> grid(height, std::string(width, ' '));
+  for (size_t si = 0; si < series.size(); ++si) {
+    const char glyph = kGlyphs[si % sizeof(kGlyphs)];
+    const Series& s = series[si];
+    for (size_t i = 0; i < s.xs.size() && i < s.ys.size(); ++i) {
+      const int cx = std::clamp(
+          static_cast<int>(rx.Clamp01(s.xs[i]) * (width - 1)), 0, width - 1);
+      const int cy = std::clamp(
+          static_cast<int>(ry.Clamp01(s.ys[i]) * (height - 1)), 0,
+          height - 1);
+      grid[height - 1 - cy][cx] = glyph;
+    }
+  }
+
+  std::ostringstream os;
+  if (!y_label.empty()) os << y_label << "\n";
+  os << PadLeft(HumanCount(ry.hi), 10) << " +";
+  os << grid[0] << "\n";
+  for (int r = 1; r < height - 1; ++r) {
+    os << Repeat(' ', 10) << " |" << grid[r] << "\n";
+  }
+  os << PadLeft(HumanCount(ry.lo), 10) << " +" << grid[height - 1] << "\n";
+  os << Repeat(' ', 12) << Repeat('-', width) << "\n";
+  os << Repeat(' ', 12) << HumanCount(rx.lo)
+     << Repeat(' ', std::max(1, width - static_cast<int>(
+                                           HumanCount(rx.lo).size() +
+                                           HumanCount(rx.hi).size())))
+     << HumanCount(rx.hi) << "\n";
+  if (!x_label.empty()) {
+    os << Repeat(' ', 12) << PadLeft(x_label, width / 2) << "\n";
+  }
+  // Legend.
+  for (size_t si = 0; si < series.size(); ++si) {
+    os << "  " << kGlyphs[si % sizeof(kGlyphs)] << " = " << series[si].name
+       << "\n";
+  }
+  return os.str();
+}
+
+std::string RenderBandChart(const std::vector<BandColumn>& columns,
+                            int height, const std::string& x_label) {
+  if (columns.empty()) return "(no data)\n";
+  double max_total = 0.0;
+  for (const BandColumn& c : columns) {
+    max_total = std::max(max_total, c.within + c.violated);
+  }
+  if (max_total <= 0.0) max_total = 1.0;
+
+  std::ostringstream os;
+  for (int r = height; r >= 1; --r) {
+    const double row_threshold =
+        max_total * static_cast<double>(r) / static_cast<double>(height);
+    if (r == height) {
+      os << PadLeft(HumanCount(max_total), 9) << " |";
+    } else {
+      os << Repeat(' ', 9) << " |";
+    }
+    for (const BandColumn& c : columns) {
+      const double total = c.within + c.violated;
+      if (total >= row_threshold) {
+        // Violations stack on top of the within-SLA portion.
+        os << (c.within >= row_threshold ? '#' : 'X');
+      } else {
+        os << ' ';
+      }
+    }
+    os << "\n";
+  }
+  os << PadLeft("0", 9) << " +" << Repeat('-', static_cast<int>(columns.size()))
+     << "\n";
+  os << Repeat(' ', 11) << x_label << "  (#=within SLA, X=violated)\n";
+  return os.str();
+}
+
+std::string RenderMultiBandChart(
+    const std::vector<std::vector<double>>& columns, int height,
+    const std::string& x_label) {
+  static const char kGlyphs[] = {'#', '+', 'o', 'X', '@'};
+  if (columns.empty()) return "(no data)\n";
+  size_t classes = 0;
+  double max_total = 0.0;
+  for (const auto& col : columns) {
+    classes = std::max(classes, col.size());
+    double total = 0.0;
+    for (double v : col) total += v;
+    max_total = std::max(max_total, total);
+  }
+  if (max_total <= 0.0) max_total = 1.0;
+  classes = std::min(classes, sizeof(kGlyphs));
+
+  std::ostringstream os;
+  for (int r = height; r >= 1; --r) {
+    const double row_threshold =
+        max_total * static_cast<double>(r) / static_cast<double>(height);
+    if (r == height) {
+      os << PadLeft(HumanCount(max_total), 9) << " |";
+    } else {
+      os << Repeat(' ', 9) << " |";
+    }
+    for (const auto& col : columns) {
+      // Find which class the stacked height at this row belongs to.
+      double cumulative = 0.0;
+      char glyph = ' ';
+      for (size_t c = 0; c < col.size() && c < classes; ++c) {
+        cumulative += col[c];
+        if (cumulative >= row_threshold) {
+          glyph = kGlyphs[c];
+          break;
+        }
+      }
+      os << glyph;
+    }
+    os << "\n";
+  }
+  os << PadLeft("0", 9) << " +"
+     << Repeat('-', static_cast<int>(columns.size())) << "\n";
+  os << Repeat(' ', 11) << x_label << "  (classes bottom-up: ";
+  for (size_t c = 0; c < classes; ++c) {
+    if (c > 0) os << ' ';
+    os << kGlyphs[c];
+  }
+  os << ")\n";
+  return os.str();
+}
+
+std::string RenderTable(const std::vector<std::string>& headers,
+                        const std::vector<std::vector<std::string>>& rows) {
+  std::vector<size_t> widths(headers.size(), 0);
+  for (size_t c = 0; c < headers.size(); ++c) widths[c] = headers[c].size();
+  for (const auto& row : rows) {
+    for (size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::ostringstream os;
+  os << "|";
+  for (size_t c = 0; c < headers.size(); ++c) {
+    os << " " << PadRight(headers[c], widths[c]) << " |";
+  }
+  os << "\n|";
+  for (size_t c = 0; c < headers.size(); ++c) {
+    os << Repeat('-', widths[c] + 2) << "|";
+  }
+  os << "\n";
+  for (const auto& row : rows) {
+    os << "|";
+    for (size_t c = 0; c < headers.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : "";
+      os << " " << PadLeft(cell, widths[c]) << " |";
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace lsbench

@@ -1,0 +1,65 @@
+#ifndef LSBENCH_REPORT_ASCII_CHART_H_
+#define LSBENCH_REPORT_ASCII_CHART_H_
+
+#include <string>
+#include <vector>
+
+#include "stats/descriptive.h"
+
+namespace lsbench {
+
+/// Terminal renderings of the paper's Figure-1 chart types. All renderers
+/// return multi-line strings; values are auto-scaled to the chart width.
+
+/// One labeled box for RenderBoxPlotChart.
+struct LabeledBox {
+  std::string label;
+  BoxPlotSummary box;
+};
+
+/// Horizontal Tukey box plots on a shared axis (Fig. 1a style):
+///   label |    |----[  =|=  ]-----|   o o
+/// with `-` whiskers, `[ ]` the IQR, `|` the median, and `o` outliers.
+std::string RenderBoxPlotChart(const std::vector<LabeledBox>& boxes,
+                               int width = 72);
+
+/// One (x, y) series for the line chart.
+struct Series {
+  std::string name;
+  std::vector<double> xs;
+  std::vector<double> ys;
+};
+
+/// Multi-series scatter/line chart on a character grid (Fig. 1b/1d style).
+/// Series are drawn with distinct glyphs in input order: * + x o # @.
+std::string RenderLineChart(const std::vector<Series>& series, int width = 72,
+                            int height = 20, const std::string& x_label = "",
+                            const std::string& y_label = "");
+
+/// One interval of the stacked SLA-band chart.
+struct BandColumn {
+  double within = 0.0;
+  double violated = 0.0;
+};
+
+/// Vertical stacked bars (Fig. 1c style): '#' for queries within SLA, 'X'
+/// for violations, one column per interval.
+std::string RenderBandChart(const std::vector<BandColumn>& columns,
+                            int height = 16,
+                            const std::string& x_label = "interval");
+
+/// Multi-class stacked bars (§V-D2's green-yellow-orange-red extension):
+/// each column stacks its latency classes bottom-up using the glyphs
+/// '#', '+', 'o', 'X', '@' (fastest class at the bottom). Every column's
+/// class counts must have equal arity (at most 5 classes).
+std::string RenderMultiBandChart(
+    const std::vector<std::vector<double>>& columns, int height = 16,
+    const std::string& x_label = "interval");
+
+/// Markdown-ish monospace table with right-aligned numeric columns.
+std::string RenderTable(const std::vector<std::string>& headers,
+                        const std::vector<std::vector<std::string>>& rows);
+
+}  // namespace lsbench
+
+#endif  // LSBENCH_REPORT_ASCII_CHART_H_

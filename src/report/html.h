@@ -1,0 +1,26 @@
+#ifndef LSBENCH_REPORT_HTML_H_
+#define LSBENCH_REPORT_HTML_H_
+
+#include <string>
+
+#include "core/driver.h"
+#include "core/specialization.h"
+#include "util/status.h"
+
+namespace lsbench {
+
+/// Self-contained HTML report for one run: the summary table plus inline
+/// SVG renderings of the paper's Figure-1 charts (cumulative curve, SLA
+/// bands, specialization box plots). No external assets or scripts — the
+/// file can be archived next to the CSVs and opened anywhere.
+std::string RenderHtmlReport(const RunResult& result,
+                             const SpecializationReport& specialization);
+
+/// Renders and writes the report to `path`.
+Status WriteHtmlReport(const RunResult& result,
+                       const SpecializationReport& specialization,
+                       const std::string& path);
+
+}  // namespace lsbench
+
+#endif  // LSBENCH_REPORT_HTML_H_

@@ -1,0 +1,261 @@
+#include "report/report.h"
+
+#include <sstream>
+
+#include "report/ascii_chart.h"
+#include "util/csv.h"
+#include "util/string_util.h"
+
+namespace lsbench {
+
+std::string RenderRunSummary(const RunResult& result) {
+  std::ostringstream os;
+  os << "=== Run '" << result.run_name << "' on SUT '" << result.sut_name
+     << "' ===\n";
+  os << "load: " << FormatDouble(result.load_seconds, 3) << "s";
+  if (!result.train_events.empty()) {
+    os << ", offline training: "
+       << FormatDouble(result.OfflineTrainSeconds(), 3) << "s over "
+       << result.train_events.size() << " pass(es)";
+  }
+  os << "\n";
+  const RunMetrics& m = result.metrics;
+  os << "operations: " << m.total_operations
+     << ", wall: " << FormatDouble(m.wall_seconds, 3) << "s"
+     << ", mean throughput: " << HumanCount(m.mean_throughput) << " ops/s\n";
+  os << "latency: p50=" << HumanDuration(m.overall_latency.Median())
+     << " p95=" << HumanDuration(m.overall_latency.P95())
+     << " p99=" << HumanDuration(m.overall_latency.P99())
+     << " max=" << HumanDuration(m.overall_latency.max()) << "\n";
+  os << "SLA threshold: " << HumanDuration(static_cast<double>(m.sla_nanos))
+     << ", violations: " << m.total_sla_violations << " ("
+     << FormatDouble(m.total_operations > 0
+                         ? 100.0 * static_cast<double>(m.total_sla_violations) /
+                               static_cast<double>(m.total_operations)
+                         : 0.0,
+                     2)
+     << "%)\n";
+  os << "area vs ideal: " << FormatDouble(m.area_vs_ideal, 1)
+     << " query-seconds\n";
+  os << "SUT stats: memory=" << HumanCount(static_cast<double>(
+                                   result.final_sut_stats.memory_bytes))
+     << "B, retrain events=" << result.final_sut_stats.retrain_events
+     << ", online training="
+     << FormatDouble(result.final_sut_stats.online_train_seconds, 3) << "s\n";
+
+  std::vector<std::vector<std::string>> rows;
+  for (const PhaseMetrics& pm : m.phases) {
+    rows.push_back({std::to_string(pm.phase),
+                    pm.holdout ? "yes" : "no",
+                    std::to_string(pm.operations),
+                    HumanCount(pm.mean_throughput),
+                    HumanCount(pm.throughput_box.median),
+                    HumanDuration(pm.latency.P99()),
+                    std::to_string(pm.sla_violations),
+                    FormatDouble(pm.adjustment_excess_seconds, 4)});
+  }
+  os << RenderTable({"phase", "holdout", "ops", "mean_tput", "median_tput",
+                     "p99_lat", "sla_viol", "adjust_excess_s"},
+                    rows);
+  return os.str();
+}
+
+std::string RenderSpecializationReport(const SpecializationReport& report) {
+  std::ostringstream os;
+  os << "=== Specialization (Fig. 1a): throughput per workload/data "
+        "distribution, sorted by phi ===\n";
+  std::vector<LabeledBox> boxes;
+  std::vector<std::vector<std::string>> rows;
+  for (const SpecializationEntry& e : report.entries) {
+    std::string label = "phi=" + FormatDouble(e.phi, 2) + " " + e.phase_name;
+    if (e.holdout) label += " [holdout]";
+    boxes.push_back({label, e.throughput_box});
+    rows.push_back({e.phase_name, FormatDouble(e.phi, 3),
+                    FormatDouble(e.data_ks, 3),
+                    FormatDouble(e.workload_jaccard, 3),
+                    HumanCount(e.mean_throughput),
+                    HumanCount(e.throughput_box.median),
+                    e.holdout ? "yes" : "no"});
+  }
+  os << RenderBoxPlotChart(boxes);
+  os << RenderTable({"phase", "phi", "data_ks", "wl_jaccard", "mean_tput",
+                     "median_tput", "holdout"},
+                    rows);
+  return os.str();
+}
+
+std::string RenderCumulativeComparison(
+    const std::vector<std::pair<std::string, std::vector<CumulativePoint>>>&
+        curves) {
+  std::ostringstream os;
+  os << "=== Cumulative queries over time (Fig. 1b) ===\n";
+  std::vector<Series> series;
+  for (const auto& [name, curve] : curves) {
+    Series s;
+    s.name = name + " (area vs ideal: " +
+             FormatDouble(AreaVsIdeal(curve), 1) + " q-s)";
+    for (const CumulativePoint& p : curve) {
+      s.xs.push_back(static_cast<double>(p.t_nanos) * 1e-9);
+      s.ys.push_back(static_cast<double>(p.completed));
+    }
+    series.push_back(std::move(s));
+  }
+  os << RenderLineChart(series, 72, 20, "seconds", "cumulative queries");
+  if (curves.size() == 2) {
+    os << "area between systems ('" << curves[0].first << "' - '"
+       << curves[1].first << "'): "
+       << FormatDouble(AreaBetweenCurves(curves[0].second, curves[1].second),
+                       1)
+       << " query-seconds\n";
+  }
+  return os.str();
+}
+
+std::string RenderSlaBands(const std::vector<LatencyBand>& bands,
+                           int64_t sla_nanos) {
+  std::ostringstream os;
+  os << "=== SLA violation bands (Fig. 1c), threshold "
+     << HumanDuration(static_cast<double>(sla_nanos)) << " ===\n";
+  std::vector<BandColumn> columns;
+  uint64_t violated = 0, total = 0;
+  for (const LatencyBand& b : bands) {
+    columns.push_back({static_cast<double>(b.within_sla),
+                       static_cast<double>(b.violated)});
+    violated += b.violated;
+    total += b.Total();
+  }
+  os << RenderBandChart(columns);
+  os << "total completions: " << total << ", violations: " << violated
+     << "\n";
+  return os.str();
+}
+
+std::string RenderCostReport(
+    const std::vector<std::pair<std::string, std::vector<CostPoint>>>& curves,
+    double traditional_base_throughput, const DbaCostModel& dba) {
+  std::ostringstream os;
+  os << "=== Throughput per training cost (Fig. 1d) ===\n";
+  std::vector<Series> series;
+  double max_cost = dba.TotalDollars();
+  for (const auto& [name, points] : curves) {
+    for (const CostPoint& p : points) {
+      max_cost = std::max(max_cost, p.training_dollars);
+    }
+  }
+  for (const auto& [name, points] : curves) {
+    Series s;
+    s.name = name;
+    for (const CostPoint& p : points) {
+      s.xs.push_back(p.training_dollars);
+      s.ys.push_back(p.throughput);
+    }
+    series.push_back(std::move(s));
+  }
+  // DBA step function sampled densely so the steps are visible.
+  Series dba_series;
+  dba_series.name = "traditional + DBA (step function)";
+  for (int i = 0; i <= 100; ++i) {
+    const double dollars = max_cost * static_cast<double>(i) / 100.0;
+    dba_series.xs.push_back(dollars);
+    dba_series.ys.push_back(traditional_base_throughput *
+                            dba.MultiplierAt(dollars));
+  }
+  series.push_back(std::move(dba_series));
+  os << RenderLineChart(series, 72, 20, "training dollars", "ops/s");
+
+  for (const auto& [name, points] : curves) {
+    std::vector<double> costs, tputs;
+    for (const CostPoint& p : points) {
+      costs.push_back(p.training_dollars);
+      tputs.push_back(p.throughput);
+    }
+    const double crossover = TrainingCostToOutperform(
+        costs, tputs, traditional_base_throughput, dba);
+    os << "training cost to outperform (" << name << "): ";
+    if (crossover < 0.0) {
+      os << "never\n";
+    } else {
+      os << "$" << FormatDouble(crossover, 4) << "\n";
+    }
+  }
+  return os.str();
+}
+
+std::string SpecializationCsv(const SpecializationReport& report) {
+  std::ostringstream out;
+  CsvWriter csv(&out);
+  csv.WriteRow({"phase", "phi", "data_ks", "workload_jaccard", "holdout",
+                "mean_throughput", "q1", "median", "q3", "min", "max"});
+  for (const SpecializationEntry& e : report.entries) {
+    csv.WriteRow({e.phase_name, CsvWriter::Field(e.phi),
+                  CsvWriter::Field(e.data_ks),
+                  CsvWriter::Field(e.workload_jaccard),
+                  e.holdout ? "1" : "0",
+                  CsvWriter::Field(e.mean_throughput),
+                  CsvWriter::Field(e.throughput_box.q1),
+                  CsvWriter::Field(e.throughput_box.median),
+                  CsvWriter::Field(e.throughput_box.q3),
+                  CsvWriter::Field(e.throughput_box.min),
+                  CsvWriter::Field(e.throughput_box.max)});
+  }
+  return out.str();
+}
+
+std::string CumulativeCsv(const std::vector<CumulativePoint>& curve) {
+  std::ostringstream out;
+  CsvWriter csv(&out);
+  csv.WriteRow({"t_seconds", "completed"});
+  for (const CumulativePoint& p : curve) {
+    csv.WriteRow({CsvWriter::Field(static_cast<double>(p.t_nanos) * 1e-9),
+                  CsvWriter::Field(p.completed)});
+  }
+  return out.str();
+}
+
+std::string SlaBandsCsv(const std::vector<LatencyBand>& bands) {
+  std::ostringstream out;
+  CsvWriter csv(&out);
+  csv.WriteRow({"start_seconds", "within_sla", "violated"});
+  for (const LatencyBand& b : bands) {
+    csv.WriteRow(
+        {CsvWriter::Field(static_cast<double>(b.start_nanos) * 1e-9),
+         CsvWriter::Field(b.within_sla), CsvWriter::Field(b.violated)});
+  }
+  return out.str();
+}
+
+std::string PhaseMetricsCsv(const RunMetrics& metrics) {
+  std::ostringstream out;
+  CsvWriter csv(&out);
+  csv.WriteRow({"phase", "holdout", "operations", "duration_s",
+                "mean_throughput", "median_throughput", "p99_latency_ns",
+                "sla_violations", "adjustment_excess_s"});
+  for (const PhaseMetrics& pm : metrics.phases) {
+    csv.WriteRow({CsvWriter::Field(static_cast<int64_t>(pm.phase)),
+                  pm.holdout ? "1" : "0", CsvWriter::Field(pm.operations),
+                  CsvWriter::Field(pm.duration_seconds),
+                  CsvWriter::Field(pm.mean_throughput),
+                  CsvWriter::Field(pm.throughput_box.median),
+                  CsvWriter::Field(pm.latency.P99()),
+                  CsvWriter::Field(pm.sla_violations),
+                  CsvWriter::Field(pm.adjustment_excess_seconds)});
+  }
+  return out.str();
+}
+
+std::string CostCurveCsv(
+    const std::vector<std::pair<std::string, std::vector<CostPoint>>>&
+        curves) {
+  std::ostringstream out;
+  CsvWriter csv(&out);
+  csv.WriteRow({"system", "training_dollars", "throughput"});
+  for (const auto& [name, points] : curves) {
+    for (const CostPoint& p : points) {
+      csv.WriteRow({name, CsvWriter::Field(p.training_dollars),
+                    CsvWriter::Field(p.throughput)});
+    }
+  }
+  return out.str();
+}
+
+}  // namespace lsbench

@@ -1,0 +1,53 @@
+#ifndef LSBENCH_REPORT_REPORT_H_
+#define LSBENCH_REPORT_REPORT_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/driver.h"
+#include "core/metrics.h"
+#include "core/specialization.h"
+#include "sut/cost_model.h"
+
+namespace lsbench {
+
+/// Human-readable run summary: totals, training, per-phase table.
+std::string RenderRunSummary(const RunResult& result);
+
+/// Fig. 1a — box plots per phase, sorted by Φ, hold-outs marked.
+std::string RenderSpecializationReport(const SpecializationReport& report);
+
+/// Fig. 1b — cumulative queries over time for one or more systems, with the
+/// area-vs-ideal summary per system.
+std::string RenderCumulativeComparison(
+    const std::vector<std::pair<std::string, std::vector<CumulativePoint>>>&
+        curves);
+
+/// Fig. 1c — SLA bands plus the violation totals.
+std::string RenderSlaBands(const std::vector<LatencyBand>& bands,
+                           int64_t sla_nanos);
+
+/// One sample of a Fig. 1d training-cost sweep.
+struct CostPoint {
+  double training_dollars = 0.0;
+  double throughput = 0.0;
+};
+
+/// Fig. 1d — learned throughput-vs-cost curves (one per hardware profile)
+/// against the DBA step function; reports training-cost-to-outperform.
+std::string RenderCostReport(
+    const std::vector<std::pair<std::string, std::vector<CostPoint>>>& curves,
+    double traditional_base_throughput, const DbaCostModel& dba);
+
+/// CSV emitters (one header row + data rows) for downstream plotting.
+std::string SpecializationCsv(const SpecializationReport& report);
+std::string CumulativeCsv(const std::vector<CumulativePoint>& curve);
+std::string SlaBandsCsv(const std::vector<LatencyBand>& bands);
+std::string PhaseMetricsCsv(const RunMetrics& metrics);
+std::string CostCurveCsv(
+    const std::vector<std::pair<std::string, std::vector<CostPoint>>>& curves);
+
+}  // namespace lsbench
+
+#endif  // LSBENCH_REPORT_REPORT_H_

@@ -1,0 +1,157 @@
+#include "sched/scheduler.h"
+
+#include <algorithm>
+
+#include "stats/descriptive.h"
+#include "util/assert.h"
+
+namespace lsbench {
+
+size_t FifoPolicy::PickNext(const std::vector<Job>& ready) {
+  LSBENCH_ASSERT(!ready.empty());
+  size_t best = 0;
+  for (size_t i = 1; i < ready.size(); ++i) {
+    if (ready[i].arrival_seconds < ready[best].arrival_seconds) best = i;
+  }
+  return best;
+}
+
+size_t OracleSjfPolicy::PickNext(const std::vector<Job>& ready) {
+  LSBENCH_ASSERT(!ready.empty());
+  size_t best = 0;
+  for (size_t i = 1; i < ready.size(); ++i) {
+    if (ready[i].true_service_seconds < ready[best].true_service_seconds) {
+      best = i;
+    }
+  }
+  return best;
+}
+
+LearnedSjfPolicy::LearnedSjfPolicy(Options options)
+    : options_(options),
+      per_class_rate_(options.num_classes,
+                      options.initial_rate_seconds_per_row),
+      per_class_fixed_(options.num_classes, 0.0) {
+  LSBENCH_ASSERT(options_.num_classes > 0);
+}
+
+double LearnedSjfPolicy::Predict(const Job& job) const {
+  const int cls =
+      std::clamp(job.query_class, 0, options_.num_classes - 1);
+  return per_class_fixed_[cls] + per_class_rate_[cls] * job.size_hint;
+}
+
+size_t LearnedSjfPolicy::PickNext(const std::vector<Job>& ready) {
+  LSBENCH_ASSERT(!ready.empty());
+  size_t best = 0;
+  double best_pred = Predict(ready[0]);
+  for (size_t i = 1; i < ready.size(); ++i) {
+    const double pred = Predict(ready[i]);
+    if (pred < best_pred) {
+      best = i;
+      best_pred = pred;
+    }
+  }
+  return best;
+}
+
+void LearnedSjfPolicy::OnJobFinished(const Job& job,
+                                     double measured_seconds) {
+  const int cls =
+      std::clamp(job.query_class, 0, options_.num_classes - 1);
+  if (job.size_hint >= 1.0) {
+    const double implied =
+        std::max(0.0, measured_seconds - per_class_fixed_[cls]) /
+        job.size_hint;
+    per_class_rate_[cls] +=
+        options_.learning_rate * (implied - per_class_rate_[cls]);
+  } else {
+    per_class_fixed_[cls] +=
+        options_.learning_rate * (measured_seconds - per_class_fixed_[cls]);
+  }
+}
+
+ScheduleMetrics SimulateSchedule(std::vector<Job> jobs,
+                                 SchedulingPolicy* policy) {
+  LSBENCH_ASSERT(policy != nullptr);
+  ScheduleMetrics metrics;
+  if (jobs.empty()) return metrics;
+  std::sort(jobs.begin(), jobs.end(), [](const Job& a, const Job& b) {
+    return a.arrival_seconds < b.arrival_seconds;
+  });
+
+  std::vector<Job> ready;
+  std::vector<double> flows;
+  flows.reserve(jobs.size());
+  double slowdown_sum = 0.0;
+  double now = 0.0;
+  size_t next_arrival = 0;
+
+  while (next_arrival < jobs.size() || !ready.empty()) {
+    if (ready.empty()) {
+      now = std::max(now, jobs[next_arrival].arrival_seconds);
+    }
+    while (next_arrival < jobs.size() &&
+           jobs[next_arrival].arrival_seconds <= now) {
+      ready.push_back(jobs[next_arrival]);
+      ++next_arrival;
+    }
+    const size_t pick = policy->PickNext(ready);
+    LSBENCH_ASSERT(pick < ready.size());
+    const Job job = ready[pick];
+    ready.erase(ready.begin() + pick);
+
+    now += job.true_service_seconds;
+    policy->OnJobFinished(job, job.true_service_seconds);
+    const double flow = now - job.arrival_seconds;
+    flows.push_back(flow);
+    slowdown_sum += flow / std::max(1e-12, job.true_service_seconds);
+  }
+
+  metrics.jobs = jobs.size();
+  metrics.makespan_seconds = now;
+  double flow_sum = 0.0;
+  for (double f : flows) flow_sum += f;
+  metrics.mean_flow_seconds = flow_sum / static_cast<double>(flows.size());
+  metrics.p99_flow_seconds = Quantile(flows, 0.99);
+  metrics.mean_slowdown = slowdown_sum / static_cast<double>(flows.size());
+  return metrics;
+}
+
+std::vector<Job> GenerateJobs(size_t count, double arrival_rate_qps,
+                              double rate_scale, uint64_t seed,
+                              double start_seconds) {
+  LSBENCH_ASSERT(arrival_rate_qps > 0.0);
+  Rng rng(seed);
+  std::vector<Job> jobs;
+  jobs.reserve(count);
+  double t = start_seconds;
+  for (size_t i = 0; i < count; ++i) {
+    t += rng.NextExponential(arrival_rate_qps);
+    Job job;
+    job.id = i;
+    job.arrival_seconds = t;
+    // Class mix: 70% point lookups, 25% scans, 5% analytics.
+    const double u = rng.NextDouble();
+    if (u < 0.7) {
+      job.query_class = 0;
+      job.size_hint = 1.0;
+      job.true_service_seconds = rate_scale * 2e-6 *
+                                 (0.5 + rng.NextDouble());
+    } else if (u < 0.95) {
+      job.query_class = 1;
+      job.size_hint = 100.0 * (0.5 + rng.NextDouble());
+      job.true_service_seconds =
+          rate_scale * 1e-6 * job.size_hint * (0.8 + 0.4 * rng.NextDouble());
+    } else {
+      job.query_class = 2;
+      job.size_hint = 10000.0 * (0.5 + rng.NextDouble());
+      job.true_service_seconds =
+          rate_scale * 1e-6 * job.size_hint * (0.8 + 0.4 * rng.NextDouble());
+    }
+    jobs.push_back(job);
+  }
+  return jobs;
+}
+
+}  // namespace lsbench

@@ -1,0 +1,112 @@
+#ifndef LSBENCH_SCHED_SCHEDULER_H_
+#define LSBENCH_SCHED_SCHEDULER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/random.h"
+
+namespace lsbench {
+
+/// One query/job submitted to the scheduler. `true_service_seconds` is
+/// ground truth known only to the simulator (and the oracle policy);
+/// learned policies see only the features.
+struct Job {
+  uint64_t id = 0;
+  double arrival_seconds = 0.0;
+  double true_service_seconds = 0.0;
+  // --- features visible to policies ---
+  int query_class = 0;        ///< e.g. 0 = point, 1 = scan, 2 = analytic.
+  double size_hint = 0.0;     ///< Rows touched estimate (noisy).
+};
+
+/// Non-preemptive single-server scheduling policy. §II of the paper lists
+/// learned scheduling (Decima-style) among the learned components; this is
+/// the substrate for benchmarking that idea at query granularity.
+class SchedulingPolicy {
+ public:
+  virtual ~SchedulingPolicy() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Index (into `ready`) of the job to run next. `ready` is non-empty.
+  virtual size_t PickNext(const std::vector<Job>& ready) = 0;
+
+  /// Execution feedback: the job just ran for `measured_seconds`.
+  virtual void OnJobFinished(const Job& job, double measured_seconds) {
+    (void)job;
+    (void)measured_seconds;
+  }
+};
+
+/// First-come-first-served (arrival order).
+class FifoPolicy final : public SchedulingPolicy {
+ public:
+  std::string name() const override { return "fifo"; }
+  size_t PickNext(const std::vector<Job>& ready) override;
+};
+
+/// Shortest-job-first with oracle knowledge of the true service time: the
+/// unachievable upper bound learned schedulers approach.
+class OracleSjfPolicy final : public SchedulingPolicy {
+ public:
+  std::string name() const override { return "sjf_oracle"; }
+  size_t PickNext(const std::vector<Job>& ready) override;
+};
+
+/// Learned shortest-job-first: predicts service time per query class with
+/// an online per-class EWMA over (size_hint-normalized) observed runtimes.
+/// Mispredicts right after a workload shift and recovers with feedback —
+/// the scheduling instance of the paper's adaptability story.
+class LearnedSjfPolicy final : public SchedulingPolicy {
+ public:
+  struct Options {
+    int num_classes = 8;
+    double learning_rate = 0.1;
+    double initial_rate_seconds_per_row = 1e-6;
+  };
+
+  LearnedSjfPolicy() : LearnedSjfPolicy(Options()) {}
+  explicit LearnedSjfPolicy(Options options);
+
+  std::string name() const override { return "sjf_learned"; }
+  size_t PickNext(const std::vector<Job>& ready) override;
+  void OnJobFinished(const Job& job, double measured_seconds) override;
+
+  /// Predicted service time for a job (visible for tests).
+  double Predict(const Job& job) const;
+
+ private:
+  Options options_;
+  std::vector<double> per_class_rate_;  ///< Seconds per size_hint row.
+  std::vector<double> per_class_fixed_;  ///< Fixed overhead seconds.
+};
+
+/// Outcome of a simulated schedule.
+struct ScheduleMetrics {
+  double makespan_seconds = 0.0;
+  double mean_flow_seconds = 0.0;  ///< completion - arrival.
+  double p99_flow_seconds = 0.0;
+  /// Mean of flow/service (a job's slowdown); 1.0 is ideal.
+  double mean_slowdown = 0.0;
+  uint64_t jobs = 0;
+};
+
+/// Runs `jobs` (any order; sorted internally by arrival) through a single
+/// non-preemptive server under `policy`. Deterministic.
+ScheduleMetrics SimulateSchedule(std::vector<Job> jobs,
+                                 SchedulingPolicy* policy);
+
+/// Workload generator: a mixed stream of point/scan/analytic jobs with
+/// noisy per-class service rates. `rate_scale` multiplies all service times
+/// (use a different value per phase to model an execution-environment
+/// change).
+std::vector<Job> GenerateJobs(size_t count, double arrival_rate_qps,
+                              double rate_scale, uint64_t seed,
+                              double start_seconds = 0.0);
+
+}  // namespace lsbench
+
+#endif  // LSBENCH_SCHED_SCHEDULER_H_

@@ -1,0 +1,51 @@
+#ifndef LSBENCH_STATS_RESERVOIR_H_
+#define LSBENCH_STATS_RESERVOIR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/random.h"
+
+namespace lsbench {
+
+/// Classic Algorithm-R reservoir sampler: maintains a uniform sample of at
+/// most `capacity` items from a stream of unknown length. Deterministic
+/// given the seed. Used to keep bounded per-phase samples for KS/MMD.
+template <typename T>
+class ReservoirSampler {
+ public:
+  explicit ReservoirSampler(size_t capacity, uint64_t seed = 42)
+      : capacity_(capacity), rng_(seed) {
+    sample_.reserve(capacity);
+  }
+
+  void Add(const T& item) {
+    ++seen_;
+    if (sample_.size() < capacity_) {
+      sample_.push_back(item);
+      return;
+    }
+    const uint64_t j = rng_.NextBounded(seen_);
+    if (j < capacity_) sample_[j] = item;
+  }
+
+  /// Items sampled so far (unordered).
+  const std::vector<T>& sample() const { return sample_; }
+  uint64_t seen() const { return seen_; }
+  size_t capacity() const { return capacity_; }
+
+  void Clear() {
+    sample_.clear();
+    seen_ = 0;
+  }
+
+ private:
+  size_t capacity_;
+  Rng rng_;
+  std::vector<T> sample_;
+  uint64_t seen_ = 0;
+};
+
+}  // namespace lsbench
+
+#endif  // LSBENCH_STATS_RESERVOIR_H_

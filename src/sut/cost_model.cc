@@ -1,0 +1,82 @@
+#include "sut/cost_model.h"
+
+#include <algorithm>
+
+#include "util/assert.h"
+
+namespace lsbench {
+
+double HardwareProfile::TrainingSeconds(double cpu_seconds) const {
+  LSBENCH_ASSERT(speedup > 0.0);
+  return cpu_seconds / speedup;
+}
+
+double HardwareProfile::TrainingDollars(double cpu_seconds) const {
+  return TrainingSeconds(cpu_seconds) / 3600.0 * dollars_per_hour;
+}
+
+HardwareProfile HardwareProfile::Cpu() { return {"cpu", 1.0, 1.0}; }
+HardwareProfile HardwareProfile::Gpu() { return {"gpu", 3.0, 12.0}; }
+HardwareProfile HardwareProfile::Tpu() { return {"tpu", 8.0, 30.0}; }
+
+DbaCostModel::DbaCostModel(double hourly_rate, std::vector<Tier> tiers)
+    : hourly_rate_(hourly_rate), tiers_(std::move(tiers)) {
+  LSBENCH_ASSERT(hourly_rate_ > 0.0);
+  double prev_multiplier = 1.0;
+  for (const Tier& t : tiers_) {
+    LSBENCH_ASSERT(t.hours > 0.0);
+    LSBENCH_ASSERT_MSG(t.multiplier >= prev_multiplier,
+                       "DBA tiers must not reduce throughput");
+    prev_multiplier = t.multiplier;
+  }
+}
+
+DbaCostModel DbaCostModel::Default() {
+  // 60 $/h DBA. Tier 1: 2h of configuration (+20%). Tier 2: 8h of index and
+  // schema tuning (+60%). Tier 3: 24h of deep workload-specific tuning
+  // (+120%).
+  return DbaCostModel(60.0, {{2.0, 1.2}, {8.0, 1.6}, {24.0, 2.2}});
+}
+
+double DbaCostModel::MultiplierAt(double dollars) const {
+  double multiplier = 1.0;
+  double spent = 0.0;
+  for (const Tier& t : tiers_) {
+    spent += t.hours * hourly_rate_;
+    if (dollars + 1e-9 >= spent) {
+      multiplier = t.multiplier;
+    } else {
+      break;
+    }
+  }
+  return multiplier;
+}
+
+double DbaCostModel::CumulativeDollars(size_t tier_index) const {
+  LSBENCH_ASSERT(tier_index < tiers_.size());
+  double spent = 0.0;
+  for (size_t i = 0; i <= tier_index; ++i) {
+    spent += tiers_[i].hours * hourly_rate_;
+  }
+  return spent;
+}
+
+double DbaCostModel::TotalDollars() const {
+  return tiers_.empty() ? 0.0 : CumulativeDollars(tiers_.size() - 1);
+}
+
+double TrainingCostToOutperform(const std::vector<double>& training_costs,
+                                const std::vector<double>& learned_throughputs,
+                                double base_throughput,
+                                const DbaCostModel& dba) {
+  LSBENCH_ASSERT(training_costs.size() == learned_throughputs.size());
+  for (size_t i = 0; i < training_costs.size(); ++i) {
+    // Compare against the best the DBA could reach with the same budget.
+    const double rival =
+        base_throughput * dba.MultiplierAt(training_costs[i]);
+    if (learned_throughputs[i] > rival) return training_costs[i];
+  }
+  return -1.0;
+}
+
+}  // namespace lsbench

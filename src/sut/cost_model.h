@@ -1,0 +1,74 @@
+#ifndef LSBENCH_SUT_COST_MODEL_H_
+#define LSBENCH_SUT_COST_MODEL_H_
+
+#include <string>
+#include <vector>
+
+namespace lsbench {
+
+/// Pricing and relative speed of a training substrate (§V-D3: "we should
+/// evaluate the cost of training on different hardware (CPU, GPU, or
+/// TPU)"). `speedup` divides measured CPU training time to model faster
+/// hardware; `dollars_per_hour` converts the (adjusted) time to cost.
+struct HardwareProfile {
+  std::string name;
+  double dollars_per_hour = 1.0;
+  double speedup = 1.0;
+
+  /// Cost in dollars of `cpu_seconds` of training work on this hardware.
+  double TrainingDollars(double cpu_seconds) const;
+  /// Wall seconds the same work takes on this hardware.
+  double TrainingSeconds(double cpu_seconds) const;
+
+  // Defaults loosely modeled on public cloud on-demand pricing ratios.
+  static HardwareProfile Cpu();  ///< 1.0 $/h, 1x.
+  static HardwareProfile Gpu();  ///< 3.0 $/h, 12x.
+  static HardwareProfile Tpu();  ///< 8.0 $/h, 30x.
+};
+
+/// The manual-tuning alternative of Fig. 1d: a step function mapping
+/// cumulative DBA spending to the throughput multiplier a traditional system
+/// reaches at that spending level. Each tier is "after `hours` more DBA
+/// hours, throughput becomes base * multiplier".
+class DbaCostModel {
+ public:
+  struct Tier {
+    double hours = 0.0;        ///< Incremental effort to reach this tier.
+    double multiplier = 1.0;   ///< Throughput multiplier once reached.
+  };
+
+  DbaCostModel(double hourly_rate, std::vector<Tier> tiers);
+
+  /// A three-tier default: quick config pass, index tuning, deep tuning.
+  static DbaCostModel Default();
+
+  double hourly_rate() const { return hourly_rate_; }
+  const std::vector<Tier>& tiers() const { return tiers_; }
+
+  /// Throughput multiplier achieved after spending `dollars` on DBA time.
+  double MultiplierAt(double dollars) const;
+
+  /// Cumulative dollars needed to unlock tier `i` (0-based).
+  double CumulativeDollars(size_t tier_index) const;
+
+  /// Total dollars of the full tuning program.
+  double TotalDollars() const;
+
+ private:
+  double hourly_rate_;
+  std::vector<Tier> tiers_;
+};
+
+/// Solves Fig. 1d's headline metric: the smallest training cost at which the
+/// learned system's throughput curve beats the DBA-tuned traditional
+/// system's step function. `training_costs`/`learned_throughputs` are a
+/// sampled curve (ascending costs); `base_throughput` is the untuned
+/// traditional throughput. Returns -1 if the learned system never wins.
+double TrainingCostToOutperform(const std::vector<double>& training_costs,
+                                const std::vector<double>& learned_throughputs,
+                                double base_throughput,
+                                const DbaCostModel& dba);
+
+}  // namespace lsbench
+
+#endif  // LSBENCH_SUT_COST_MODEL_H_

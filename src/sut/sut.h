@@ -1,0 +1,74 @@
+#ifndef LSBENCH_SUT_SUT_H_
+#define LSBENCH_SUT_SUT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "index/kv_index.h"
+#include "util/status.h"
+#include "workload/operation.h"
+
+namespace lsbench {
+
+/// Result of executing one operation.
+struct OpResult {
+  bool ok = false;        ///< Found / applied.
+  uint64_t rows = 0;      ///< Rows returned (scan) or counted (range count).
+};
+
+/// What one training invocation did. The driver stamps wall time around the
+/// call; `work_items` lets cost models reason about training effort
+/// independent of machine speed.
+struct TrainReport {
+  bool trained = false;
+  uint64_t work_items = 0;  ///< Keys fitted / models built.
+};
+
+/// Aggregate SUT-side statistics the benchmark reports alongside its own
+/// measurements (§V-D3 training-cost accounting).
+struct SutStats {
+  size_t memory_bytes = 0;
+  uint64_t offline_train_items = 0;
+  double online_train_seconds = 0.0;  ///< Time spent retraining inside Execute.
+  uint64_t retrain_events = 0;
+  double model_error = 0.0;  ///< Implementation-defined model quality signal.
+};
+
+/// The system-under-test interface. Deliberately minimal (the paper requires
+/// the benchmark to avoid imposing architectural or runtime constraints):
+/// load data, optionally train, execute operations, and receive phase-change
+/// notifications. Everything else — what to learn, when to retrain, how to
+/// adapt — is the SUT's business, which is precisely what the benchmark
+/// measures.
+class SystemUnderTest {
+ public:
+  virtual ~SystemUnderTest() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Replaces the stored data with `sorted_pairs` (ascending unique keys).
+  virtual Status Load(const std::vector<KeyValue>& sorted_pairs) = 0;
+
+  /// Offline training pass over the currently loaded data. Traditional
+  /// systems return trained=false. The driver times this call and charges
+  /// it to the training budget; it is never invoked for hold-out phases.
+  virtual TrainReport Train() { return {}; }
+
+  /// Executes one operation synchronously.
+  virtual OpResult Execute(const Operation& op) = 0;
+
+  /// Notification that the benchmark switched phases. `holdout` phases are
+  /// out-of-sample: a well-behaved SUT may adapt online but gets no
+  /// offline training pass.
+  virtual void OnPhaseStart(int phase_index, bool holdout) {
+    (void)phase_index;
+    (void)holdout;
+  }
+
+  virtual SutStats GetStats() const = 0;
+};
+
+}  // namespace lsbench
+
+#endif  // LSBENCH_SUT_SUT_H_

@@ -1,0 +1,64 @@
+#include "sut/tco.h"
+
+#include <sstream>
+
+#include "report/ascii_chart.h"
+#include "util/assert.h"
+#include "util/string_util.h"
+
+namespace lsbench {
+
+double TcoPlan::OpsPerKiloDollar() const {
+  const double total = TotalDollars();
+  if (total <= 0.0) return 0.0;
+  return throughput / (total / 1000.0);
+}
+
+double HorizonHardwareDollars(const TcoAssumptions& assumptions) {
+  return assumptions.years * 24.0 * 365.0 *
+         assumptions.server_dollars_per_hour;
+}
+
+TcoPlan MakeTraditionalPlan(const std::string& name, double base_throughput,
+                            const DbaCostModel& dba,
+                            const TcoAssumptions& assumptions) {
+  LSBENCH_ASSERT(assumptions.dba_tier < dba.tiers().size());
+  TcoPlan plan;
+  plan.name = name;
+  plan.throughput =
+      base_throughput * dba.tiers()[assumptions.dba_tier].multiplier;
+  plan.hardware_dollars = HorizonHardwareDollars(assumptions);
+  plan.dba_dollars = dba.CumulativeDollars(assumptions.dba_tier) *
+                     assumptions.dba_passes_per_year * assumptions.years;
+  return plan;
+}
+
+TcoPlan MakeLearnedPlan(const std::string& name, double throughput,
+                        double fit_cpu_seconds, const HardwareProfile& hw,
+                        const TcoAssumptions& assumptions) {
+  TcoPlan plan;
+  plan.name = name;
+  plan.throughput = throughput;
+  plan.hardware_dollars = HorizonHardwareDollars(assumptions);
+  plan.training_dollars =
+      hw.TrainingDollars(fit_cpu_seconds * assumptions.pipeline_scale) *
+      assumptions.retrains_per_year * assumptions.years;
+  return plan;
+}
+
+std::string RenderTcoTable(const std::vector<TcoPlan>& plans) {
+  std::vector<std::vector<std::string>> rows;
+  for (const TcoPlan& p : plans) {
+    rows.push_back({p.name, HumanCount(p.throughput),
+                    FormatDouble(p.hardware_dollars, 0),
+                    FormatDouble(p.training_dollars, 2),
+                    FormatDouble(p.dba_dollars, 0),
+                    FormatDouble(p.TotalDollars(), 2),
+                    FormatDouble(p.OpsPerKiloDollar(), 1)});
+  }
+  return RenderTable({"plan", "tput", "hw_$", "train_$", "dba_$", "total_$",
+                      "ops/s per k$"},
+                     rows);
+}
+
+}  // namespace lsbench

@@ -1,0 +1,63 @@
+#ifndef LSBENCH_SUT_TCO_H_
+#define LSBENCH_SUT_TCO_H_
+
+#include <string>
+#include <vector>
+
+#include "sut/cost_model.h"
+
+namespace lsbench {
+
+/// Total-cost-of-ownership accounting (Lesson 4: "we cannot ignore the
+/// human cost anymore"). A plan is one way to operate a system for the
+/// accounting horizon; the report decomposes its cost into hardware,
+/// training compute, and human (DBA) components — the decomposition the
+/// paper says existing benchmarks omit.
+struct TcoPlan {
+  std::string name;
+  double throughput = 0.0;        ///< Steady-state ops/s the plan sustains.
+  double hardware_dollars = 0.0;
+  double training_dollars = 0.0;  ///< Offline + recurring retraining compute.
+  double dba_dollars = 0.0;
+
+  double TotalDollars() const {
+    return hardware_dollars + training_dollars + dba_dollars;
+  }
+  /// The classic cost-per-performance metric, as ops/s per 1000 dollars.
+  double OpsPerKiloDollar() const;
+};
+
+/// Inputs for the standard 3-year accounting used by the lesson-4 bench.
+struct TcoAssumptions {
+  double years = 3.0;
+  double server_dollars_per_hour = 1.0;
+  /// DBA passes per year, each unlocking `dba_tier` of the cost model.
+  int dba_passes_per_year = 4;
+  size_t dba_tier = 1;
+  /// Learned retraining pipelines per year.
+  int retrains_per_year = 52;
+  /// Multiplier from one measured index fit to a production pipeline.
+  double pipeline_scale = 1e6;
+};
+
+/// Hardware dollars for the horizon (same for every single-server plan).
+double HorizonHardwareDollars(const TcoAssumptions& assumptions);
+
+/// Builds the traditional plan: base throughput boosted by the DBA tier's
+/// multiplier, paying the tier's dollars per pass.
+TcoPlan MakeTraditionalPlan(const std::string& name, double base_throughput,
+                            const DbaCostModel& dba,
+                            const TcoAssumptions& assumptions);
+
+/// Builds a learned plan: measured throughput plus recurring retraining
+/// cost on the given hardware (`fit_cpu_seconds` = one measured fit).
+TcoPlan MakeLearnedPlan(const std::string& name, double throughput,
+                        double fit_cpu_seconds, const HardwareProfile& hw,
+                        const TcoAssumptions& assumptions);
+
+/// Monospace table of the plans, one row each, with the decomposition.
+std::string RenderTcoTable(const std::vector<TcoPlan>& plans);
+
+}  // namespace lsbench
+
+#endif  // LSBENCH_SUT_TCO_H_

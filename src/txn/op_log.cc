@@ -1,0 +1,42 @@
+#include "txn/op_log.h"
+
+#include <algorithm>
+
+#include "util/assert.h"
+
+namespace lsbench {
+
+uint64_t OpLog::Append(const Mutation& mutation) {
+  records_.push_back(Record{next_sequence_, mutation});
+  return next_sequence_++;
+}
+
+uint64_t OpLog::AppendBatch(const WriteBatch& batch) {
+  uint64_t last = last_sequence();
+  for (const Mutation& m : batch.mutations()) last = Append(m);
+  return last;
+}
+
+size_t OpLog::ReplayInto(KvIndex* index, uint64_t after_sequence) const {
+  LSBENCH_ASSERT(index != nullptr);
+  size_t replayed = 0;
+  for (const Record& r : records_) {
+    if (r.sequence <= after_sequence) continue;
+    if (r.mutation.kind == Mutation::Kind::kPut) {
+      index->Insert(r.mutation.key, r.mutation.value);
+    } else {
+      index->Erase(r.mutation.key);
+    }
+    ++replayed;
+  }
+  return replayed;
+}
+
+void OpLog::TruncateUpTo(uint64_t up_to_sequence) {
+  const auto it = std::partition_point(
+      records_.begin(), records_.end(),
+      [up_to_sequence](const Record& r) { return r.sequence <= up_to_sequence; });
+  records_.erase(records_.begin(), it);
+}
+
+}  // namespace lsbench

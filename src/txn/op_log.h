@@ -1,0 +1,48 @@
+#ifndef LSBENCH_TXN_OP_LOG_H_
+#define LSBENCH_TXN_OP_LOG_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "index/kv_index.h"
+#include "txn/write_batch.h"
+
+namespace lsbench {
+
+/// Append-only operation log with monotonically increasing sequence numbers.
+/// SUTs use it to rebuild an index after retraining-by-reconstruction and
+/// tests use it for crash/replay-equivalence properties (an index rebuilt by
+/// replay must equal the live index).
+class OpLog {
+ public:
+  struct Record {
+    uint64_t sequence = 0;
+    Mutation mutation;
+  };
+
+  /// Appends one mutation; returns its sequence number (starting at 1).
+  uint64_t Append(const Mutation& mutation);
+
+  /// Appends a whole batch; returns the sequence of the last record.
+  uint64_t AppendBatch(const WriteBatch& batch);
+
+  /// Replays records with sequence in (`after_sequence`, last] into `index`.
+  /// Returns the number of records replayed.
+  size_t ReplayInto(KvIndex* index, uint64_t after_sequence = 0) const;
+
+  /// Drops records with sequence <= `up_to_sequence` (checkpointing).
+  void TruncateUpTo(uint64_t up_to_sequence);
+
+  size_t size() const { return records_.size(); }
+  bool empty() const { return records_.empty(); }
+  uint64_t last_sequence() const { return next_sequence_ - 1; }
+  const std::vector<Record>& records() const { return records_; }
+
+ private:
+  std::vector<Record> records_;
+  uint64_t next_sequence_ = 1;
+};
+
+}  // namespace lsbench
+
+#endif  // LSBENCH_TXN_OP_LOG_H_

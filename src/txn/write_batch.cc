@@ -1,0 +1,20 @@
+#include "txn/write_batch.h"
+
+#include "util/assert.h"
+
+namespace lsbench {
+
+size_t WriteBatch::ApplyTo(KvIndex* index) const {
+  LSBENCH_ASSERT(index != nullptr);
+  size_t changed = 0;
+  for (const Mutation& m : mutations_) {
+    if (m.kind == Mutation::Kind::kPut) {
+      if (index->Insert(m.key, m.value)) ++changed;
+    } else {
+      if (index->Erase(m.key)) ++changed;
+    }
+  }
+  return changed;
+}
+
+}  // namespace lsbench

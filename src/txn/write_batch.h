@@ -1,0 +1,47 @@
+#ifndef LSBENCH_TXN_WRITE_BATCH_H_
+#define LSBENCH_TXN_WRITE_BATCH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "index/kv_index.h"
+
+namespace lsbench {
+
+/// One logical mutation.
+struct Mutation {
+  enum class Kind { kPut, kDelete };
+  Kind kind = Kind::kPut;
+  Key key = 0;
+  Value value = 0;
+};
+
+/// An ordered group of mutations applied as a unit (RocksDB WriteBatch
+/// idiom). Single-writer model: "atomic" means later readers of the index
+/// observe either none or all of the batch because Apply runs to completion
+/// before control returns.
+class WriteBatch {
+ public:
+  void Put(Key key, Value value) {
+    mutations_.push_back({Mutation::Kind::kPut, key, value});
+  }
+  void Delete(Key key) {
+    mutations_.push_back({Mutation::Kind::kDelete, key, 0});
+  }
+  void Clear() { mutations_.clear(); }
+
+  size_t size() const { return mutations_.size(); }
+  bool empty() const { return mutations_.empty(); }
+  const std::vector<Mutation>& mutations() const { return mutations_; }
+
+  /// Applies all mutations to `index` in order. Returns the number of
+  /// mutations that changed state (new inserts + successful deletes).
+  size_t ApplyTo(KvIndex* index) const;
+
+ private:
+  std::vector<Mutation> mutations_;
+};
+
+}  // namespace lsbench
+
+#endif  // LSBENCH_TXN_WRITE_BATCH_H_

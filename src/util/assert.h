@@ -1,0 +1,28 @@
+#ifndef LSBENCH_UTIL_ASSERT_H_
+#define LSBENCH_UTIL_ASSERT_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+/// Always-on invariant check for programmer errors (not data errors — those
+/// return Status). Prints the failing expression and location, then aborts.
+#define LSBENCH_ASSERT(cond)                                              \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      std::fprintf(stderr, "LSBENCH_ASSERT failed: %s at %s:%d\n", #cond, \
+                   __FILE__, __LINE__);                                   \
+      std::abort();                                                       \
+    }                                                                     \
+  } while (false)
+
+/// Variant with a human-readable explanation.
+#define LSBENCH_ASSERT_MSG(cond, msg)                                \
+  do {                                                               \
+    if (!(cond)) {                                                   \
+      std::fprintf(stderr, "LSBENCH_ASSERT failed: %s (%s) at %s:%d\n", \
+                   #cond, (msg), __FILE__, __LINE__);                \
+      std::abort();                                                  \
+    }                                                                \
+  } while (false)
+
+#endif  // LSBENCH_UTIL_ASSERT_H_

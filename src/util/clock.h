@@ -1,0 +1,78 @@
+#ifndef LSBENCH_UTIL_CLOCK_H_
+#define LSBENCH_UTIL_CLOCK_H_
+
+#include <chrono>
+#include <cstdint>
+
+#include "util/assert.h"
+
+namespace lsbench {
+
+/// Monotonic time source used by the benchmark driver. Nanosecond ticks from
+/// an arbitrary epoch. Two implementations: RealClock (steady_clock) for
+/// measured runs and VirtualClock for deterministic tests and simulations.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+
+  /// Current time in nanoseconds since an arbitrary but fixed epoch.
+  virtual int64_t NowNanos() const = 0;
+
+  double NowSeconds() const { return static_cast<double>(NowNanos()) * 1e-9; }
+};
+
+/// Wall-clock time via std::chrono::steady_clock.
+class RealClock final : public Clock {
+ public:
+  int64_t NowNanos() const override {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
+};
+
+/// Manually advanced clock for deterministic tests. Starts at zero.
+class VirtualClock final : public Clock {
+ public:
+  int64_t NowNanos() const override { return now_nanos_; }
+
+  /// Advances time by `delta_nanos` (must be non-negative).
+  void AdvanceNanos(int64_t delta_nanos) {
+    LSBENCH_ASSERT(delta_nanos >= 0);
+    now_nanos_ += delta_nanos;
+  }
+
+  void AdvanceSeconds(double seconds) {
+    AdvanceNanos(static_cast<int64_t>(seconds * 1e9));
+  }
+
+  /// Jumps to an absolute time (must not move backwards).
+  void SetNanos(int64_t now_nanos) {
+    LSBENCH_ASSERT(now_nanos >= now_nanos_);
+    now_nanos_ = now_nanos;
+  }
+
+ private:
+  int64_t now_nanos_ = 0;
+};
+
+/// Measures elapsed time against a Clock. Restartable.
+class Stopwatch {
+ public:
+  explicit Stopwatch(const Clock* clock) : clock_(clock), start_(clock->NowNanos()) {}
+
+  void Restart() { start_ = clock_->NowNanos(); }
+
+  int64_t ElapsedNanos() const { return clock_->NowNanos() - start_; }
+  double ElapsedSeconds() const {
+    return static_cast<double>(ElapsedNanos()) * 1e-9;
+  }
+
+ private:
+  const Clock* clock_;
+  int64_t start_;
+};
+
+}  // namespace lsbench
+
+#endif  // LSBENCH_UTIL_CLOCK_H_

@@ -1,0 +1,68 @@
+#include "util/string_util.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace lsbench {
+
+std::string FormatDouble(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  return buf;
+}
+
+std::string HumanCount(double value) {
+  const double abs = std::fabs(value);
+  if (abs >= 1e9) return FormatDouble(value / 1e9, 2) + "B";
+  if (abs >= 1e6) return FormatDouble(value / 1e6, 2) + "M";
+  if (abs >= 1e3) return FormatDouble(value / 1e3, 2) + "K";
+  if (abs == std::floor(abs)) return FormatDouble(value, 0);
+  return FormatDouble(value, 2);
+}
+
+std::string HumanDuration(double nanos) {
+  const double abs = std::fabs(nanos);
+  if (abs >= 1e9) return FormatDouble(nanos / 1e9, 2) + "s";
+  if (abs >= 1e6) return FormatDouble(nanos / 1e6, 2) + "ms";
+  if (abs >= 1e3) return FormatDouble(nanos / 1e3, 2) + "us";
+  return FormatDouble(nanos, 0) + "ns";
+}
+
+std::string Join(const std::vector<std::string>& parts, std::string_view sep) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+std::vector<std::string> Split(std::string_view s, char sep) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  for (size_t i = 0; i <= s.size(); ++i) {
+    if (i == s.size() || s[i] == sep) {
+      out.emplace_back(s.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+std::string PadLeft(std::string_view s, size_t width) {
+  if (s.size() >= width) return std::string(s);
+  return std::string(width - s.size(), ' ') + std::string(s);
+}
+
+std::string PadRight(std::string_view s, size_t width) {
+  if (s.size() >= width) return std::string(s);
+  return std::string(s) + std::string(width - s.size(), ' ');
+}
+
+bool StartsWith(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+std::string Repeat(char c, size_t n) { return std::string(n, c); }
+
+}  // namespace lsbench

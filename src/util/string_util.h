@@ -1,0 +1,39 @@
+#ifndef LSBENCH_UTIL_STRING_UTIL_H_
+#define LSBENCH_UTIL_STRING_UTIL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lsbench {
+
+/// Formats a double with `precision` digits after the decimal point.
+std::string FormatDouble(double value, int precision = 2);
+
+/// Human-readable magnitude: 1234567 -> "1.23M", 2048 -> "2.05K".
+std::string HumanCount(double value);
+
+/// Human-readable duration from nanoseconds: "125ns", "3.2us", "1.5ms",
+/// "2.3s".
+std::string HumanDuration(double nanos);
+
+/// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Splits `s` on the character `sep`; keeps empty fields.
+std::vector<std::string> Split(std::string_view s, char sep);
+
+/// Left/right pads `s` with spaces to `width` (no-op if already wider).
+std::string PadLeft(std::string_view s, size_t width);
+std::string PadRight(std::string_view s, size_t width);
+
+/// True if `s` starts with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+/// Repeats the single character `c`, `n` times.
+std::string Repeat(char c, size_t n);
+
+}  // namespace lsbench
+
+#endif  // LSBENCH_UTIL_STRING_UTIL_H_

@@ -1,0 +1,108 @@
+#include "workload/arrival.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.h"
+#include "util/string_util.h"
+
+namespace lsbench {
+
+PoissonArrival::PoissonArrival(double rate_qps) : rate_qps_(rate_qps) {
+  LSBENCH_ASSERT(rate_qps_ > 0.0);
+}
+
+std::string PoissonArrival::name() const {
+  return "poisson(" + FormatDouble(rate_qps_, 0) + "qps)";
+}
+
+double PoissonArrival::NextInterarrivalSeconds(Rng* rng, double now_seconds) {
+  (void)now_seconds;
+  return rng->NextExponential(rate_qps_);
+}
+
+DiurnalArrival::DiurnalArrival(double base_qps, double amplitude,
+                               double period_seconds)
+    : base_qps_(base_qps),
+      amplitude_(amplitude),
+      period_seconds_(period_seconds) {
+  LSBENCH_ASSERT(base_qps_ > 0.0);
+  LSBENCH_ASSERT(amplitude_ >= 0.0 && amplitude_ < 1.0);
+  LSBENCH_ASSERT(period_seconds_ > 0.0);
+}
+
+std::string DiurnalArrival::name() const {
+  return "diurnal(" + FormatDouble(base_qps_, 0) + "qps,amp=" +
+         FormatDouble(amplitude_, 2) + ")";
+}
+
+double DiurnalArrival::NextInterarrivalSeconds(Rng* rng, double now_seconds) {
+  const double phase = 2.0 * M_PI * now_seconds / period_seconds_;
+  const double rate = base_qps_ * (1.0 + amplitude_ * std::sin(phase));
+  return rng->NextExponential(std::max(rate, 1e-6));
+}
+
+BurstyArrival::BurstyArrival(Options options) : options_(options) {
+  LSBENCH_ASSERT(options_.base_qps > 0.0);
+  LSBENCH_ASSERT(options_.burst_multiplier >= 1.0);
+  LSBENCH_ASSERT(options_.mean_burst_seconds > 0.0);
+  LSBENCH_ASSERT(options_.mean_gap_seconds > 0.0);
+}
+
+std::string BurstyArrival::name() const {
+  return "bursty(" + FormatDouble(options_.base_qps, 0) + "qps,x" +
+         FormatDouble(options_.burst_multiplier, 1) + ")";
+}
+
+double BurstyArrival::NextInterarrivalSeconds(Rng* rng, double now_seconds) {
+  if (next_burst_at_ < 0.0) {
+    next_burst_at_ =
+        now_seconds + rng->NextExponential(1.0 / options_.mean_gap_seconds);
+  }
+  if (now_seconds >= next_burst_at_ && now_seconds >= burst_until_) {
+    burst_until_ =
+        now_seconds + rng->NextExponential(1.0 / options_.mean_burst_seconds);
+    next_burst_at_ = burst_until_ + rng->NextExponential(
+                                        1.0 / options_.mean_gap_seconds);
+  }
+  const bool in_burst = now_seconds < burst_until_;
+  const double rate = in_burst
+                          ? options_.base_qps * options_.burst_multiplier
+                          : options_.base_qps;
+  return rng->NextExponential(rate);
+}
+
+std::string ArrivalPatternToString(ArrivalPattern pattern) {
+  switch (pattern) {
+    case ArrivalPattern::kClosedLoop:
+      return "closed_loop";
+    case ArrivalPattern::kPoisson:
+      return "poisson";
+    case ArrivalPattern::kDiurnal:
+      return "diurnal";
+    case ArrivalPattern::kBursty:
+      return "bursty";
+  }
+  return "unknown";
+}
+
+std::unique_ptr<ArrivalProcess> MakeArrivalProcess(ArrivalPattern pattern,
+                                                   double rate_qps) {
+  switch (pattern) {
+    case ArrivalPattern::kClosedLoop:
+      return std::make_unique<ClosedLoopArrival>();
+    case ArrivalPattern::kPoisson:
+      return std::make_unique<PoissonArrival>(rate_qps > 0 ? rate_qps : 1000);
+    case ArrivalPattern::kDiurnal:
+      return std::make_unique<DiurnalArrival>(rate_qps > 0 ? rate_qps : 1000,
+                                              0.8, 20.0);
+    case ArrivalPattern::kBursty: {
+      BurstyArrival::Options options;
+      if (rate_qps > 0) options.base_qps = rate_qps;
+      return std::make_unique<BurstyArrival>(options);
+    }
+  }
+  return std::make_unique<ClosedLoopArrival>();
+}
+
+}  // namespace lsbench

@@ -1,0 +1,93 @@
+#ifndef LSBENCH_WORKLOAD_ARRIVAL_H_
+#define LSBENCH_WORKLOAD_ARRIVAL_H_
+
+#include <memory>
+#include <string>
+
+#include "util/random.h"
+
+namespace lsbench {
+
+/// When do queries arrive? Closed-loop issues the next query as soon as the
+/// previous finished (classic benchmark mode); the open-loop processes model
+/// the paper's "fluctuations in query load", diurnal patterns, and bursts.
+class ArrivalProcess {
+ public:
+  virtual ~ArrivalProcess() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Seconds until the next arrival, given the current (virtual) time.
+  /// Returns 0 for closed-loop (no think time).
+  virtual double NextInterarrivalSeconds(Rng* rng, double now_seconds) = 0;
+};
+
+/// Back-to-back issue — throughput is limited only by the SUT.
+class ClosedLoopArrival final : public ArrivalProcess {
+ public:
+  std::string name() const override { return "closed_loop"; }
+  double NextInterarrivalSeconds(Rng* rng, double now_seconds) override {
+    (void)rng;
+    (void)now_seconds;
+    return 0.0;
+  }
+};
+
+/// Poisson arrivals at a constant rate (queries/second).
+class PoissonArrival final : public ArrivalProcess {
+ public:
+  explicit PoissonArrival(double rate_qps);
+  std::string name() const override;
+  double NextInterarrivalSeconds(Rng* rng, double now_seconds) override;
+
+ private:
+  double rate_qps_;
+};
+
+/// Sinusoidal rate: rate(t) = base * (1 + amplitude * sin(2*pi*t/period)) —
+/// the diurnal pattern, compressed to benchmark time scales.
+class DiurnalArrival final : public ArrivalProcess {
+ public:
+  DiurnalArrival(double base_qps, double amplitude, double period_seconds);
+  std::string name() const override;
+  double NextInterarrivalSeconds(Rng* rng, double now_seconds) override;
+
+ private:
+  double base_qps_;
+  double amplitude_;
+  double period_seconds_;
+};
+
+/// Poisson base load with exponentially-distributed burst episodes at
+/// `burst_multiplier` times the base rate.
+class BurstyArrival final : public ArrivalProcess {
+ public:
+  struct Options {
+    double base_qps = 1000.0;
+    double burst_multiplier = 10.0;
+    double mean_burst_seconds = 0.5;
+    double mean_gap_seconds = 5.0;
+  };
+
+  explicit BurstyArrival(Options options);
+  std::string name() const override;
+  double NextInterarrivalSeconds(Rng* rng, double now_seconds) override;
+
+ private:
+  Options options_;
+  double burst_until_ = -1.0;
+  double next_burst_at_ = -1.0;
+};
+
+enum class ArrivalPattern { kClosedLoop, kPoisson, kDiurnal, kBursty };
+
+std::string ArrivalPatternToString(ArrivalPattern pattern);
+
+/// `rate_qps` ignored for closed loop. Diurnal uses amplitude 0.8 and a 20 s
+/// period; bursty uses 10x bursts (defaults suited to benchmark timescales).
+std::unique_ptr<ArrivalProcess> MakeArrivalProcess(ArrivalPattern pattern,
+                                                   double rate_qps = 0.0);
+
+}  // namespace lsbench
+
+#endif  // LSBENCH_WORKLOAD_ARRIVAL_H_

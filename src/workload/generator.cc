@@ -1,0 +1,112 @@
+#include "workload/generator.h"
+
+#include <algorithm>
+
+#include "util/assert.h"
+
+namespace lsbench {
+
+OperationGenerator::OperationGenerator(const Dataset* dataset,
+                                       const PhaseSpec& spec, uint64_t seed)
+    : dataset_(dataset),
+      spec_(spec),
+      rng_(seed),
+      access_(MakeAccessDistribution(spec.access, spec.access_param)) {
+  LSBENCH_ASSERT(dataset_ != nullptr);
+  LSBENCH_ASSERT(!dataset_->empty());
+  const double total = spec_.mix.Total();
+  LSBENCH_ASSERT(total > 0.0);
+  const double fractions[kNumOpTypes] = {spec_.mix.get,    spec_.mix.scan,
+                                         spec_.mix.insert, spec_.mix.update,
+                                         spec_.mix.del,    spec_.mix.range_count};
+  double acc = 0.0;
+  for (int i = 0; i < kNumOpTypes; ++i) {
+    acc += fractions[i] / total;
+    cumulative_mix_[i] = acc;
+  }
+  cumulative_mix_[kNumOpTypes - 1] = 1.0;
+}
+
+OpType OperationGenerator::PickType() {
+  const double u = rng_.NextDouble();
+  for (int i = 0; i < kNumOpTypes; ++i) {
+    if (u < cumulative_mix_[i]) return static_cast<OpType>(i);
+  }
+  return OpType::kGet;
+}
+
+Key OperationGenerator::PickExistingKey() {
+  const uint64_t population =
+      dataset_->keys.size() + inserted_keys_.size();
+  const uint64_t rank = access_->NextRank(&rng_, population);
+  if (rank < dataset_->keys.size()) return dataset_->keys[rank];
+  return inserted_keys_[rank - dataset_->keys.size()];
+}
+
+Key OperationGenerator::MakeFreshKey() {
+  // Fresh keys are planted near an existing key of this phase's dataset so
+  // that the *stored* distribution drifts toward the phase's data
+  // distribution as the phase runs.
+  const Key base = dataset_->keys[rng_.NextBounded(dataset_->keys.size())];
+  const uint64_t jitter = rng_.NextBounded(1 << 16);
+  const Key key = base + jitter;  // Wraps harmlessly on overflow.
+  return key;
+}
+
+Operation OperationGenerator::Next() {
+  ++generated_;
+  Operation op;
+  op.type = PickType();
+  switch (op.type) {
+    case OpType::kGet:
+      op.key = PickExistingKey();
+      break;
+    case OpType::kScan:
+      op.key = PickExistingKey();
+      // Vary scan length geometrically around the configured typical value.
+      op.scan_length = std::max<uint32_t>(
+          1, static_cast<uint32_t>(
+                 static_cast<double>(spec_.scan_length) *
+                 (0.5 + rng_.NextDouble())));
+      break;
+    case OpType::kInsert:
+      op.key = MakeFreshKey();
+      op.value = ++value_counter_;
+      inserted_keys_.push_back(op.key);
+      break;
+    case OpType::kUpdate:
+      op.key = PickExistingKey();
+      op.value = ++value_counter_;
+      break;
+    case OpType::kDelete:
+      op.key = PickExistingKey();
+      break;
+    case OpType::kRangeCount: {
+      op.key = PickExistingKey();
+      const double width_frac =
+          spec_.range_selectivity * (0.5 + rng_.NextDouble());
+      const Key domain =
+          dataset_->domain_max > 0 ? dataset_->domain_max : ~Key{0};
+      const Key width = static_cast<Key>(
+          width_frac * static_cast<double>(domain));
+      op.range_end =
+          op.key > ~Key{0} - width ? ~Key{0} : op.key + width;
+      break;
+    }
+  }
+  return op;
+}
+
+WorkloadSignature ComputePhaseSignature(const Dataset& dataset,
+                                        const PhaseSpec& spec,
+                                        size_t sample_ops, uint64_t seed) {
+  OperationGenerator gen(&dataset, spec, seed);
+  WorkloadSignature sig;
+  const Key domain = dataset.domain_max > 0 ? dataset.domain_max : ~Key{0};
+  for (size_t i = 0; i < sample_ops; ++i) {
+    sig.AddOperation(gen.Next(), domain);
+  }
+  return sig;
+}
+
+}  // namespace lsbench

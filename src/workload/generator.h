@@ -1,0 +1,60 @@
+#ifndef LSBENCH_WORKLOAD_GENERATOR_H_
+#define LSBENCH_WORKLOAD_GENERATOR_H_
+
+#include <memory>
+#include <vector>
+
+#include "data/dataset.h"
+#include "workload/operation.h"
+#include "workload/query_plan.h"
+#include "workload/spec.h"
+
+namespace lsbench {
+
+/// Produces the operation stream for one phase: operation types follow the
+/// phase mix, target records follow the access distribution, inserts create
+/// fresh keys near the phase's data distribution (so the stored data drifts
+/// toward the phase's distribution — the paper's "changing data
+/// distributions"). Deterministic given the seed.
+class OperationGenerator {
+ public:
+  /// `dataset` must outlive the generator.
+  OperationGenerator(const Dataset* dataset, const PhaseSpec& spec,
+                     uint64_t seed);
+
+  OperationGenerator(const OperationGenerator&) = delete;
+  OperationGenerator& operator=(const OperationGenerator&) = delete;
+  OperationGenerator(OperationGenerator&&) = default;
+
+  /// The next operation in the stream.
+  Operation Next();
+
+  const PhaseSpec& spec() const { return spec_; }
+  const Dataset* dataset() const { return dataset_; }
+  uint64_t generated_count() const { return generated_; }
+  size_t inserted_key_count() const { return inserted_keys_.size(); }
+
+ private:
+  OpType PickType();
+  Key PickExistingKey();
+  Key MakeFreshKey();
+
+  const Dataset* dataset_;
+  PhaseSpec spec_;
+  Rng rng_;
+  std::unique_ptr<AccessDistribution> access_;
+  double cumulative_mix_[kNumOpTypes];
+  std::vector<Key> inserted_keys_;
+  uint64_t generated_ = 0;
+  uint64_t value_counter_ = 0;
+};
+
+/// The Jaccard fingerprint of a phase, computed over `sample_ops` sampled
+/// operations from a throwaway generator (independent of the live stream).
+WorkloadSignature ComputePhaseSignature(const Dataset& dataset,
+                                        const PhaseSpec& spec,
+                                        size_t sample_ops, uint64_t seed);
+
+}  // namespace lsbench
+
+#endif  // LSBENCH_WORKLOAD_GENERATOR_H_

@@ -1,0 +1,60 @@
+#include "workload/operation.h"
+
+namespace lsbench {
+
+std::string OpTypeToString(OpType type) {
+  switch (type) {
+    case OpType::kGet:
+      return "get";
+    case OpType::kScan:
+      return "scan";
+    case OpType::kInsert:
+      return "insert";
+    case OpType::kUpdate:
+      return "update";
+    case OpType::kDelete:
+      return "delete";
+    case OpType::kRangeCount:
+      return "range_count";
+  }
+  return "unknown";
+}
+
+OperationMix OperationMix::ReadMostly() {
+  OperationMix mix;
+  mix.get = 0.95;
+  mix.update = 0.05;
+  return mix;
+}
+
+OperationMix OperationMix::ReadWrite() {
+  OperationMix mix;
+  mix.get = 0.5;
+  mix.update = 0.5;
+  return mix;
+}
+
+OperationMix OperationMix::ScanHeavy() {
+  OperationMix mix;
+  mix.get = 0.0;
+  mix.scan = 0.95;
+  mix.insert = 0.05;
+  return mix;
+}
+
+OperationMix OperationMix::InsertHeavy() {
+  OperationMix mix;
+  mix.get = 0.2;
+  mix.insert = 0.8;
+  return mix;
+}
+
+OperationMix OperationMix::Analytic() {
+  OperationMix mix;
+  mix.get = 0.1;
+  mix.range_count = 0.85;
+  mix.insert = 0.05;
+  return mix;
+}
+
+}  // namespace lsbench

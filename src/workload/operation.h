@@ -1,0 +1,64 @@
+#ifndef LSBENCH_WORKLOAD_OPERATION_H_
+#define LSBENCH_WORKLOAD_OPERATION_H_
+
+#include <cstdint>
+#include <string>
+
+#include "index/kv_index.h"
+
+namespace lsbench {
+
+/// The operation vocabulary of LSBench workloads: YCSB-style point/write ops
+/// plus two range flavors that exercise scans and analytic aggregation
+/// (where cardinality estimation and access-path choice matter).
+enum class OpType {
+  kGet = 0,
+  kScan,        ///< Ordered scan of `scan_length` entries from `key`.
+  kInsert,      ///< Insert a (usually new) key.
+  kUpdate,      ///< Overwrite an existing key.
+  kDelete,      ///< Remove an existing key.
+  kRangeCount,  ///< Analytic: count keys in [key, range_end].
+};
+
+constexpr int kNumOpTypes = 6;
+
+std::string OpTypeToString(OpType type);
+
+/// One generated operation.
+struct Operation {
+  OpType type = OpType::kGet;
+  Key key = 0;
+  Key range_end = 0;      ///< For kRangeCount.
+  uint32_t scan_length = 0;  ///< For kScan.
+  Value value = 0;        ///< For kInsert / kUpdate.
+};
+
+/// Relative frequencies of each operation type. Need not sum to 1; they are
+/// normalized. The classic YCSB mixes are provided as factories.
+struct OperationMix {
+  double get = 1.0;
+  double scan = 0.0;
+  double insert = 0.0;
+  double update = 0.0;
+  double del = 0.0;
+  double range_count = 0.0;
+
+  double Total() const {
+    return get + scan + insert + update + del + range_count;
+  }
+
+  /// 95% reads / 5% updates (YCSB-B-like).
+  static OperationMix ReadMostly();
+  /// 50/50 reads and updates (YCSB-A-like).
+  static OperationMix ReadWrite();
+  /// 95% scans / 5% inserts (YCSB-E-like).
+  static OperationMix ScanHeavy();
+  /// Insert-dominated ingest with occasional reads.
+  static OperationMix InsertHeavy();
+  /// Range-count analytics with light writes.
+  static OperationMix Analytic();
+};
+
+}  // namespace lsbench
+
+#endif  // LSBENCH_WORKLOAD_OPERATION_H_

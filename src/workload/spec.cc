@@ -1,0 +1,33 @@
+#include "workload/spec.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace lsbench {
+
+std::string TransitionKindToString(TransitionKind kind) {
+  switch (kind) {
+    case TransitionKind::kAbrupt:
+      return "abrupt";
+    case TransitionKind::kLinear:
+      return "linear";
+    case TransitionKind::kCosine:
+      return "cosine";
+  }
+  return "unknown";
+}
+
+double TransitionMixFraction(TransitionKind kind, double progress) {
+  progress = std::clamp(progress, 0.0, 1.0);
+  switch (kind) {
+    case TransitionKind::kAbrupt:
+      return 1.0;
+    case TransitionKind::kLinear:
+      return progress;
+    case TransitionKind::kCosine:
+      return 0.5 * (1.0 - std::cos(M_PI * progress));
+  }
+  return 1.0;
+}
+
+}  // namespace lsbench

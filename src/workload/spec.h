@@ -1,0 +1,53 @@
+#ifndef LSBENCH_WORKLOAD_SPEC_H_
+#define LSBENCH_WORKLOAD_SPEC_H_
+
+#include <cstdint>
+#include <string>
+
+#include "workload/access_distribution.h"
+#include "workload/arrival.h"
+#include "workload/operation.h"
+
+namespace lsbench {
+
+/// How a phase takes over from its predecessor (§V-B: "a workload can slowly
+/// transition to another or transition abruptly").
+enum class TransitionKind {
+  kAbrupt,  ///< Next phase starts at full intensity immediately.
+  kLinear,  ///< Mixing probability ramps linearly over the transition ops.
+  kCosine,  ///< Smooth ease-in/ease-out ramp.
+};
+
+std::string TransitionKindToString(TransitionKind kind);
+
+/// Fraction of operations drawn from the *new* phase, given transition
+/// progress in [0, 1].
+double TransitionMixFraction(TransitionKind kind, double progress);
+
+/// One benchmark phase: a (workload, data distribution) combination plus
+/// how it is entered. The run spec (core/) sequences these.
+struct PhaseSpec {
+  std::string name;
+  /// Index into the run's dataset list — the data distribution this phase
+  /// queries (and drifts toward, for inserts).
+  int dataset_index = 0;
+  OperationMix mix;
+  AccessPattern access = AccessPattern::kZipfian;
+  double access_param = 0.0;  ///< Pattern-specific (theta / hot fraction).
+  ArrivalPattern arrival = ArrivalPattern::kClosedLoop;
+  double arrival_rate_qps = 0.0;
+  uint64_t num_operations = 10000;
+  /// Blend-in from the previous phase (ignored for the first phase).
+  TransitionKind transition_in = TransitionKind::kAbrupt;
+  uint64_t transition_operations = 0;
+  /// Hold-out phases are out-of-sample: the driver never exposes them to
+  /// the SUT for training and refuses to run them twice (§V-A).
+  bool holdout = false;
+  uint32_t scan_length = 100;
+  /// Width of kRangeCount predicates as a fraction of the key domain.
+  double range_selectivity = 0.001;
+};
+
+}  // namespace lsbench
+
+#endif  // LSBENCH_WORKLOAD_SPEC_H_

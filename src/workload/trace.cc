@@ -1,0 +1,93 @@
+#include "workload/trace.h"
+
+#include <cstdlib>
+#include <sstream>
+
+#include "util/csv.h"
+
+namespace lsbench {
+
+std::vector<uint64_t> OperationTrace::TypeHistogram() const {
+  std::vector<uint64_t> counts(kNumOpTypes, 0);
+  for (const Operation& op : operations_) {
+    ++counts[static_cast<int>(op.type)];
+  }
+  return counts;
+}
+
+std::string OperationTrace::ToCsv() const {
+  std::ostringstream out;
+  CsvWriter csv(&out);
+  csv.WriteRow({"type", "key", "range_end", "scan_length", "value"});
+  for (const Operation& op : operations_) {
+    csv.WriteRow({OpTypeToString(op.type), CsvWriter::Field(op.key),
+                  CsvWriter::Field(op.range_end),
+                  CsvWriter::Field(static_cast<uint64_t>(op.scan_length)),
+                  CsvWriter::Field(op.value)});
+  }
+  return out.str();
+}
+
+namespace {
+
+Result<OpType> ParseOpType(const std::string& name) {
+  for (int i = 0; i < kNumOpTypes; ++i) {
+    const OpType type = static_cast<OpType>(i);
+    if (OpTypeToString(type) == name) return type;
+  }
+  return Status::InvalidArgument("unknown op type: " + name);
+}
+
+Result<uint64_t> ParseU64(const std::string& field) {
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(field.c_str(), &end, 10);
+  if (end == field.c_str() || *end != '\0') {
+    return Status::InvalidArgument("not a number: " + field);
+  }
+  return static_cast<uint64_t>(v);
+}
+
+}  // namespace
+
+Result<OperationTrace> OperationTrace::FromCsv(const std::string& csv) {
+  const Result<std::vector<std::vector<std::string>>> rows = ParseCsv(csv);
+  if (!rows.ok()) return rows.status();
+  const auto& parsed = rows.value();
+  if (parsed.empty() || parsed[0].size() != 5 || parsed[0][0] != "type") {
+    return Status::InvalidArgument("missing trace header");
+  }
+  OperationTrace trace;
+  for (size_t i = 1; i < parsed.size(); ++i) {
+    const auto& row = parsed[i];
+    if (row.size() != 5) {
+      return Status::InvalidArgument("row " + std::to_string(i) +
+                                     " has wrong arity");
+    }
+    const Result<OpType> type = ParseOpType(row[0]);
+    if (!type.ok()) return type.status();
+    Operation op;
+    op.type = type.value();
+    for (int f = 1; f <= 4; ++f) {
+      const Result<uint64_t> v = ParseU64(row[f]);
+      if (!v.ok()) return v.status();
+      switch (f) {
+        case 1:
+          op.key = v.value();
+          break;
+        case 2:
+          op.range_end = v.value();
+          break;
+        case 3:
+          op.scan_length = static_cast<uint32_t>(v.value());
+          break;
+        case 4:
+          op.value = v.value();
+          break;
+      }
+    }
+    trace.Append(op);
+  }
+  return trace;
+}
+
+}  // namespace lsbench

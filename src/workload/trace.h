@@ -1,0 +1,41 @@
+#ifndef LSBENCH_WORKLOAD_TRACE_H_
+#define LSBENCH_WORKLOAD_TRACE_H_
+
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+#include "workload/operation.h"
+
+namespace lsbench {
+
+/// A recorded operation stream. Traces serve two benchmark needs the paper
+/// raises: (1) *reproducibility* — the exact stream a SUT saw can be
+/// archived next to the results and replayed against another system, and
+/// (2) *benchmark-as-a-service* — a hidden hold-out trace can be shipped to
+/// the evaluator without shipping its generator.
+class OperationTrace {
+ public:
+  void Append(const Operation& op) { operations_.push_back(op); }
+
+  const std::vector<Operation>& operations() const { return operations_; }
+  size_t size() const { return operations_.size(); }
+  bool empty() const { return operations_.empty(); }
+  void Clear() { operations_.clear(); }
+
+  /// Per-type counts (indexed by OpType).
+  std::vector<uint64_t> TypeHistogram() const;
+
+  /// Serializes to CSV: type,key,range_end,scan_length,value.
+  std::string ToCsv() const;
+
+  /// Parses a trace produced by ToCsv (header required).
+  static Result<OperationTrace> FromCsv(const std::string& csv);
+
+ private:
+  std::vector<Operation> operations_;
+};
+
+}  // namespace lsbench
+
+#endif  // LSBENCH_WORKLOAD_TRACE_H_

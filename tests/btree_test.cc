@@ -1,0 +1,306 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "index/btree.h"
+#include "util/random.h"
+
+namespace lsbench {
+namespace {
+
+std::vector<KeyValue> MakeSortedPairs(size_t n, Key stride = 10) {
+  std::vector<KeyValue> pairs;
+  pairs.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    pairs.emplace_back(static_cast<Key>(i) * stride + 5, static_cast<Value>(i));
+  }
+  return pairs;
+}
+
+TEST(BTreeTest, EmptyTree) {
+  BTree tree;
+  EXPECT_EQ(tree.size(), 0u);
+  EXPECT_TRUE(tree.empty());
+  EXPECT_FALSE(tree.Get(42).has_value());
+  EXPECT_FALSE(tree.Erase(42));
+  EXPECT_EQ(tree.Height(), 0);
+  tree.CheckInvariants();
+}
+
+TEST(BTreeTest, SingleInsertGetErase) {
+  BTree tree;
+  EXPECT_TRUE(tree.Insert(10, 100));
+  EXPECT_EQ(tree.size(), 1u);
+  ASSERT_TRUE(tree.Get(10).has_value());
+  EXPECT_EQ(*tree.Get(10), 100u);
+  EXPECT_FALSE(tree.Get(11).has_value());
+  EXPECT_TRUE(tree.Erase(10));
+  EXPECT_EQ(tree.size(), 0u);
+  tree.CheckInvariants();
+}
+
+TEST(BTreeTest, InsertOverwrites) {
+  BTree tree;
+  EXPECT_TRUE(tree.Insert(5, 1));
+  EXPECT_FALSE(tree.Insert(5, 2));  // Overwrite returns false.
+  EXPECT_EQ(tree.size(), 1u);
+  EXPECT_EQ(*tree.Get(5), 2u);
+}
+
+TEST(BTreeTest, SequentialInsertsSplitCorrectly) {
+  BTree tree(8);
+  const int n = 1000;
+  for (int i = 0; i < n; ++i) {
+    EXPECT_TRUE(tree.Insert(i, i * 2));
+    if (i % 100 == 0) tree.CheckInvariants();
+  }
+  tree.CheckInvariants();
+  EXPECT_EQ(tree.size(), static_cast<size_t>(n));
+  EXPECT_GT(tree.Height(), 1);
+  for (int i = 0; i < n; ++i) {
+    ASSERT_TRUE(tree.Get(i).has_value()) << i;
+    EXPECT_EQ(*tree.Get(i), static_cast<Value>(i * 2));
+  }
+}
+
+TEST(BTreeTest, ReverseInserts) {
+  BTree tree(8);
+  for (int i = 999; i >= 0; --i) tree.Insert(i, i);
+  tree.CheckInvariants();
+  EXPECT_EQ(tree.size(), 1000u);
+  for (int i = 0; i < 1000; ++i) EXPECT_TRUE(tree.Get(i).has_value());
+}
+
+TEST(BTreeTest, ScanReturnsSortedRange) {
+  BTree tree(8);
+  for (int i = 0; i < 500; ++i) tree.Insert(i * 10, i);
+  std::vector<KeyValue> out;
+  const size_t got = tree.Scan(95, 20, &out);
+  EXPECT_EQ(got, 20u);
+  ASSERT_EQ(out.size(), 20u);
+  EXPECT_EQ(out.front().first, 100u);  // First key >= 95.
+  for (size_t i = 1; i < out.size(); ++i) {
+    EXPECT_LT(out[i - 1].first, out[i].first);
+  }
+}
+
+TEST(BTreeTest, ScanPastEnd) {
+  BTree tree;
+  tree.Insert(1, 1);
+  std::vector<KeyValue> out;
+  EXPECT_EQ(tree.Scan(100, 10, &out), 0u);
+  EXPECT_EQ(tree.Scan(0, 10, &out), 1u);
+}
+
+TEST(BTreeTest, ScanOnEmptyTree) {
+  BTree tree;
+  std::vector<KeyValue> out;
+  EXPECT_EQ(tree.Scan(0, 10, &out), 0u);
+}
+
+TEST(BTreeTest, BulkLoadMatchesInserted) {
+  BTree tree(16);
+  const auto pairs = MakeSortedPairs(5000);
+  tree.BulkLoad(pairs);
+  tree.CheckInvariants();
+  EXPECT_EQ(tree.size(), pairs.size());
+  for (const auto& [k, v] : pairs) {
+    ASSERT_TRUE(tree.Get(k).has_value());
+    EXPECT_EQ(*tree.Get(k), v);
+  }
+  // Keys between stored ones are absent.
+  EXPECT_FALSE(tree.Get(6).has_value());
+}
+
+TEST(BTreeTest, BulkLoadEmptyAndSmall) {
+  BTree tree;
+  tree.BulkLoad({});
+  EXPECT_EQ(tree.size(), 0u);
+  tree.CheckInvariants();
+  tree.BulkLoad({{1, 1}, {2, 2}});
+  EXPECT_EQ(tree.size(), 2u);
+  tree.CheckInvariants();
+}
+
+TEST(BTreeTest, BulkLoadThenInsertAndErase) {
+  BTree tree(8);
+  tree.BulkLoad(MakeSortedPairs(1000));
+  for (int i = 0; i < 200; ++i) tree.Insert(i * 10 + 6, 999);
+  tree.CheckInvariants();
+  for (int i = 0; i < 200; ++i) EXPECT_TRUE(tree.Erase(i * 10 + 5));
+  tree.CheckInvariants();
+  EXPECT_EQ(tree.size(), 1000u);  // +200 inserts, -200 erases.
+}
+
+TEST(BTreeTest, EraseToEmptyAndReuse) {
+  BTree tree(8);
+  for (int i = 0; i < 300; ++i) tree.Insert(i, i);
+  for (int i = 0; i < 300; ++i) {
+    EXPECT_TRUE(tree.Erase(i)) << i;
+    if (i % 50 == 0) tree.CheckInvariants();
+  }
+  EXPECT_EQ(tree.size(), 0u);
+  EXPECT_EQ(tree.Height(), 0);
+  tree.CheckInvariants();
+  // The tree is fully usable after draining.
+  EXPECT_TRUE(tree.Insert(7, 7));
+  EXPECT_EQ(*tree.Get(7), 7u);
+}
+
+TEST(BTreeTest, EraseMissingKeyIsNoop) {
+  BTree tree(8);
+  tree.BulkLoad(MakeSortedPairs(100));
+  const size_t before = tree.size();
+  EXPECT_FALSE(tree.Erase(6));  // Between keys.
+  EXPECT_FALSE(tree.Erase(100000));
+  EXPECT_EQ(tree.size(), before);
+  tree.CheckInvariants();
+}
+
+TEST(BTreeTest, MemoryGrowsWithSize) {
+  BTree tree;
+  const size_t empty_bytes = tree.MemoryBytes();
+  tree.BulkLoad(MakeSortedPairs(10000));
+  EXPECT_GT(tree.MemoryBytes(), empty_bytes + 10000 * 16);
+}
+
+TEST(BTreeTest, HeightGrowsLogarithmically) {
+  BTree tree(64);
+  tree.BulkLoad(MakeSortedPairs(100000));
+  EXPECT_LE(tree.Height(), 4);
+  EXPECT_GE(tree.Height(), 2);
+}
+
+/// Randomized differential test against std::map across fanouts.
+class BTreeFuzzTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(BTreeFuzzTest, MatchesStdMapUnderRandomOps) {
+  const int fanout = GetParam();
+  BTree tree(fanout);
+  std::map<Key, Value> reference;
+  Rng rng(1000 + fanout);
+  const int ops = 20000;
+  const Key key_space = 3000;  // Dense space forces collisions & deletes.
+
+  for (int i = 0; i < ops; ++i) {
+    const Key key = rng.NextBounded(key_space);
+    switch (rng.NextBounded(4)) {
+      case 0:
+      case 1: {  // Insert.
+        const Value value = rng.Next();
+        const bool fresh = reference.find(key) == reference.end();
+        EXPECT_EQ(tree.Insert(key, value), fresh);
+        reference[key] = value;
+        break;
+      }
+      case 2: {  // Erase.
+        const bool existed = reference.erase(key) > 0;
+        EXPECT_EQ(tree.Erase(key), existed);
+        break;
+      }
+      case 3: {  // Get.
+        const auto it = reference.find(key);
+        const auto got = tree.Get(key);
+        if (it == reference.end()) {
+          EXPECT_FALSE(got.has_value());
+        } else {
+          ASSERT_TRUE(got.has_value());
+          EXPECT_EQ(*got, it->second);
+        }
+        break;
+      }
+    }
+    if (i % 2500 == 0) tree.CheckInvariants();
+  }
+  tree.CheckInvariants();
+  EXPECT_EQ(tree.size(), reference.size());
+
+  // Full scan equals the reference map contents.
+  std::vector<KeyValue> all;
+  tree.Scan(0, tree.size() + 10, &all);
+  ASSERT_EQ(all.size(), reference.size());
+  auto it = reference.begin();
+  for (const auto& [k, v] : all) {
+    EXPECT_EQ(k, it->first);
+    EXPECT_EQ(v, it->second);
+    ++it;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Fanouts, BTreeFuzzTest,
+                         ::testing::Values(4, 6, 8, 16, 64));
+
+/// Deletion-heavy pattern to stress borrow/merge paths.
+TEST(BTreeTest, AlternatingDeletePattern) {
+  BTree tree(4);  // Minimal fanout: maximal rebalancing pressure.
+  const int n = 2000;
+  for (int i = 0; i < n; ++i) tree.Insert(i, i);
+  // Delete every other key, then every fourth, ...
+  for (int step = 2; step <= 16; step *= 2) {
+    for (int i = 0; i < n; i += step) tree.Erase(i);
+    tree.CheckInvariants();
+  }
+  // Survivors are exactly the keys not divisible by 2 (deleted at step 2).
+  for (int i = 1; i < n; i += 2) {
+    EXPECT_TRUE(tree.Get(i).has_value()) << i;
+  }
+}
+
+TEST(BTreeTest, ExtremeKeyValues) {
+  BTree tree(8);
+  const Key max_key = ~Key{0};
+  EXPECT_TRUE(tree.Insert(0, 1));
+  EXPECT_TRUE(tree.Insert(max_key, 2));
+  EXPECT_TRUE(tree.Insert(max_key - 1, 3));
+  EXPECT_EQ(*tree.Get(0), 1u);
+  EXPECT_EQ(*tree.Get(max_key), 2u);
+  std::vector<KeyValue> out;
+  EXPECT_EQ(tree.Scan(max_key, 5, &out), 1u);
+  EXPECT_EQ(out[0].first, max_key);
+  tree.CheckInvariants();
+}
+
+TEST(BTreeTest, RepeatedBulkLoadsReplaceContents) {
+  BTree tree(8);
+  tree.BulkLoad(MakeSortedPairs(500));
+  tree.BulkLoad(MakeSortedPairs(100, /*stride=*/3));
+  tree.CheckInvariants();
+  EXPECT_EQ(tree.size(), 100u);
+  EXPECT_TRUE(tree.Get(5).has_value());       // Stride-3 key (i=0 -> 5).
+  EXPECT_FALSE(tree.Get(4995).has_value());   // Old stride-10 key is gone.
+}
+
+TEST(BTreeTest, InsertEraseChurnAtFixedSize) {
+  // Sliding-window churn: insert at the front, erase at the back — stresses
+  // the leftmost/rightmost rebalancing paths at a constant tree size.
+  BTree tree(6);
+  const int window = 500;
+  for (int i = 0; i < window; ++i) tree.Insert(i, i);
+  for (int i = window; i < 10000; ++i) {
+    EXPECT_TRUE(tree.Insert(i, i));
+    EXPECT_TRUE(tree.Erase(i - window));
+    EXPECT_EQ(tree.size(), static_cast<size_t>(window));
+  }
+  tree.CheckInvariants();
+  // Exactly the last `window` keys survive.
+  std::vector<KeyValue> out;
+  tree.Scan(0, window + 10, &out);
+  ASSERT_EQ(out.size(), static_cast<size_t>(window));
+  EXPECT_EQ(out.front().first, static_cast<Key>(10000 - window));
+  EXPECT_EQ(out.back().first, 9999u);
+}
+
+TEST(BTreeTest, ScanAcrossManyLeaves) {
+  BTree tree(4);
+  for (int i = 0; i < 5000; ++i) tree.Insert(i, i);
+  std::vector<KeyValue> out;
+  EXPECT_EQ(tree.Scan(0, 5000, &out), 5000u);
+  for (int i = 0; i < 5000; ++i) {
+    EXPECT_EQ(out[i].first, static_cast<Key>(i));
+  }
+}
+
+}  // namespace
+}  // namespace lsbench

@@ -1,0 +1,143 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "cache/cache.h"
+#include "util/random.h"
+#include "workload/access_distribution.h"
+
+namespace lsbench {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Policy-specific behavior
+// ---------------------------------------------------------------------------
+
+TEST(LruCacheTest, EvictsLeastRecentlyUsed) {
+  LruCache cache(2);
+  EXPECT_FALSE(cache.Access(1));
+  EXPECT_FALSE(cache.Access(2));
+  EXPECT_TRUE(cache.Access(1));   // 1 becomes most recent.
+  EXPECT_FALSE(cache.Access(3));  // Evicts 2.
+  EXPECT_TRUE(cache.Access(1));
+  EXPECT_FALSE(cache.Access(2));  // 2 was evicted.
+}
+
+TEST(LfuCacheTest, EvictsLeastFrequentlyUsed) {
+  LfuCache cache(2);
+  cache.Access(1);
+  cache.Access(1);
+  cache.Access(1);
+  cache.Access(2);
+  cache.Access(3);  // Evicts 2 (frequency 1) not 1 (frequency 3).
+  EXPECT_TRUE(cache.Access(1));
+  EXPECT_FALSE(cache.Access(2));
+}
+
+TEST(FifoCacheTest, EvictsOldestRegardlessOfUse) {
+  FifoCache cache(2);
+  cache.Access(1);
+  cache.Access(2);
+  cache.Access(1);  // Hit, but does not refresh FIFO position.
+  cache.Access(3);  // Evicts 1 (oldest admitted).
+  EXPECT_FALSE(cache.Access(1));
+}
+
+TEST(LearnedCacheTest, AdmissionResistsScanPollution) {
+  // A hot working set plus a one-pass scan: learned admission should keep
+  // the hot keys resident because the scan's keys have no reuse history.
+  LearnedCache cache(64);
+  Rng rng(1);
+  // Warm the hot set.
+  for (int round = 0; round < 50; ++round) {
+    for (Key k = 0; k < 64; ++k) cache.Access(k);
+  }
+  cache.ResetCounters();
+  // Interleave hot accesses with a long cold scan.
+  Key scan_key = 1000000;
+  for (int i = 0; i < 5000; ++i) {
+    cache.Access(rng.NextBounded(64));
+    cache.Access(scan_key++);
+  }
+  // Hot keys should still hit most of the time despite the scan.
+  uint64_t hot_hits = 0;
+  for (Key k = 0; k < 64; ++k) {
+    if (cache.Access(k)) ++hot_hits;
+  }
+  EXPECT_GT(hot_hits, 48u);
+}
+
+TEST(LearnedCacheTest, GhostTableStaysBounded) {
+  LearnedCache::Options options;
+  options.ghost_factor = 2.0;
+  LearnedCache cache(128, options);
+  Rng rng(2);
+  for (int i = 0; i < 50000; ++i) {
+    cache.Access(rng.Next());  // All-distinct stream.
+  }
+  EXPECT_LE(cache.ghost_size(), 2 * 256u + 128u);
+}
+
+// ---------------------------------------------------------------------------
+// Conformance across all policies
+// ---------------------------------------------------------------------------
+
+class CacheConformanceTest : public ::testing::TestWithParam<CachePolicy> {};
+
+TEST_P(CacheConformanceTest, CapacityNeverExceeded) {
+  const auto cache = MakeCache(GetParam(), 100);
+  Rng rng(3);
+  for (int i = 0; i < 20000; ++i) {
+    cache->Access(rng.NextBounded(1000));
+    ASSERT_LE(cache->size(), 100u);
+  }
+  EXPECT_EQ(cache->capacity(), 100u);
+}
+
+TEST_P(CacheConformanceTest, RepeatAccessesHit) {
+  const auto cache = MakeCache(GetParam(), 16);
+  for (Key k = 0; k < 8; ++k) cache->Access(k);
+  for (Key k = 0; k < 8; ++k) EXPECT_TRUE(cache->Access(k));
+}
+
+TEST_P(CacheConformanceTest, HitRateAccounting) {
+  const auto cache = MakeCache(GetParam(), 4);
+  cache->Access(1);  // Miss.
+  cache->Access(1);  // Hit.
+  EXPECT_EQ(cache->hits(), 1u);
+  EXPECT_EQ(cache->misses(), 1u);
+  EXPECT_DOUBLE_EQ(cache->HitRate(), 0.5);
+  cache->ResetCounters();
+  EXPECT_EQ(cache->hits(), 0u);
+}
+
+TEST_P(CacheConformanceTest, SkewedTrafficBeatsCapacityRatio) {
+  // Under zipfian access a cache of 10% capacity should far exceed a 10%
+  // hit rate for every policy.
+  const size_t universe = 10000;
+  const auto cache = MakeCache(GetParam(), universe / 10);
+  ZipfianAccess access(0.99, /*scramble=*/false);
+  Rng rng(5);
+  for (int i = 0; i < 100000; ++i) {
+    cache->Access(access.NextRank(&rng, universe));
+  }
+  EXPECT_GT(cache->HitRate(), 0.4) << CachePolicyToString(GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPolicies, CacheConformanceTest,
+    ::testing::Values(CachePolicy::kLru, CachePolicy::kLfu,
+                      CachePolicy::kFifo, CachePolicy::kLearned),
+    [](const ::testing::TestParamInfo<CachePolicy>& info) {
+      return CachePolicyToString(info.param);
+    });
+
+TEST(CacheFactoryTest, NamesMatchPolicies) {
+  EXPECT_EQ(MakeCache(CachePolicy::kLru, 4)->name(), "lru");
+  EXPECT_EQ(MakeCache(CachePolicy::kLfu, 4)->name(), "lfu");
+  EXPECT_EQ(MakeCache(CachePolicy::kFifo, 4)->name(), "fifo");
+  EXPECT_EQ(MakeCache(CachePolicy::kLearned, 4)->name(), "learned");
+}
+
+}  // namespace
+}  // namespace lsbench

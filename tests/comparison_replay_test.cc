@@ -1,0 +1,193 @@
+#include <gtest/gtest.h>
+
+#include "core/comparison.h"
+#include "core/replay.h"
+#include "data/dataset.h"
+#include "sut/systems.h"
+#include "workload/trace.h"
+
+namespace lsbench {
+namespace {
+
+RunSpec SmallSpec() {
+  RunSpec spec;
+  spec.name = "cmp_test";
+  DatasetOptions options;
+  options.num_keys = 3000;
+  spec.datasets.push_back(GenerateDataset(UniformUnit(), options));
+  PhaseSpec phase;
+  phase.name = "p0";
+  phase.mix = OperationMix::ReadMostly();
+  phase.num_operations = 1500;
+  spec.phases.push_back(phase);
+  spec.interval_nanos = 50000000;
+  spec.boxplot_sample_nanos = 5000000;
+  return spec;
+}
+
+// ---------------------------------------------------------------------------
+// Comparison harness
+// ---------------------------------------------------------------------------
+
+TEST(ComparisonTest, RunsAllSystemsAndRanks) {
+  VirtualClock clock;
+  DriverOptions options;
+  options.virtual_clock = &clock;
+  BTreeSystem btree;
+  LearnedKvSystem learned;
+  const Result<ComparisonReport> report = CompareSystems(
+      SmallSpec(), {&btree, &learned}, &clock, options);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  ASSERT_EQ(report.value().rows.size(), 2u);
+  ASSERT_EQ(report.value().results.size(), 2u);
+  EXPECT_EQ(report.value().rows[0].sut_name, "btree_system");
+  EXPECT_GT(report.value().rows[0].mean_throughput, 0.0);
+  // Learned system trained; traditional did not.
+  EXPECT_EQ(report.value().rows[0].retrain_events, 0u);
+  // In simulation mode training takes zero virtual time but is recorded.
+  EXPECT_EQ(report.value().results[1].train_events.size(), 1u);
+  const size_t best = report.value().BestThroughputIndex();
+  EXPECT_LT(best, 2u);
+}
+
+TEST(ComparisonTest, EmptySystemListRejected) {
+  EXPECT_TRUE(CompareSystems(SmallSpec(), {}).status().IsInvalidArgument());
+}
+
+TEST(ComparisonTest, RenderContainsAllSystems) {
+  VirtualClock clock;
+  DriverOptions options;
+  options.virtual_clock = &clock;
+  BTreeSystem a;
+  AdaptiveKvSystem b;
+  const ComparisonReport report =
+      CompareSystems(SmallSpec(), {&a, &b}, &clock, options).value();
+  const std::string text = RenderComparison(report);
+  EXPECT_NE(text.find("btree_system"), std::string::npos);
+  EXPECT_NE(text.find("adaptive_system"), std::string::npos);
+  EXPECT_NE(text.find("best mean throughput"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Trace record / serialize / replay
+// ---------------------------------------------------------------------------
+
+TEST(TraceTest, RecordCapturesMix) {
+  DatasetOptions options;
+  options.num_keys = 2000;
+  const Dataset ds = GenerateDataset(UniformUnit(), options);
+  PhaseSpec phase;
+  phase.mix.get = 0.5;
+  phase.mix.insert = 0.5;
+  const OperationTrace trace = RecordTrace(ds, phase, 4000, 7);
+  EXPECT_EQ(trace.size(), 4000u);
+  const auto hist = trace.TypeHistogram();
+  EXPECT_NEAR(static_cast<double>(hist[static_cast<int>(OpType::kGet)]),
+              2000.0, 200.0);
+  EXPECT_NEAR(static_cast<double>(hist[static_cast<int>(OpType::kInsert)]),
+              2000.0, 200.0);
+}
+
+TEST(TraceTest, CsvRoundTrip) {
+  DatasetOptions options;
+  options.num_keys = 500;
+  const Dataset ds = GenerateDataset(UniformUnit(), options);
+  PhaseSpec phase;
+  phase.mix.get = 0.4;
+  phase.mix.scan = 0.2;
+  phase.mix.range_count = 0.4;
+  const OperationTrace trace = RecordTrace(ds, phase, 300, 11);
+
+  const std::string csv = trace.ToCsv();
+  const Result<OperationTrace> parsed = OperationTrace::FromCsv(csv);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_EQ(parsed.value().size(), trace.size());
+  for (size_t i = 0; i < trace.size(); ++i) {
+    const Operation& a = trace.operations()[i];
+    const Operation& b = parsed.value().operations()[i];
+    EXPECT_EQ(a.type, b.type);
+    EXPECT_EQ(a.key, b.key);
+    EXPECT_EQ(a.range_end, b.range_end);
+    EXPECT_EQ(a.scan_length, b.scan_length);
+    EXPECT_EQ(a.value, b.value);
+  }
+}
+
+TEST(TraceTest, FromCsvRejectsGarbage) {
+  EXPECT_FALSE(OperationTrace::FromCsv("").ok());
+  EXPECT_FALSE(OperationTrace::FromCsv("a,b,c\n1,2,3\n").ok());
+  EXPECT_FALSE(OperationTrace::FromCsv(
+                   "type,key,range_end,scan_length,value\nbogus,1,2,3,4\n")
+                   .ok());
+  EXPECT_FALSE(OperationTrace::FromCsv(
+                   "type,key,range_end,scan_length,value\nget,xx,2,3,4\n")
+                   .ok());
+}
+
+TEST(ReplayTest, SameTraceSameOutcomesAcrossSystems) {
+  DatasetOptions options;
+  options.num_keys = 3000;
+  const Dataset ds = GenerateDataset(UniformUnit(), options);
+  PhaseSpec phase;
+  phase.mix.get = 0.6;
+  phase.mix.insert = 0.2;
+  phase.mix.del = 0.2;
+  const OperationTrace trace = RecordTrace(ds, phase, 3000, 13);
+
+  std::vector<KeyValue> image;
+  for (size_t i = 0; i < ds.keys.size(); ++i) {
+    image.emplace_back(ds.keys[i], static_cast<Value>(i));
+  }
+
+  auto replay = [&](SystemUnderTest* sut) {
+    VirtualClock clock;
+    ReplayOptions replay_options;
+    replay_options.virtual_clock = &clock;
+    return ReplayTrace(trace, image, sut, &clock, replay_options).value();
+  };
+  BTreeSystem btree;
+  LearnedKvSystem learned;
+  const RunResult a = replay(&btree);
+  const RunResult b = replay(&learned);
+
+  ASSERT_EQ(a.events.size(), trace.size());
+  ASSERT_EQ(b.events.size(), trace.size());
+  // Same logical outcome per operation regardless of the engine.
+  for (size_t i = 0; i < trace.size(); ++i) {
+    EXPECT_EQ(a.events[i].ok, b.events[i].ok) << "op " << i;
+    EXPECT_EQ(a.events[i].rows, b.events[i].rows) << "op " << i;
+  }
+}
+
+TEST(ReplayTest, EmptyTraceRejected) {
+  BTreeSystem sut;
+  EXPECT_TRUE(ReplayTrace(OperationTrace(), {}, &sut)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(ReplayTest, MetricsPopulated) {
+  DatasetOptions options;
+  options.num_keys = 1000;
+  const Dataset ds = GenerateDataset(UniformUnit(), options);
+  PhaseSpec phase;
+  phase.mix.get = 1.0;
+  const OperationTrace trace = RecordTrace(ds, phase, 500, 17);
+  std::vector<KeyValue> image;
+  for (size_t i = 0; i < ds.keys.size(); ++i) {
+    image.emplace_back(ds.keys[i], static_cast<Value>(i));
+  }
+  VirtualClock clock;
+  ReplayOptions replay_options;
+  replay_options.virtual_clock = &clock;
+  BTreeSystem sut;
+  const RunResult run =
+      ReplayTrace(trace, image, &sut, &clock, replay_options).value();
+  EXPECT_EQ(run.metrics.total_operations, 500u);
+  EXPECT_GT(run.metrics.mean_throughput, 0.0);
+  ASSERT_EQ(run.boundaries.size(), 1u);
+  EXPECT_EQ(run.boundaries[0].operations, 500u);
+}
+
+}  // namespace
+}  // namespace lsbench

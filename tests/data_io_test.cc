@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "data/dataset.h"
+#include "data/io.h"
+
+namespace lsbench {
+namespace {
+
+class DataIoTest : public ::testing::Test {
+ protected:
+  std::string TempPath(const std::string& suffix) {
+    const ::testing::TestInfo* info =
+        ::testing::UnitTest::GetInstance()->current_test_info();
+    return ::testing::TempDir() + "lsbench_" + info->name() + suffix;
+  }
+
+  void TearDown() override {
+    for (const std::string& path : cleanup_) std::remove(path.c_str());
+  }
+
+  std::string Track(const std::string& path) {
+    cleanup_.push_back(path);
+    return path;
+  }
+
+  std::vector<std::string> cleanup_;
+};
+
+TEST_F(DataIoTest, BinaryRoundTrip) {
+  DatasetOptions options;
+  options.num_keys = 5000;
+  const Dataset ds = GenerateDataset(LognormalUnit(0, 1), options);
+  const std::string path = Track(TempPath(".bin"));
+  ASSERT_TRUE(SaveKeysBinary(ds, path).ok());
+
+  const Result<Dataset> loaded = LoadKeysBinary(path, "reload");
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded.value().keys, ds.keys);
+  EXPECT_EQ(loaded.value().name, "reload");
+}
+
+TEST_F(DataIoTest, BinaryRejectsUnsorted) {
+  Dataset bad;
+  bad.keys = {5, 3, 7};
+  const std::string path = Track(TempPath(".bin"));
+  ASSERT_TRUE(SaveKeysBinary(bad, path).ok());
+  EXPECT_TRUE(LoadKeysBinary(path, "x").status().IsInvalidArgument());
+}
+
+TEST_F(DataIoTest, BinaryRejectsTruncated) {
+  const std::string path = Track(TempPath(".bin"));
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  const uint64_t claimed = 100;  // But write no keys.
+  std::fwrite(&claimed, sizeof(claimed), 1, f);
+  std::fclose(f);
+  EXPECT_TRUE(LoadKeysBinary(path, "x").status().IsIoError());
+}
+
+TEST_F(DataIoTest, BinaryMissingFile) {
+  EXPECT_TRUE(LoadKeysBinary("/nonexistent/no.bin", "x").status().IsIoError());
+}
+
+TEST_F(DataIoTest, BinaryEmptyDataset) {
+  Dataset empty;
+  const std::string path = Track(TempPath(".bin"));
+  ASSERT_TRUE(SaveKeysBinary(empty, path).ok());
+  const Result<Dataset> loaded = LoadKeysBinary(path, "empty");
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_TRUE(loaded.value().keys.empty());
+}
+
+TEST_F(DataIoTest, CsvRoundTrip) {
+  DatasetOptions options;
+  options.num_keys = 1000;
+  const Dataset ds = GenerateDataset(UniformUnit(), options);
+  const std::string path = Track(TempPath(".csv"));
+  ASSERT_TRUE(SaveKeysCsv(ds, path).ok());
+  const Result<Dataset> loaded = LoadKeysCsv(path, "csv_reload");
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().keys, ds.keys);
+}
+
+TEST_F(DataIoTest, CsvSortsAndDeduplicates) {
+  const std::string path = Track(TempPath(".csv"));
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  std::fputs("9\n3\n3\n1\n", f);  // No header, unsorted, duplicate.
+  std::fclose(f);
+  const Result<Dataset> loaded = LoadKeysCsv(path, "x");
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().keys, (std::vector<Key>{1, 3, 9}));
+}
+
+TEST_F(DataIoTest, CsvRejectsGarbage) {
+  const std::string path = Track(TempPath(".csv"));
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  std::fputs("key\nabc\n", f);
+  std::fclose(f);
+  EXPECT_TRUE(LoadKeysCsv(path, "x").status().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace lsbench

@@ -1,0 +1,341 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/driver.h"
+#include "core/run_spec.h"
+#include "core/specialization.h"
+#include "data/dataset.h"
+#include "sut/systems.h"
+
+namespace lsbench {
+namespace {
+
+/// A small two-phase spec over two distinct datasets, deterministic in
+/// simulation mode.
+RunSpec MakeTwoPhaseSpec(uint64_t seed = 42, bool with_holdout = false) {
+  RunSpec spec;
+  spec.name = "test_run_" + std::to_string(seed) +
+              (with_holdout ? "_holdout" : "");
+  spec.seed = seed;
+  DatasetOptions options;
+  options.num_keys = 5000;
+  options.seed = seed;
+  spec.datasets.push_back(GenerateDataset(UniformUnit(), options));
+  options.seed = seed + 1;
+  spec.datasets.push_back(GenerateDataset(GaussianUnit(0.3, 0.05), options));
+
+  PhaseSpec p0;
+  p0.name = "uniform_reads";
+  p0.dataset_index = 0;
+  p0.mix = OperationMix::ReadMostly();
+  p0.num_operations = 2000;
+  spec.phases.push_back(p0);
+
+  PhaseSpec p1;
+  p1.name = "gaussian_mixed";
+  p1.dataset_index = 1;
+  p1.mix = OperationMix::ReadWrite();
+  p1.num_operations = 2000;
+  p1.transition_in = TransitionKind::kLinear;
+  p1.transition_operations = 500;
+  p1.holdout = with_holdout;
+  spec.phases.push_back(p1);
+
+  spec.interval_nanos = 100000000;        // 100 ms.
+  spec.boxplot_sample_nanos = 10000000;   // 10 ms.
+  return spec;
+}
+
+class DriverTest : public ::testing::Test {
+ protected:
+  void SetUp() override { BenchmarkDriver::ResetHoldoutRegistryForTesting(); }
+};
+
+TEST_F(DriverTest, ValidatesSpec) {
+  BenchmarkDriver driver;
+  BTreeSystem sut;
+  RunSpec empty;
+  EXPECT_TRUE(driver.Run(empty, &sut).status().IsInvalidArgument());
+
+  RunSpec bad = MakeTwoPhaseSpec();
+  bad.phases[0].dataset_index = 99;
+  EXPECT_TRUE(driver.Run(bad, &sut).status().IsInvalidArgument());
+
+  RunSpec zero_ops = MakeTwoPhaseSpec();
+  zero_ops.phases[0].num_operations = 0;
+  EXPECT_TRUE(driver.Run(zero_ops, &sut).status().IsInvalidArgument());
+}
+
+TEST_F(DriverTest, SimulatedRunProducesFullEventStream) {
+  VirtualClock clock;
+  DriverOptions options;
+  options.virtual_clock = &clock;
+  options.virtual_service_nanos = 100000;  // 100 us per op.
+  BenchmarkDriver driver(&clock, options);
+  BTreeSystem sut;
+  const RunSpec spec = MakeTwoPhaseSpec();
+
+  const Result<RunResult> result = driver.Run(spec, &sut);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const RunResult& run = result.value();
+
+  EXPECT_EQ(run.events.size(), 4000u);
+  ASSERT_EQ(run.boundaries.size(), 2u);
+  EXPECT_EQ(run.boundaries[0].operations, 2000u);
+  EXPECT_EQ(run.boundaries[1].phase, 1);
+
+  // Timestamps are sorted and phases contiguous.
+  for (size_t i = 1; i < run.events.size(); ++i) {
+    EXPECT_GE(run.events[i].timestamp_nanos,
+              run.events[i - 1].timestamp_nanos);
+    EXPECT_GE(run.events[i].phase, run.events[i - 1].phase);
+  }
+  // Simulated service time: 100 us/op, closed loop -> throughput 10k ops/s.
+  EXPECT_NEAR(run.metrics.mean_throughput, 10000.0, 100.0);
+  EXPECT_EQ(run.metrics.total_operations, 4000u);
+  EXPECT_EQ(run.metrics.phases.size(), 2u);
+  EXPECT_EQ(run.sut_name, "btree_system");
+  EXPECT_EQ(run.load_seconds, 0.0);  // Virtual clock: load "takes" no time.
+}
+
+TEST_F(DriverTest, DeterministicInSimulationMode) {
+  const RunSpec spec = MakeTwoPhaseSpec();
+  auto run_once = [&spec]() {
+    VirtualClock clock;
+    DriverOptions options;
+    options.virtual_clock = &clock;
+    BenchmarkDriver driver(&clock, options);
+    BTreeSystem sut;
+    return driver.Run(spec, &sut).value();
+  };
+  const RunResult a = run_once();
+  const RunResult b = run_once();
+  ASSERT_EQ(a.events.size(), b.events.size());
+  for (size_t i = 0; i < a.events.size(); i += 97) {
+    EXPECT_EQ(a.events[i].timestamp_nanos, b.events[i].timestamp_nanos);
+    EXPECT_EQ(a.events[i].type, b.events[i].type);
+    EXPECT_EQ(a.events[i].ok, b.events[i].ok);
+  }
+}
+
+TEST_F(DriverTest, TrainEventRecordedForLearnedSystems) {
+  VirtualClock clock;
+  DriverOptions options;
+  options.virtual_clock = &clock;
+  BenchmarkDriver driver(&clock, options);
+  LearnedKvSystem learned;
+  const RunSpec spec = MakeTwoPhaseSpec();
+  const Result<RunResult> result = driver.Run(spec, &learned);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().train_events.size(), 1u);
+  EXPECT_EQ(result.value().train_events[0].work_items, 5000u);
+
+  BTreeSystem traditional;
+  const Result<RunResult> result2 = driver.Run(spec, &traditional);
+  ASSERT_TRUE(result2.ok());
+  EXPECT_TRUE(result2.value().train_events.empty());
+}
+
+TEST_F(DriverTest, OfflineTrainingCanBeDisabled) {
+  VirtualClock clock;
+  DriverOptions options;
+  options.virtual_clock = &clock;
+  BenchmarkDriver driver(&clock, options);
+  LearnedKvSystem learned;
+  RunSpec spec = MakeTwoPhaseSpec();
+  spec.offline_training = false;
+  const Result<RunResult> result = driver.Run(spec, &learned);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result.value().train_events.empty());
+}
+
+TEST_F(DriverTest, HoldoutSpecRunsOnlyOnce) {
+  VirtualClock clock;
+  DriverOptions options;
+  options.virtual_clock = &clock;
+  BenchmarkDriver driver(&clock, options);
+  BTreeSystem sut;
+  const RunSpec spec = MakeTwoPhaseSpec(7, /*with_holdout=*/true);
+
+  ASSERT_TRUE(driver.Run(spec, &sut).ok());
+  const Result<RunResult> second = driver.Run(spec, &sut);
+  EXPECT_TRUE(second.status().IsFailedPrecondition());
+
+  // A spec without hold-out phases reruns freely.
+  const RunSpec free_spec = MakeTwoPhaseSpec(8, /*with_holdout=*/false);
+  EXPECT_TRUE(driver.Run(free_spec, &sut).ok());
+  EXPECT_TRUE(driver.Run(free_spec, &sut).ok());
+}
+
+TEST_F(DriverTest, HoldoutEnforcementCanBeDisabled) {
+  VirtualClock clock;
+  DriverOptions options;
+  options.virtual_clock = &clock;
+  options.enforce_holdout_once = false;
+  BenchmarkDriver driver(&clock, options);
+  BTreeSystem sut;
+  const RunSpec spec = MakeTwoPhaseSpec(9, /*with_holdout=*/true);
+  EXPECT_TRUE(driver.Run(spec, &sut).ok());
+  EXPECT_TRUE(driver.Run(spec, &sut).ok());
+}
+
+TEST_F(DriverTest, OpenLoopPoissonPacesArrivals) {
+  VirtualClock clock;
+  DriverOptions options;
+  options.virtual_clock = &clock;
+  options.virtual_service_nanos = 1000;  // Service much faster than arrivals.
+  BenchmarkDriver driver(&clock, options);
+  BTreeSystem sut;
+  RunSpec spec = MakeTwoPhaseSpec();
+  spec.phases[0].arrival = ArrivalPattern::kPoisson;
+  spec.phases[0].arrival_rate_qps = 10000.0;
+  spec.phases[1].arrival = ArrivalPattern::kPoisson;
+  spec.phases[1].arrival_rate_qps = 10000.0;
+
+  const Result<RunResult> result = driver.Run(spec, &sut);
+  ASSERT_TRUE(result.ok());
+  // Open loop at 10k qps: mean throughput close to the offered load, not
+  // the service rate (1M/s).
+  EXPECT_NEAR(result.value().metrics.mean_throughput, 10000.0, 1500.0);
+}
+
+TEST_F(DriverTest, SpecializationReportSortsByPhi) {
+  VirtualClock clock;
+  DriverOptions options;
+  options.virtual_clock = &clock;
+  BenchmarkDriver driver(&clock, options);
+  BTreeSystem sut;
+  const RunSpec spec = MakeTwoPhaseSpec();
+  const RunResult run = driver.Run(spec, &sut).value();
+
+  const SpecializationReport report = BuildSpecializationReport(spec, run);
+  ASSERT_EQ(report.entries.size(), 2u);
+  // The baseline phase is at phi == 0 and sorts first.
+  EXPECT_EQ(report.entries[0].phase, 0);
+  EXPECT_NEAR(report.entries[0].phi, 0.0, 0.05);
+  // The gaussian phase with a different mix is clearly dissimilar.
+  EXPECT_GT(report.entries[1].phi, report.entries[0].phi + 0.1);
+  EXPECT_GT(report.entries[1].data_ks, 0.2);
+  EXPECT_LT(report.entries[1].workload_jaccard, 0.9);
+  EXPECT_GT(report.entries[0].throughput_box.count, 0u);
+}
+
+TEST_F(DriverTest, BuildLoadImageUsesFirstPhaseDataset) {
+  const RunSpec spec = MakeTwoPhaseSpec();
+  const auto image = BuildLoadImage(spec);
+  EXPECT_EQ(image.size(), spec.datasets[0].keys.size());
+  EXPECT_EQ(image.front().first, spec.datasets[0].keys.front());
+  EXPECT_TRUE(std::is_sorted(image.begin(), image.end()));
+}
+
+/// Property sweep: randomized specs (mixes, access patterns, arrivals,
+/// transitions, phase counts) must always produce a structurally valid
+/// event stream.
+class DriverPropertyTest : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  void SetUp() override { BenchmarkDriver::ResetHoldoutRegistryForTesting(); }
+};
+
+TEST_P(DriverPropertyTest, RandomSpecsProduceCoherentRuns) {
+  const uint64_t seed = GetParam();
+  Rng rng(seed);
+  RunSpec spec;
+  spec.name = "prop_" + std::to_string(seed);
+  spec.seed = seed;
+  spec.interval_nanos = 10000000;
+  spec.boxplot_sample_nanos = 1000000;
+
+  const int num_datasets = 1 + static_cast<int>(rng.NextBounded(3));
+  for (int d = 0; d < num_datasets; ++d) {
+    DatasetOptions options;
+    options.num_keys = 500 + rng.NextBounded(3000);
+    options.seed = seed * 10 + d;
+    switch (rng.NextBounded(3)) {
+      case 0:
+        spec.datasets.push_back(GenerateDataset(UniformUnit(), options));
+        break;
+      case 1:
+        spec.datasets.push_back(
+            GenerateDataset(LognormalUnit(0, 1.0), options));
+        break;
+      default:
+        spec.datasets.push_back(
+            GenerateDataset(ClusteredUnit(4, 0.01, seed), options));
+        break;
+    }
+  }
+  const int num_phases = 1 + static_cast<int>(rng.NextBounded(4));
+  uint64_t total_ops = 0;
+  for (int p = 0; p < num_phases; ++p) {
+    PhaseSpec phase;
+    phase.name = "p" + std::to_string(p);
+    phase.dataset_index = static_cast<int>(rng.NextBounded(num_datasets));
+    phase.mix.get = rng.NextDouble();
+    phase.mix.scan = rng.NextDouble() * 0.3;
+    phase.mix.insert = rng.NextDouble() * 0.5;
+    phase.mix.update = rng.NextDouble() * 0.3;
+    phase.mix.del = rng.NextDouble() * 0.2;
+    phase.mix.range_count = rng.NextDouble() * 0.05;
+    phase.access = static_cast<AccessPattern>(rng.NextBounded(5));
+    phase.arrival = rng.NextBool(0.3) ? ArrivalPattern::kPoisson
+                                      : ArrivalPattern::kClosedLoop;
+    phase.arrival_rate_qps = 5000.0;
+    phase.num_operations = 200 + rng.NextBounded(1500);
+    phase.transition_in = static_cast<TransitionKind>(rng.NextBounded(3));
+    phase.transition_operations =
+        rng.NextBounded(phase.num_operations / 2 + 1);
+    phase.scan_length = 1 + static_cast<uint32_t>(rng.NextBounded(50));
+    total_ops += phase.num_operations;
+    spec.phases.push_back(phase);
+  }
+
+  VirtualClock clock;
+  DriverOptions options;
+  options.virtual_clock = &clock;
+  options.virtual_service_nanos = 10000;
+  BenchmarkDriver driver(&clock, options);
+  BTreeSystem sut;
+  const Result<RunResult> result = driver.Run(spec, &sut);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const RunResult& run = result.value();
+
+  // Global invariants.
+  EXPECT_EQ(run.events.size(), total_ops);
+  EXPECT_EQ(run.boundaries.size(), spec.phases.size());
+  int32_t prev_phase = 0;
+  int64_t prev_ts = 0;
+  for (const OpEvent& e : run.events) {
+    EXPECT_GE(e.timestamp_nanos, prev_ts);
+    EXPECT_GE(e.phase, prev_phase);
+    EXPECT_GE(e.latency_nanos, 0);
+    prev_ts = e.timestamp_nanos;
+    prev_phase = e.phase;
+  }
+  uint64_t phase_ops = 0;
+  for (const PhaseMetrics& pm : run.metrics.phases) {
+    phase_ops += pm.operations;
+    EXPECT_GE(pm.duration_seconds, 0.0);
+  }
+  EXPECT_EQ(phase_ops, total_ops);
+  EXPECT_EQ(run.metrics.cumulative.back().completed, total_ops);
+  uint64_t band_total = 0;
+  for (const LatencyBand& b : run.metrics.bands) band_total += b.Total();
+  EXPECT_EQ(band_total, total_ops);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DriverPropertyTest,
+                         ::testing::Range<uint64_t>(1, 13));
+
+TEST_F(DriverTest, StructuralHashDistinguishesSpecs) {
+  const RunSpec a = MakeTwoPhaseSpec(1);
+  const RunSpec b = MakeTwoPhaseSpec(2);
+  RunSpec a2 = MakeTwoPhaseSpec(1);
+  EXPECT_EQ(a.StructuralHash(), a2.StructuralHash());
+  EXPECT_NE(a.StructuralHash(), b.StructuralHash());
+  a2.phases[1].holdout = true;
+  EXPECT_NE(a.StructuralHash(), a2.StructuralHash());
+}
+
+}  // namespace
+}  // namespace lsbench

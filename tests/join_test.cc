@@ -1,0 +1,133 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "data/dataset.h"
+#include "learned/join.h"
+#include "util/random.h"
+
+namespace lsbench {
+namespace {
+
+std::vector<Key> SortedSample(size_t n, uint64_t seed, Key stride = 1) {
+  Rng rng(seed);
+  std::vector<Key> keys;
+  keys.reserve(n);
+  Key k = 0;
+  for (size_t i = 0; i < n; ++i) {
+    k += 1 + rng.NextBounded(stride * 2);
+    keys.push_back(k);
+  }
+  return keys;
+}
+
+std::vector<Key> Intersect(const std::vector<Key>& a,
+                           const std::vector<Key>& b) {
+  std::vector<Key> out;
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(out));
+  return out;
+}
+
+TEST(JoinTest, AllKernelsAgreeWithSetIntersection) {
+  const auto a = SortedSample(20000, 1, 50);
+  const auto b = SortedSample(15000, 2, 70);
+  const auto expected = Intersect(a, b);
+  ASSERT_FALSE(expected.empty());
+
+  std::vector<Key> merge_out, hash_out, learned_out;
+  const JoinStats m = MergeJoin(a, b, &merge_out);
+  const JoinStats h = HashJoin(a, b, &hash_out);
+  const JoinStats l = LearnedJoin(a, b, &learned_out);
+
+  EXPECT_EQ(m.matches, expected.size());
+  EXPECT_EQ(h.matches, expected.size());
+  EXPECT_EQ(l.matches, expected.size());
+  EXPECT_EQ(merge_out, expected);
+  EXPECT_EQ(learned_out, expected);
+  std::sort(hash_out.begin(), hash_out.end());
+  EXPECT_EQ(hash_out, expected);
+}
+
+TEST(JoinTest, DisjointSides) {
+  std::vector<Key> a, b;
+  for (Key i = 0; i < 1000; ++i) {
+    a.push_back(i * 2);      // Evens.
+    b.push_back(i * 2 + 1);  // Odds.
+  }
+  EXPECT_EQ(MergeJoin(a, b).matches, 0u);
+  EXPECT_EQ(HashJoin(a, b).matches, 0u);
+  EXPECT_EQ(LearnedJoin(a, b).matches, 0u);
+}
+
+TEST(JoinTest, IdenticalSides) {
+  const auto a = SortedSample(5000, 3);
+  EXPECT_EQ(MergeJoin(a, a).matches, a.size());
+  EXPECT_EQ(HashJoin(a, a).matches, a.size());
+  EXPECT_EQ(LearnedJoin(a, a).matches, a.size());
+}
+
+TEST(JoinTest, EmptyInputs) {
+  const std::vector<Key> a = {1, 2, 3};
+  EXPECT_EQ(MergeJoin(a, {}).matches, 0u);
+  EXPECT_EQ(HashJoin({}, a).matches, 0u);
+  EXPECT_EQ(LearnedJoin({}, {}).matches, 0u);
+}
+
+TEST(JoinTest, LearnedJoinSkipsWorkOnSmallProbeSide) {
+  // A tiny probe side against a huge build side: the learned join's
+  // comparison count is ~|large| (model fit) + |small| * log(window),
+  // far below merge join's full co-scan when matches force it through
+  // the whole large side.
+  const auto large = SortedSample(200000, 4, 10);
+  std::vector<Key> small;
+  for (size_t i = 0; i < large.size(); i += 10000) small.push_back(large[i]);
+  const JoinStats merge = MergeJoin(small, large);
+  const JoinStats learned = LearnedJoin(small, large);
+  EXPECT_EQ(merge.matches, learned.matches);
+  EXPECT_EQ(learned.matches, small.size());
+  // Probe work after the fit: learned pays a tiny window per probe.
+  EXPECT_LT(learned.comparisons, merge.comparisons + large.size());
+  const uint64_t probe_work = learned.comparisons - large.size();
+  EXPECT_LT(probe_work, small.size() * 64);
+}
+
+TEST(JoinTest, HighKeysSurvivePrecisionCollapse) {
+  // Same 2^63 double-collapse hazard as the PGM index.
+  std::vector<Key> a, b;
+  const Key base = Key{1} << 63;
+  for (Key i = 0; i < 3000; ++i) {
+    a.push_back(base + i * 3);
+    if (i % 2 == 0) b.push_back(base + i * 3);
+  }
+  const JoinStats l = LearnedJoin(b, a);
+  EXPECT_EQ(l.matches, b.size());
+}
+
+class JoinOverlapTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(JoinOverlapTest, MatchCountTracksOverlap) {
+  const double overlap = GetParam();
+  Rng rng(7);
+  std::vector<Key> a = SortedSample(10000, 8, 20);
+  std::vector<Key> b;
+  for (Key k : a) {
+    if (rng.NextBool(overlap)) b.push_back(k);
+  }
+  // Pad b with non-matching keys so sizes stay comparable.
+  Key tail = a.back();
+  while (b.size() < a.size()) {
+    tail += 1 + rng.NextBounded(40);
+    b.push_back(tail);
+  }
+  const JoinStats m = MergeJoin(a, b);
+  const JoinStats l = LearnedJoin(a, b);
+  EXPECT_EQ(m.matches, l.matches);
+  EXPECT_NEAR(static_cast<double>(m.matches), overlap * 10000, 500);
+}
+
+INSTANTIATE_TEST_SUITE_P(Overlaps, JoinOverlapTest,
+                         ::testing::Values(0.0, 0.1, 0.5, 0.9, 1.0));
+
+}  // namespace
+}  // namespace lsbench

@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include "core/regression.h"
+#include "data/dataset.h"
+#include "sut/systems.h"
+
+namespace lsbench {
+namespace {
+
+constexpr int64_t kMilli = 1000000;
+
+/// Builds a RunResult with the given aggregates (synthetic events so the
+/// histogram has real content).
+RunResult MakeRun(double ops_per_second, int64_t latency_nanos,
+                  uint64_t violations, int phases = 2) {
+  RunResult run;
+  run.sut_name = "synthetic";
+  const uint64_t total_ops = 10000;
+  for (uint64_t i = 0; i < total_ops; ++i) {
+    OpEvent e;
+    e.timestamp_nanos =
+        static_cast<int64_t>(static_cast<double>(i) / ops_per_second * 1e9);
+    e.latency_nanos = latency_nanos;
+    e.phase = static_cast<int32_t>(i * phases / total_ops);
+    run.events.push_back(e);
+  }
+  run.metrics.total_operations = total_ops;
+  run.metrics.mean_throughput = ops_per_second;
+  run.metrics.total_sla_violations = violations;
+  for (const OpEvent& e : run.events) {
+    run.metrics.overall_latency.Record(static_cast<double>(e.latency_nanos));
+  }
+  run.metrics.phases.resize(phases);
+  for (int p = 0; p < phases; ++p) {
+    run.metrics.phases[p].phase = p;
+    run.metrics.phases[p].mean_throughput = ops_per_second;
+  }
+  return run;
+}
+
+TEST(RegressionTest, IdenticalRunsPass) {
+  const RunResult base = MakeRun(10000, kMilli, 5);
+  const RegressionReport report = CheckRegression(base, base);
+  EXPECT_TRUE(report.Passed());
+  EXPECT_NE(RenderRegressionReport(report).find("PASS"), std::string::npos);
+}
+
+TEST(RegressionTest, ThroughputDropFlagged) {
+  const RunResult base = MakeRun(10000, kMilli, 5);
+  const RunResult cand = MakeRun(8000, kMilli, 5);  // -20%.
+  const RegressionReport report = CheckRegression(base, cand);
+  ASSERT_FALSE(report.Passed());
+  bool found = false;
+  for (const RegressionFinding& f : report.findings) {
+    if (f.metric == "mean_throughput") found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(RegressionTest, SmallThroughputWobbleTolerated) {
+  const RunResult base = MakeRun(10000, kMilli, 5);
+  const RunResult cand = MakeRun(9700, kMilli, 5);  // -3% < 5% tolerance.
+  EXPECT_TRUE(CheckRegression(base, cand).Passed());
+}
+
+TEST(RegressionTest, LatencyGrowthFlagged) {
+  const RunResult base = MakeRun(10000, kMilli, 5);
+  const RunResult cand = MakeRun(10000, 2 * kMilli, 5);  // p99 x2.
+  const RegressionReport report = CheckRegression(base, cand);
+  ASSERT_FALSE(report.Passed());
+  EXPECT_EQ(report.findings[0].metric, "p99_latency_nanos");
+}
+
+TEST(RegressionTest, ViolationSlackAbsorbsSmallCounts) {
+  const RunResult base = MakeRun(10000, kMilli, 2);
+  const RunResult cand = MakeRun(10000, kMilli, 9);  // 2 -> 9, within slack.
+  EXPECT_TRUE(CheckRegression(base, cand).Passed());
+  const RunResult bad = MakeRun(10000, kMilli, 500);
+  EXPECT_FALSE(CheckRegression(base, bad).Passed());
+}
+
+TEST(RegressionTest, PhaseLocalRegressionCaughtDespiteHealthyMean) {
+  const RunResult base = MakeRun(10000, kMilli, 0);
+  RunResult cand = MakeRun(10000, kMilli, 0);
+  // Phase 1 collapses while the global mean stays put (Lesson 2 shape).
+  cand.metrics.phases[1].mean_throughput = 4000;
+  const RegressionReport report = CheckRegression(base, cand);
+  ASSERT_FALSE(report.Passed());
+  EXPECT_EQ(report.findings[0].metric, "phase1_throughput");
+}
+
+TEST(RegressionTest, PhaseCountMismatchShortCircuits) {
+  const RunResult base = MakeRun(10000, kMilli, 0, /*phases=*/2);
+  const RunResult cand = MakeRun(10000, kMilli, 0, /*phases=*/3);
+  const RegressionReport report = CheckRegression(base, cand);
+  ASSERT_EQ(report.findings.size(), 1u);
+  EXPECT_EQ(report.findings[0].metric, "phase_count");
+}
+
+TEST(RegressionTest, TrainingBlowupFlagged) {
+  RunResult base = MakeRun(10000, kMilli, 0);
+  base.train_events.push_back({0, 1000000000, 100});  // 1 s.
+  RunResult cand = MakeRun(10000, kMilli, 0);
+  cand.train_events.push_back({0, 3000000000, 100});  // 3 s.
+  const RegressionReport report = CheckRegression(base, cand);
+  ASSERT_FALSE(report.Passed());
+  EXPECT_EQ(report.findings[0].metric, "train_seconds");
+  EXPECT_NE(RenderRegressionReport(report).find("FAIL"), std::string::npos);
+}
+
+TEST(RegressionTest, EndToEndSameSpecSameSystemPasses) {
+  // Two simulated runs of the same spec on the same system are identical;
+  // the guard must pass. A run with a slower simulated service time must
+  // fail the throughput floor.
+  BenchmarkDriver::ResetHoldoutRegistryForTesting();
+  RunSpec spec;
+  spec.name = "regression_e2e";
+  DatasetOptions options;
+  options.num_keys = 2000;
+  spec.datasets.push_back(GenerateDataset(UniformUnit(), options));
+  PhaseSpec phase;
+  phase.mix = OperationMix::ReadMostly();
+  phase.num_operations = 1000;
+  spec.phases.push_back(phase);
+
+  auto run_with_service_time = [&](int64_t nanos) {
+    VirtualClock clock;
+    DriverOptions driver_options;
+    driver_options.virtual_clock = &clock;
+    driver_options.virtual_service_nanos = nanos;
+    BenchmarkDriver driver(&clock, driver_options);
+    BTreeSystem sut;
+    return driver.Run(spec, &sut).value();
+  };
+  const RunResult baseline = run_with_service_time(100000);
+  const RunResult same = run_with_service_time(100000);
+  EXPECT_TRUE(CheckRegression(baseline, same).Passed());
+
+  const RunResult slower = run_with_service_time(150000);  // -33% tput.
+  const RegressionReport report = CheckRegression(baseline, slower);
+  EXPECT_FALSE(report.Passed());
+}
+
+}  // namespace
+}  // namespace lsbench

@@ -1,0 +1,174 @@
+#include <gtest/gtest.h>
+
+#include "core/driver.h"
+#include "core/specialization.h"
+#include "data/dataset.h"
+#include "report/ascii_chart.h"
+#include "report/report.h"
+#include "sut/systems.h"
+#include "util/csv.h"
+
+namespace lsbench {
+namespace {
+
+// ---------------------------------------------------------------------------
+// ASCII chart primitives
+// ---------------------------------------------------------------------------
+
+TEST(AsciiChartTest, BoxPlotRendersMarkers) {
+  BoxPlotSummary box = ComputeBoxPlot({1, 2, 3, 4, 5, 6, 7, 8, 9, 100});
+  const std::string chart = RenderBoxPlotChart({{"mybox", box}});
+  EXPECT_NE(chart.find("mybox"), std::string::npos);
+  EXPECT_NE(chart.find('['), std::string::npos);
+  EXPECT_NE(chart.find(']'), std::string::npos);
+  EXPECT_NE(chart.find('o'), std::string::npos);  // The outlier at 100.
+}
+
+TEST(AsciiChartTest, BoxPlotHandlesEmpty) {
+  EXPECT_NE(RenderBoxPlotChart({}).find("no data"), std::string::npos);
+  BoxPlotSummary empty;
+  EXPECT_NE(RenderBoxPlotChart({{"x", empty}}).find("empty"),
+            std::string::npos);
+}
+
+TEST(AsciiChartTest, LineChartPlotsAllSeries) {
+  Series a{"alpha", {0, 1, 2, 3}, {0, 1, 2, 3}};
+  Series b{"beta", {0, 1, 2, 3}, {3, 2, 1, 0}};
+  const std::string chart = RenderLineChart({a, b});
+  EXPECT_NE(chart.find('*'), std::string::npos);
+  EXPECT_NE(chart.find('+'), std::string::npos);
+  EXPECT_NE(chart.find("alpha"), std::string::npos);
+  EXPECT_NE(chart.find("beta"), std::string::npos);
+}
+
+TEST(AsciiChartTest, LineChartEmpty) {
+  EXPECT_NE(RenderLineChart({}).find("no data"), std::string::npos);
+}
+
+TEST(AsciiChartTest, BandChartStacksViolations) {
+  std::vector<BandColumn> columns = {{10, 0}, {5, 5}, {0, 10}};
+  const std::string chart = RenderBandChart(columns);
+  EXPECT_NE(chart.find('#'), std::string::npos);
+  EXPECT_NE(chart.find('X'), std::string::npos);
+}
+
+TEST(AsciiChartTest, TableAlignsColumns) {
+  const std::string table =
+      RenderTable({"name", "value"}, {{"a", "1"}, {"longer", "22"}});
+  EXPECT_NE(table.find("| name"), std::string::npos);
+  EXPECT_NE(table.find("longer"), std::string::npos);
+  // Header separator present.
+  EXPECT_NE(table.find("|--"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Full report rendering over a real simulated run
+// ---------------------------------------------------------------------------
+
+class ReportRenderTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    BenchmarkDriver::ResetHoldoutRegistryForTesting();
+    spec_.name = "report_test";
+    DatasetOptions options;
+    options.num_keys = 3000;
+    spec_.datasets.push_back(GenerateDataset(UniformUnit(), options));
+    PhaseSpec phase;
+    phase.name = "p0";
+    phase.mix = OperationMix::ReadMostly();
+    phase.num_operations = 1000;
+    spec_.phases.push_back(phase);
+    phase.name = "p1";
+    phase.holdout = true;
+    spec_.phases.push_back(phase);
+    spec_.interval_nanos = 50000000;
+    spec_.boxplot_sample_nanos = 5000000;
+
+    DriverOptions driver_options;
+    driver_options.virtual_clock = &clock_;
+    BenchmarkDriver driver(&clock_, driver_options);
+    BTreeSystem sut;
+    run_ = driver.Run(spec_, &sut).value();
+  }
+
+  VirtualClock clock_;
+  RunSpec spec_;
+  RunResult run_;
+};
+
+TEST_F(ReportRenderTest, RunSummaryMentionsEverything) {
+  const std::string summary = RenderRunSummary(run_);
+  EXPECT_NE(summary.find("report_test"), std::string::npos);
+  EXPECT_NE(summary.find("btree_system"), std::string::npos);
+  EXPECT_NE(summary.find("operations: 2000"), std::string::npos);
+  EXPECT_NE(summary.find("SLA"), std::string::npos);
+  EXPECT_NE(summary.find("phase"), std::string::npos);
+}
+
+TEST_F(ReportRenderTest, SpecializationReportMarksHoldout) {
+  const SpecializationReport report =
+      BuildSpecializationReport(spec_, run_);
+  const std::string text = RenderSpecializationReport(report);
+  EXPECT_NE(text.find("[holdout]"), std::string::npos);
+  EXPECT_NE(text.find("phi"), std::string::npos);
+
+  const std::string csv = SpecializationCsv(report);
+  const auto parsed = ParseCsv(csv);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().size(), 3u);  // Header + 2 phases.
+  EXPECT_EQ(parsed.value()[0][0], "phase");
+}
+
+TEST_F(ReportRenderTest, CumulativeComparisonIncludesArea) {
+  const std::string text = RenderCumulativeComparison(
+      {{"sys_a", run_.metrics.cumulative},
+       {"sys_b", run_.metrics.cumulative}});
+  EXPECT_NE(text.find("area vs ideal"), std::string::npos);
+  EXPECT_NE(text.find("area between systems"), std::string::npos);
+  EXPECT_NE(text.find("sys_a"), std::string::npos);
+}
+
+TEST_F(ReportRenderTest, SlaBandsRendersTotals) {
+  const std::string text =
+      RenderSlaBands(run_.metrics.bands, run_.metrics.sla_nanos);
+  EXPECT_NE(text.find("total completions: 2000"), std::string::npos);
+}
+
+TEST_F(ReportRenderTest, CsvEmittersRoundTrip) {
+  for (const std::string& csv :
+       {CumulativeCsv(run_.metrics.cumulative),
+        SlaBandsCsv(run_.metrics.bands), PhaseMetricsCsv(run_.metrics)}) {
+    const auto parsed = ParseCsv(csv);
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_GE(parsed.value().size(), 2u);
+    // Rectangular: all rows have the header's width.
+    for (const auto& row : parsed.value()) {
+      EXPECT_EQ(row.size(), parsed.value()[0].size());
+    }
+  }
+}
+
+TEST_F(ReportRenderTest, CostReportShowsCrossover) {
+  const DbaCostModel dba = DbaCostModel::Default();
+  std::vector<CostPoint> points = {{1, 500}, {50, 1200}, {500, 2500}};
+  const std::string text =
+      RenderCostReport({{"learned_cpu", points}}, 1000.0, dba);
+  EXPECT_NE(text.find("training cost to outperform"), std::string::npos);
+  EXPECT_NE(text.find("learned_cpu"), std::string::npos);
+  EXPECT_NE(text.find("$"), std::string::npos);
+
+  const std::string csv = CostCurveCsv({{"learned_cpu", points}});
+  const auto parsed = ParseCsv(csv);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().size(), 4u);
+}
+
+TEST_F(ReportRenderTest, CostReportNeverCase) {
+  const DbaCostModel dba = DbaCostModel::Default();
+  const std::string text = RenderCostReport(
+      {{"weak_system", {{1, 10}, {1000, 20}}}}, 1000.0, dba);
+  EXPECT_NE(text.find("never"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace lsbench

@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include "sched/scheduler.h"
+
+namespace lsbench {
+namespace {
+
+Job MakeJob(uint64_t id, double arrival, double service, int cls = 0,
+            double size_hint = 1.0) {
+  Job job;
+  job.id = id;
+  job.arrival_seconds = arrival;
+  job.true_service_seconds = service;
+  job.query_class = cls;
+  job.size_hint = size_hint;
+  return job;
+}
+
+TEST(FifoPolicyTest, PicksEarliestArrival) {
+  FifoPolicy policy;
+  const std::vector<Job> ready = {MakeJob(0, 5.0, 1.0), MakeJob(1, 2.0, 1.0),
+                                  MakeJob(2, 9.0, 1.0)};
+  EXPECT_EQ(policy.PickNext(ready), 1u);
+}
+
+TEST(OracleSjfPolicyTest, PicksShortestJob) {
+  OracleSjfPolicy policy;
+  const std::vector<Job> ready = {MakeJob(0, 0.0, 5.0), MakeJob(1, 0.0, 0.5),
+                                  MakeJob(2, 0.0, 2.0)};
+  EXPECT_EQ(policy.PickNext(ready), 1u);
+}
+
+TEST(LearnedSjfPolicyTest, LearnsPerClassRates) {
+  LearnedSjfPolicy policy;
+  // Teach: class 0 costs 1 ms/row, class 1 costs 1 us/row.
+  for (int i = 0; i < 200; ++i) {
+    policy.OnJobFinished(MakeJob(0, 0, 0, /*cls=*/0, /*size=*/10.0), 0.01);
+    policy.OnJobFinished(MakeJob(1, 0, 0, /*cls=*/1, /*size=*/10.0), 1e-5);
+  }
+  EXPECT_NEAR(policy.Predict(MakeJob(2, 0, 0, 0, 10.0)), 0.01, 0.002);
+  EXPECT_NEAR(policy.Predict(MakeJob(3, 0, 0, 1, 10.0)), 1e-5, 5e-6);
+  // And uses them: prefers the cheap class-1 job.
+  const std::vector<Job> ready = {MakeJob(0, 0, 0, 0, 10.0),
+                                  MakeJob(1, 0, 0, 1, 10.0)};
+  EXPECT_EQ(policy.PickNext(ready), 1u);
+}
+
+TEST(SimulateScheduleTest, EmptyAndSingleJob) {
+  FifoPolicy policy;
+  EXPECT_EQ(SimulateSchedule({}, &policy).jobs, 0u);
+  const ScheduleMetrics m =
+      SimulateSchedule({MakeJob(0, 1.0, 2.0)}, &policy);
+  EXPECT_EQ(m.jobs, 1u);
+  EXPECT_DOUBLE_EQ(m.makespan_seconds, 3.0);
+  EXPECT_DOUBLE_EQ(m.mean_flow_seconds, 2.0);
+  EXPECT_DOUBLE_EQ(m.mean_slowdown, 1.0);
+}
+
+TEST(SimulateScheduleTest, SjfBeatsFifoOnFlowTime) {
+  // The server is busy with a warm-up job while a long job and many short
+  // ones queue up; the discipline then decides who goes first.
+  std::vector<Job> jobs = {MakeJob(0, 0.0, 0.5), MakeJob(1, 0.1, 10.0)};
+  for (int i = 2; i <= 21; ++i) {
+    jobs.push_back(MakeJob(i, 0.2 + 0.001 * i, 0.1));
+  }
+  FifoPolicy fifo;
+  OracleSjfPolicy sjf;
+  const ScheduleMetrics mf = SimulateSchedule(jobs, &fifo);
+  const ScheduleMetrics ms = SimulateSchedule(jobs, &sjf);
+  // Same total work, very different mean flow times.
+  EXPECT_NEAR(mf.makespan_seconds, ms.makespan_seconds, 1e-9);
+  EXPECT_LT(ms.mean_flow_seconds, mf.mean_flow_seconds * 0.5);
+  EXPECT_LT(ms.mean_slowdown, mf.mean_slowdown);
+}
+
+TEST(SimulateScheduleTest, LearnedSjfApproachesOracleWithFeedback) {
+  // Overloaded server so queueing discipline matters.
+  const std::vector<Job> jobs = GenerateJobs(8000, 20000.0, 20.0, 7);
+  FifoPolicy fifo;
+  OracleSjfPolicy oracle;
+  LearnedSjfPolicy learned;
+  const ScheduleMetrics mf = SimulateSchedule(jobs, &fifo);
+  const ScheduleMetrics mo = SimulateSchedule(jobs, &oracle);
+  const ScheduleMetrics ml = SimulateSchedule(jobs, &learned);
+  // Oracle <= learned <= fifo in mean slowdown (learned close to oracle).
+  EXPECT_LT(mo.mean_slowdown, ml.mean_slowdown + 1e-9);
+  EXPECT_LT(ml.mean_slowdown, mf.mean_slowdown);
+  EXPECT_LT(ml.mean_slowdown, mo.mean_slowdown * 5.0);
+}
+
+TEST(GenerateJobsTest, DeterministicAndWellFormed) {
+  const auto a = GenerateJobs(500, 1000.0, 1.0, 42);
+  const auto b = GenerateJobs(500, 1000.0, 1.0, 42);
+  ASSERT_EQ(a.size(), 500u);
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].arrival_seconds, b[i].arrival_seconds);
+    EXPECT_EQ(a[i].true_service_seconds, b[i].true_service_seconds);
+    EXPECT_GT(a[i].true_service_seconds, 0.0);
+    if (i > 0) EXPECT_GE(a[i].arrival_seconds, a[i - 1].arrival_seconds);
+  }
+}
+
+TEST(GenerateJobsTest, RateScaleScalesServiceTimes) {
+  const auto slow = GenerateJobs(1000, 1000.0, 10.0, 9);
+  const auto fast = GenerateJobs(1000, 1000.0, 1.0, 9);
+  double slow_sum = 0, fast_sum = 0;
+  for (size_t i = 0; i < slow.size(); ++i) {
+    slow_sum += slow[i].true_service_seconds;
+    fast_sum += fast[i].true_service_seconds;
+  }
+  EXPECT_NEAR(slow_sum / fast_sum, 10.0, 0.01);
+}
+
+TEST(SimulateScheduleTest, ShiftDegradesThenRecovery) {
+  // Phase 1 trains the learned policy at rate_scale 1; phase 2 multiplies
+  // analytics cost 50x (environment change). The learned policy's relative
+  // gap to the oracle right after the shift shrinks again by the end.
+  LearnedSjfPolicy learned;
+  const auto phase1 = GenerateJobs(5000, 20000.0, 20.0, 11);
+  SimulateSchedule(phase1, &learned);  // Train via feedback.
+  // After training, predictions for the trained classes are in the right
+  // ballpark (within 3x of the class means).
+  const Job probe = MakeJob(0, 0, 0, /*cls=*/2, /*size=*/10000.0);
+  const double predicted = learned.Predict(probe);
+  EXPECT_GT(predicted, 20.0 * 1e-6 * 10000.0 * 0.3);
+  EXPECT_LT(predicted, 20.0 * 1e-6 * 10000.0 * 3.0);
+}
+
+}  // namespace
+}  // namespace lsbench

@@ -1,0 +1,42 @@
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "core/spec_text.h"
+
+namespace lsbench {
+namespace {
+
+/// The sample specs shipped in specs/ must stay parseable and valid; this
+/// guards the files the README tells users to run first. LSBENCH_SPEC_DIR
+/// is injected by the test's CMake target.
+class SpecFilesTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(SpecFilesTest, ShippedSpecParsesAndValidates) {
+  const std::string path = std::string(LSBENCH_SPEC_DIR) + "/" + GetParam();
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good()) << "missing spec file: " << path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+
+  const Result<RunSpec> spec = ParseRunSpecText(buffer.str());
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  EXPECT_TRUE(spec.value().Validate().ok());
+  EXPECT_FALSE(spec.value().datasets.empty());
+  EXPECT_FALSE(spec.value().phases.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(ShippedSpecs, SpecFilesTest,
+                         ::testing::Values("demo_shift.lsb",
+                                           "holdout_eval.lsb"),
+                         [](const ::testing::TestParamInfo<const char*>& info) {
+                           std::string name = info.param;
+                           for (char& c : name) {
+                             if (c == '.') c = '_';
+                           }
+                           return name;
+                         });
+
+}  // namespace
+}  // namespace lsbench

@@ -1,0 +1,165 @@
+#include <gtest/gtest.h>
+
+#include "core/spec_text.h"
+
+namespace lsbench {
+namespace {
+
+constexpr char kGoodSpec[] = R"(
+# full-featured spec
+name = parse_me
+seed = 99
+interval_ms = 250
+boxplot_sample_ms = 25
+offline_training = false
+sla_ms = 5
+adjustment_window_ops = 123
+
+[dataset]
+kind = uniform
+num_keys = 2000
+seed = 1
+
+[dataset]
+kind = gaussian
+num_keys = 3000
+seed = 2
+param1 = 0.4
+param2 = 0.05
+
+[phase]
+name = first
+dataset = 0
+ops = 1000
+mix = get:0.5,insert:0.3,scan:0.2
+access = hotspot
+access_param = 0.2
+arrival = poisson
+arrival_qps = 5000
+scan_length = 42
+
+[phase]
+name = second
+dataset = 1
+ops = 2000
+mix = range_count:0.9,update:0.1
+access = uniform
+transition = cosine
+transition_ops = 500
+holdout = true
+range_selectivity = 0.01
+)";
+
+TEST(SpecTextTest, ParsesFullSpec) {
+  const Result<RunSpec> result = ParseRunSpecText(kGoodSpec);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const RunSpec& spec = result.value();
+  EXPECT_EQ(spec.name, "parse_me");
+  EXPECT_EQ(spec.seed, 99u);
+  EXPECT_EQ(spec.interval_nanos, 250000000);
+  EXPECT_EQ(spec.boxplot_sample_nanos, 25000000);
+  EXPECT_FALSE(spec.offline_training);
+  EXPECT_EQ(spec.sla.threshold_nanos, 5000000);
+  EXPECT_EQ(spec.adjustment_window_ops, 123u);
+
+  ASSERT_EQ(spec.datasets.size(), 2u);
+  EXPECT_EQ(spec.datasets[0].size(), 2000u);
+  EXPECT_EQ(spec.datasets[1].size(), 3000u);
+
+  ASSERT_EQ(spec.phases.size(), 2u);
+  const PhaseSpec& p0 = spec.phases[0];
+  EXPECT_EQ(p0.name, "first");
+  EXPECT_EQ(p0.dataset_index, 0);
+  EXPECT_EQ(p0.num_operations, 1000u);
+  EXPECT_DOUBLE_EQ(p0.mix.get, 0.5);
+  EXPECT_DOUBLE_EQ(p0.mix.insert, 0.3);
+  EXPECT_DOUBLE_EQ(p0.mix.scan, 0.2);
+  EXPECT_EQ(p0.access, AccessPattern::kHotSpot);
+  EXPECT_DOUBLE_EQ(p0.access_param, 0.2);
+  EXPECT_EQ(p0.arrival, ArrivalPattern::kPoisson);
+  EXPECT_DOUBLE_EQ(p0.arrival_rate_qps, 5000.0);
+  EXPECT_EQ(p0.scan_length, 42u);
+
+  const PhaseSpec& p1 = spec.phases[1];
+  EXPECT_EQ(p1.dataset_index, 1);
+  EXPECT_DOUBLE_EQ(p1.mix.range_count, 0.9);
+  EXPECT_EQ(p1.transition_in, TransitionKind::kCosine);
+  EXPECT_EQ(p1.transition_operations, 500u);
+  EXPECT_TRUE(p1.holdout);
+  EXPECT_DOUBLE_EQ(p1.range_selectivity, 0.01);
+}
+
+TEST(SpecTextTest, ParsedSpecValidates) {
+  const Result<RunSpec> result = ParseRunSpecText(kGoodSpec);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result.value().Validate().ok());
+}
+
+TEST(SpecTextTest, RejectsUnknownKeys) {
+  EXPECT_TRUE(ParseRunSpecText("bogus_key = 1\n[dataset]\n[phase]\nops = 1\n")
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(ParseRunSpecText("[dataset]\nshape = zipf\n")
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(ParseRunSpecText("[phase]\npriority = high\n")
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(SpecTextTest, RejectsBadValues) {
+  EXPECT_TRUE(
+      ParseRunSpecText("seed = banana\n").status().IsInvalidArgument());
+  EXPECT_TRUE(ParseRunSpecText("[dataset]\nkind = pyramid\nnum_keys = 10\n")
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(ParseRunSpecText("[phase]\nmix = fly:1.0\n")
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(ParseRunSpecText("[phase]\naccess = psychic\n")
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(ParseRunSpecText("[bogus_section]\n")
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(ParseRunSpecText("just some text\n")
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(SpecTextTest, RejectsStructurallyInvalidSpecs) {
+  // No datasets / phases -> Validate() fails.
+  EXPECT_FALSE(ParseRunSpecText("name = empty\n").ok());
+  // Phase referencing a missing dataset.
+  EXPECT_FALSE(ParseRunSpecText(
+                   "[dataset]\nnum_keys = 100\n[phase]\ndataset = 5\n"
+                   "ops = 10\nmix = get:1\n")
+                   .ok());
+}
+
+TEST(SpecTextTest, CommentsAndWhitespaceIgnored) {
+  const Result<RunSpec> result = ParseRunSpecText(
+      "  name =  spaced   # trailing comment\n"
+      "# full-line comment\n"
+      "\n"
+      "[dataset]\n"
+      "  num_keys = 100   \n"
+      "[phase]\n"
+      "ops = 10\n"
+      "mix = get:1.0\n");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result.value().name, "spaced");
+  EXPECT_EQ(result.value().datasets[0].size(), 100u);
+}
+
+TEST(SpecTextTest, EmailDatasetKind) {
+  const Result<RunSpec> result = ParseRunSpecText(
+      "[dataset]\nkind = emails\nnum_keys = 500\nseed = 3\n"
+      "[phase]\nops = 10\nmix = get:1.0\n");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result.value().datasets[0].name, "emails");
+  EXPECT_GT(result.value().datasets[0].size(), 100u);
+}
+
+}  // namespace
+}  // namespace lsbench

@@ -1,0 +1,92 @@
+#include <gtest/gtest.h>
+
+#include "report/ascii_chart.h"
+#include "sut/tco.h"
+
+namespace lsbench {
+namespace {
+
+TEST(TcoPlanTest, TotalsAndRatio) {
+  TcoPlan plan;
+  plan.throughput = 1000.0;
+  plan.hardware_dollars = 500.0;
+  plan.training_dollars = 300.0;
+  plan.dba_dollars = 200.0;
+  EXPECT_DOUBLE_EQ(plan.TotalDollars(), 1000.0);
+  EXPECT_DOUBLE_EQ(plan.OpsPerKiloDollar(), 1000.0);
+}
+
+TEST(TcoPlanTest, ZeroCostGuard) {
+  TcoPlan plan;
+  plan.throughput = 1000.0;
+  EXPECT_DOUBLE_EQ(plan.OpsPerKiloDollar(), 0.0);
+}
+
+TEST(TcoTest, HorizonHardwareDollars) {
+  TcoAssumptions a;
+  a.years = 2.0;
+  a.server_dollars_per_hour = 0.5;
+  EXPECT_DOUBLE_EQ(HorizonHardwareDollars(a), 2.0 * 24 * 365 * 0.5);
+}
+
+TEST(TcoTest, TraditionalPlanAppliesTierMultiplierAndCost) {
+  const DbaCostModel dba = DbaCostModel::Default();
+  TcoAssumptions a;  // 3y, 4 passes/y, tier 1 (x1.6, $600 cumulative).
+  const TcoPlan plan = MakeTraditionalPlan("t", 1000.0, dba, a);
+  EXPECT_DOUBLE_EQ(plan.throughput, 1600.0);
+  EXPECT_DOUBLE_EQ(plan.dba_dollars, 600.0 * 4 * 3);
+  EXPECT_DOUBLE_EQ(plan.training_dollars, 0.0);
+  EXPECT_GT(plan.hardware_dollars, 0.0);
+}
+
+TEST(TcoTest, LearnedPlanChargesRecurringTraining) {
+  TcoAssumptions a;
+  a.pipeline_scale = 1000.0;
+  a.retrains_per_year = 10;
+  a.years = 2.0;
+  // 0.36 s fit * 1000 = 360 s pipeline; CPU at $1/h -> $0.1 per retrain.
+  const TcoPlan plan = MakeLearnedPlan("l", 2000.0, 0.36,
+                                       HardwareProfile::Cpu(), a);
+  EXPECT_NEAR(plan.training_dollars, 0.1 * 10 * 2, 1e-9);
+  EXPECT_DOUBLE_EQ(plan.dba_dollars, 0.0);
+  EXPECT_DOUBLE_EQ(plan.throughput, 2000.0);
+}
+
+TEST(TcoTest, GpuCheaperThanCpuForSameFit) {
+  const TcoAssumptions a;
+  const TcoPlan cpu =
+      MakeLearnedPlan("c", 1.0, 1.0, HardwareProfile::Cpu(), a);
+  const TcoPlan gpu =
+      MakeLearnedPlan("g", 1.0, 1.0, HardwareProfile::Gpu(), a);
+  EXPECT_LT(gpu.training_dollars, cpu.training_dollars);
+}
+
+TEST(TcoTest, RenderTableContainsAllPlans) {
+  const DbaCostModel dba = DbaCostModel::Default();
+  const TcoAssumptions a;
+  const std::vector<TcoPlan> plans = {
+      MakeTraditionalPlan("traditional", 1000.0, dba, a),
+      MakeLearnedPlan("learned_cpu", 1200.0, 0.1, HardwareProfile::Cpu(), a),
+  };
+  const std::string table = RenderTcoTable(plans);
+  EXPECT_NE(table.find("traditional"), std::string::npos);
+  EXPECT_NE(table.find("learned_cpu"), std::string::npos);
+  EXPECT_NE(table.find("ops/s per k$"), std::string::npos);
+}
+
+TEST(MultiBandChartTest, RendersAllClasses) {
+  const std::vector<std::vector<double>> columns = {
+      {10, 0, 0}, {4, 4, 2}, {0, 0, 10}};
+  const std::string chart = RenderMultiBandChart(columns);
+  EXPECT_NE(chart.find('#'), std::string::npos);
+  EXPECT_NE(chart.find('+'), std::string::npos);
+  EXPECT_NE(chart.find('o'), std::string::npos);
+  EXPECT_NE(chart.find("classes bottom-up"), std::string::npos);
+}
+
+TEST(MultiBandChartTest, EmptyInput) {
+  EXPECT_NE(RenderMultiBandChart({}).find("no data"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace lsbench

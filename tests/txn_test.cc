@@ -1,0 +1,112 @@
+#include <gtest/gtest.h>
+
+#include "index/btree.h"
+#include "index/skiplist.h"
+#include "txn/op_log.h"
+#include "txn/write_batch.h"
+#include "util/random.h"
+
+namespace lsbench {
+namespace {
+
+TEST(WriteBatchTest, AppliesInOrder) {
+  WriteBatch batch;
+  batch.Put(1, 10);
+  batch.Put(2, 20);
+  batch.Put(1, 11);  // Later write wins.
+  batch.Delete(2);
+  EXPECT_EQ(batch.size(), 4u);
+
+  BTree tree;
+  const size_t changed = batch.ApplyTo(&tree);
+  // Put(1) new, Put(2) new, Put(1) overwrite (no change), Delete(2) change.
+  EXPECT_EQ(changed, 3u);
+  EXPECT_EQ(*tree.Get(1), 11u);
+  EXPECT_FALSE(tree.Get(2).has_value());
+}
+
+TEST(WriteBatchTest, ClearEmpties) {
+  WriteBatch batch;
+  batch.Put(1, 1);
+  batch.Clear();
+  EXPECT_TRUE(batch.empty());
+}
+
+TEST(OpLogTest, SequencesAreMonotonic) {
+  OpLog log;
+  EXPECT_EQ(log.last_sequence(), 0u);
+  EXPECT_EQ(log.Append({Mutation::Kind::kPut, 1, 10}), 1u);
+  EXPECT_EQ(log.Append({Mutation::Kind::kDelete, 1, 0}), 2u);
+  EXPECT_EQ(log.last_sequence(), 2u);
+  EXPECT_EQ(log.size(), 2u);
+}
+
+TEST(OpLogTest, AppendBatchReturnsLastSequence) {
+  OpLog log;
+  WriteBatch batch;
+  batch.Put(1, 1);
+  batch.Put(2, 2);
+  EXPECT_EQ(log.AppendBatch(batch), 2u);
+  EXPECT_EQ(log.AppendBatch(WriteBatch()), 2u);  // Empty batch: unchanged.
+}
+
+TEST(OpLogTest, ReplayRebuildsEquivalentIndex) {
+  // Property: a replay into a fresh index reproduces the live index exactly,
+  // even across different index implementations.
+  OpLog log;
+  BTree live;
+  Rng rng(47);
+  for (int i = 0; i < 5000; ++i) {
+    const Key key = rng.NextBounded(500);
+    if (rng.NextBool(0.7)) {
+      const Value value = rng.Next();
+      live.Insert(key, value);
+      log.Append({Mutation::Kind::kPut, key, value});
+    } else {
+      live.Erase(key);
+      log.Append({Mutation::Kind::kDelete, key, 0});
+    }
+  }
+
+  SkipList rebuilt;
+  EXPECT_EQ(log.ReplayInto(&rebuilt), log.size());
+  EXPECT_EQ(rebuilt.size(), live.size());
+  std::vector<KeyValue> a, b;
+  live.Scan(0, live.size() + 1, &a);
+  rebuilt.Scan(0, rebuilt.size() + 1, &b);
+  EXPECT_EQ(a, b);
+}
+
+TEST(OpLogTest, PartialReplayFromCheckpoint) {
+  OpLog log;
+  log.Append({Mutation::Kind::kPut, 1, 10});
+  log.Append({Mutation::Kind::kPut, 2, 20});
+  log.Append({Mutation::Kind::kPut, 3, 30});
+  BTree tree;
+  EXPECT_EQ(log.ReplayInto(&tree, /*after_sequence=*/2), 1u);
+  EXPECT_FALSE(tree.Get(1).has_value());
+  EXPECT_TRUE(tree.Get(3).has_value());
+}
+
+TEST(OpLogTest, TruncateDropsPrefix) {
+  OpLog log;
+  for (Key i = 1; i <= 10; ++i) log.Append({Mutation::Kind::kPut, i, i});
+  log.TruncateUpTo(7);
+  EXPECT_EQ(log.size(), 3u);
+  EXPECT_EQ(log.records().front().sequence, 8u);
+  EXPECT_EQ(log.last_sequence(), 10u);
+  // New appends continue the sequence.
+  EXPECT_EQ(log.Append({Mutation::Kind::kPut, 99, 99}), 11u);
+}
+
+TEST(OpLogTest, TruncateAllAndNone) {
+  OpLog log;
+  log.Append({Mutation::Kind::kPut, 1, 1});
+  log.TruncateUpTo(0);
+  EXPECT_EQ(log.size(), 1u);
+  log.TruncateUpTo(100);
+  EXPECT_TRUE(log.empty());
+}
+
+}  // namespace
+}  // namespace lsbench

@@ -1,0 +1,160 @@
+// lsbench_cli — run an LSBench spec file against a chosen system under test
+// and print the paper's metric suite.
+//
+// Usage:
+//   lsbench_cli <spec-file> [--sut=btree|lsm|rmi|pgm|adaptive|stdcmp]
+//               [--no-holdout-enforcement] [--csv] [--html=PATH]
+//
+//   --sut               system under test (default btree). "stdcmp" runs
+//                       btree + rmi + adaptive through the comparison
+//                       harness instead of a single system.
+//   --no-holdout-enforcement
+//                       allow re-running specs that contain hold-out phases
+//   --csv               also print CSV blocks for downstream plotting
+//   --html=PATH         additionally write a self-contained HTML report
+//                       with inline SVG charts to PATH
+//
+// See src/core/spec_text.h for the spec file format; sample specs live in
+// specs/.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "core/comparison.h"
+#include "core/driver.h"
+#include "core/spec_text.h"
+#include "core/specialization.h"
+#include "report/html.h"
+#include "report/report.h"
+#include "sut/systems.h"
+
+namespace lsbench {
+namespace {
+
+std::unique_ptr<SystemUnderTest> MakeSut(const std::string& kind) {
+  if (kind == "btree") return std::make_unique<BTreeSystem>();
+  if (kind == "lsm") return std::make_unique<LsmKvSystem>();
+  if (kind == "rmi") return std::make_unique<LearnedKvSystem>();
+  if (kind == "pgm") {
+    LearnedSystemOptions options;
+    options.index_kind = LearnedSystemOptions::IndexKind::kPgm;
+    return std::make_unique<LearnedKvSystem>(options);
+  }
+  if (kind == "adaptive") return std::make_unique<AdaptiveKvSystem>();
+  return nullptr;
+}
+
+int Run(int argc, char** argv) {
+  std::string spec_path;
+  std::string sut_kind = "btree";
+  bool enforce_holdout = true;
+  bool emit_csv = false;
+  std::string html_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--sut=", 0) == 0) {
+      sut_kind = arg.substr(6);
+    } else if (arg == "--no-holdout-enforcement") {
+      enforce_holdout = false;
+    } else if (arg == "--csv") {
+      emit_csv = true;
+    } else if (arg.rfind("--html=", 0) == 0) {
+      html_path = arg.substr(7);
+    } else if (!arg.empty() && arg[0] != '-') {
+      spec_path = arg;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      return 2;
+    }
+  }
+  if (spec_path.empty()) {
+    std::fprintf(stderr,
+                 "usage: lsbench_cli <spec-file> "
+                 "[--sut=btree|lsm|rmi|pgm|adaptive|stdcmp] "
+                 "[--no-holdout-enforcement] [--csv]\n");
+    return 2;
+  }
+
+  std::ifstream in(spec_path);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", spec_path.c_str());
+    return 1;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const Result<RunSpec> spec = ParseRunSpecText(buffer.str());
+  if (!spec.ok()) {
+    std::fprintf(stderr, "spec error: %s\n",
+                 spec.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("parsed spec '%s': %zu dataset(s), %zu phase(s)\n",
+              spec.value().name.c_str(), spec.value().datasets.size(),
+              spec.value().phases.size());
+
+  DriverOptions driver_options;
+  driver_options.enforce_holdout_once = enforce_holdout;
+
+  if (sut_kind == "stdcmp") {
+    BTreeSystem btree;
+    LearnedKvSystem rmi;
+    AdaptiveKvSystem adaptive;
+    const Result<ComparisonReport> report = CompareSystems(
+        spec.value(), {&btree, &rmi, &adaptive}, nullptr, driver_options);
+    if (!report.ok()) {
+      std::fprintf(stderr, "run error: %s\n",
+                   report.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%s\n", RenderComparison(report.value()).c_str());
+    return 0;
+  }
+
+  const std::unique_ptr<SystemUnderTest> sut = MakeSut(sut_kind);
+  if (sut == nullptr) {
+    std::fprintf(stderr, "unknown --sut: %s\n", sut_kind.c_str());
+    return 2;
+  }
+  BenchmarkDriver driver(nullptr, driver_options);
+  const Result<RunResult> result = driver.Run(spec.value(), sut.get());
+  if (!result.ok()) {
+    std::fprintf(stderr, "run error: %s\n",
+                 result.status().ToString().c_str());
+    return 1;
+  }
+  const RunResult& run = result.value();
+  std::printf("%s\n", RenderRunSummary(run).c_str());
+  const SpecializationReport specialization =
+      BuildSpecializationReport(spec.value(), run);
+  std::printf("%s\n", RenderSpecializationReport(specialization).c_str());
+  std::printf("%s\n",
+              RenderSlaBands(run.metrics.bands, run.metrics.sla_nanos)
+                  .c_str());
+  if (!html_path.empty()) {
+    const Status st = WriteHtmlReport(run, specialization, html_path);
+    if (!st.ok()) {
+      std::fprintf(stderr, "html report: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote HTML report to %s\n", html_path.c_str());
+  }
+  if (emit_csv) {
+    std::printf("## specialization.csv\n%s\n",
+                SpecializationCsv(specialization).c_str());
+    std::printf("## cumulative.csv\n%s\n",
+                CumulativeCsv(run.metrics.cumulative).c_str());
+    std::printf("## bands.csv\n%s\n",
+                SlaBandsCsv(run.metrics.bands).c_str());
+    std::printf("## phases.csv\n%s\n", PhaseMetricsCsv(run.metrics).c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace lsbench
+
+int main(int argc, char** argv) { return lsbench::Run(argc, argv); }
