@@ -1,8 +1,11 @@
 #include "core/driver.h"
 
 #include <algorithm>
+#include <limits>
+#include <optional>
 #include <unordered_set>
 
+#include "sut/fault_injection.h"
 #include "util/assert.h"
 #include "workload/generator.h"
 
@@ -83,6 +86,13 @@ Result<RunResult> BenchmarkDriver::Run(const RunSpec& spec,
   result.sut_name = sut->name();
   result.run_name = spec.name;
 
+  // ---- Fault injection (spec-driven, deterministic) ----
+  std::optional<FaultInjectingSut> fault_wrapper;
+  if (!spec.faults.Empty()) {
+    fault_wrapper.emplace(sut, spec.faults, clock_, options_.virtual_clock);
+    sut = &*fault_wrapper;
+  }
+
   // ---- Load ----
   {
     Stopwatch watch(clock_);
@@ -92,13 +102,16 @@ Result<RunResult> BenchmarkDriver::Run(const RunSpec& spec,
   }
 
   // ---- Offline training (timed, first-class) ----
+  uint64_t failed_trains = 0;
   if (spec.offline_training) {
     TrainEvent te;
     te.start_nanos = clock_->NowNanos();
     const TrainReport report = sut->Train();
     te.end_nanos = clock_->NowNanos();
     te.work_items = report.work_items;
-    if (report.trained) result.train_events.push_back(te);
+    te.ok = report.status.ok();
+    if (!te.ok) ++failed_trains;
+    if (report.trained || !te.ok) result.train_events.push_back(te);
   }
 
   // ---- Execution ----
@@ -109,6 +122,14 @@ Result<RunResult> BenchmarkDriver::Run(const RunSpec& spec,
     for (const PhaseSpec& p : spec.phases) total += p.num_operations;
     return total;
   }());
+
+  // Resilience machinery: backoff jitter draws from a dedicated fork of the
+  // master stream (so enabling retries never perturbs workload generation),
+  // and the circuit breaker tracks health across phases.
+  const ResilienceSpec& res = spec.resilience;
+  RetryBackoff backoff(res, master.Fork(0x0ba2c0ffULL).Next());
+  std::optional<CircuitBreaker> breaker;
+  if (res.breaker_enabled) breaker.emplace(res);
 
   std::unique_ptr<OperationGenerator> prev_generator;
   int64_t last_completion_rel = 0;
@@ -163,9 +184,53 @@ Result<RunResult> BenchmarkDriver::Run(const RunSpec& spec,
       }
       WaitUntil(run_start + arrival_rel);
 
-      const OpResult op_result = sut->Execute(op);
-      if (options_.virtual_clock != nullptr) {
-        options_.virtual_clock->AdvanceNanos(options_.virtual_service_nanos);
+      // Resilient execution: attempt, classify, retry transient failures
+      // with backoff inside the op's deadline, or shed when degraded.
+      const int64_t deadline_rel =
+          res.op_timeout_nanos > 0
+              ? arrival_rel + res.op_timeout_nanos
+              : std::numeric_limits<int64_t>::max();
+      OpResult op_result;
+      uint16_t retries = 0;
+      bool timed_out = false;
+      bool shed = false;
+      bool op_failed = false;
+      for (;;) {
+        if (breaker && !breaker->AllowRequest(clock_->NowNanos())) {
+          // Open breaker: degraded mode sheds the operation unexecuted.
+          shed = true;
+          op_failed = true;
+          op_result = OpResult();
+          if (options_.virtual_clock != nullptr) {
+            options_.virtual_clock->AdvanceNanos(options_.virtual_shed_nanos);
+          }
+          break;
+        }
+        op_result = sut->Execute(op);
+        if (options_.virtual_clock != nullptr) {
+          options_.virtual_clock->AdvanceNanos(options_.virtual_service_nanos);
+        }
+        const int64_t now_rel = clock_->NowNanos() - run_start;
+        const bool past_deadline = now_rel > deadline_rel;
+        if (op_result.status.ok() && !past_deadline) {
+          if (breaker) breaker->RecordSuccess(clock_->NowNanos());
+          break;
+        }
+        // Failure: a SUT error, a blown latency budget, or both.
+        if (breaker) breaker->RecordFailure(clock_->NowNanos());
+        if (past_deadline) {
+          // The deadline is spent; retrying cannot deliver in time.
+          timed_out = true;
+          op_failed = true;
+          break;
+        }
+        if (op_result.status.IsTransient() && retries < res.max_retries) {
+          ++retries;
+          WaitUntil(clock_->NowNanos() + backoff.NextDelayNanos(retries));
+          continue;
+        }
+        op_failed = true;
+        break;
       }
       const int64_t completion_rel = clock_->NowNanos() - run_start;
 
@@ -174,8 +239,12 @@ Result<RunResult> BenchmarkDriver::Run(const RunSpec& spec,
       event.latency_nanos = std::max<int64_t>(0, completion_rel - arrival_rel);
       event.phase = static_cast<int32_t>(phase_idx);
       event.type = op.type;
-      event.ok = op_result.ok;
+      event.ok = !op_failed && op_result.ok;
       event.rows = op_result.rows;
+      event.retries = retries;
+      event.failed = op_failed;
+      event.timed_out = timed_out;
+      event.shed = shed;
       result.events.push_back(event);
       last_completion_rel = completion_rel;
     }
@@ -195,7 +264,17 @@ Result<RunResult> BenchmarkDriver::Run(const RunSpec& spec,
   mopts.sla_auto_percentile = spec.sla.auto_percentile;
   mopts.sla_auto_margin = spec.sla.auto_margin;
   result.metrics = ComputeRunMetrics(result.events, result.boundaries, mopts);
+  // Driver-owned resilience state the metric layer cannot derive from the
+  // event stream alone.
+  result.metrics.resilience.failed_trains = failed_trains;
+  if (breaker) {
+    result.metrics.resilience.breaker_opens = breaker->open_count();
+    result.metrics.resilience.degraded_seconds =
+        static_cast<double>(breaker->DegradedNanos(clock_->NowNanos())) *
+        1e-9;
+  }
   result.final_sut_stats = sut->GetStats();
+  if (fault_wrapper) result.fault_stats = fault_wrapper->fault_stats();
   return result;
 }
 

@@ -7,7 +7,9 @@
 
 #include "core/events.h"
 #include "core/metrics.h"
+#include "core/resilience.h"
 #include "core/run_spec.h"
+#include "sut/fault_plan.h"
 #include "sut/sut.h"
 #include "util/clock.h"
 #include "util/status.h"
@@ -25,6 +27,8 @@ struct RunResult {
   double load_seconds = 0.0;
   std::vector<TrainEvent> train_events;
   SutStats final_sut_stats;
+  /// What the fault injector did (all zero when the spec has no faults).
+  FaultStats fault_stats;
 
   /// Total offline training wall time across train_events, seconds.
   double OfflineTrainSeconds() const;
@@ -41,6 +45,10 @@ struct DriverOptions {
   /// Enforce the paper's single-execution rule for hold-out phases via the
   /// process-wide registry.
   bool enforce_holdout_once = true;
+  /// Simulated cost of shedding one operation while the circuit breaker is
+  /// open (fast-fail is cheap but not free; this also keeps virtual time
+  /// moving so the breaker's cooldown can elapse in closed-loop phases).
+  int64_t virtual_shed_nanos = 1000;  // 1 us.
 };
 
 /// The LSBench benchmark driver: executes a RunSpec against a SUT, producing
@@ -48,6 +56,13 @@ struct DriverOptions {
 /// paper's execution model — phase sequencing with configurable transitions,
 /// training as a timed first-class step, open/closed-loop arrivals, and
 /// hold-out phases that are never trained on and run at most once.
+///
+/// When the spec carries a FaultPlan the SUT is transparently wrapped in a
+/// FaultInjectingSut, and the spec's ResilienceSpec governs how the driver
+/// responds to failures: per-op timeout budgets (deadline measured from the
+/// intended arrival), retry with exponential backoff and seeded jitter for
+/// transient codes, and a circuit breaker that sheds load (skip-and-count
+/// degraded mode) while the error rate is above threshold.
 class BenchmarkDriver {
  public:
   /// `clock` must outlive the driver; nullptr selects an internal RealClock.

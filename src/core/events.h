@@ -19,6 +19,11 @@ struct OpEvent {
   OpType type = OpType::kGet;
   bool ok = false;
   uint64_t rows = 0;
+  // Resilience outcome (all zero on healthy runs).
+  uint16_t retries = 0;   ///< Retry attempts consumed by this operation.
+  bool failed = false;    ///< Operation ultimately failed (any cause).
+  bool timed_out = false; ///< Exceeded its per-op timeout budget.
+  bool shed = false;      ///< Dropped unexecuted by the open circuit breaker.
 };
 
 /// When a phase ran, and whether it was out-of-sample.
@@ -35,6 +40,7 @@ struct TrainEvent {
   int64_t start_nanos = 0;
   int64_t end_nanos = 0;
   uint64_t work_items = 0;
+  bool ok = true;  ///< False when the training pass reported failure.
 
   double Seconds() const {
     return static_cast<double>(end_nanos - start_nanos) * 1e-9;

@@ -198,6 +198,16 @@ RunMetrics ComputeRunMetrics(const EventStream& events,
   for (const OpEvent& e : events) {
     metrics.overall_latency.Record(static_cast<double>(e.latency_nanos));
     if (e.latency_nanos > sla) ++metrics.total_sla_violations;
+    if (e.failed) ++metrics.resilience.failed_operations;
+    if (e.timed_out) ++metrics.resilience.timeouts;
+    if (e.shed) ++metrics.resilience.shed_operations;
+    metrics.resilience.total_retries += e.retries;
+  }
+  if (!events.empty()) {
+    metrics.resilience.availability =
+        static_cast<double>(events.size() -
+                            metrics.resilience.failed_operations) /
+        static_cast<double>(events.size());
   }
 
   metrics.cumulative = BuildCumulativeCurve(events, options.interval_nanos);
@@ -225,6 +235,7 @@ RunMetrics ComputeRunMetrics(const EventStream& events,
       ++pm.operations;
       pm.latency.Record(static_cast<double>(e.latency_nanos));
       if (e.latency_nanos > sla) ++pm.sla_violations;
+      if (e.failed) ++pm.failed_operations;
       if (window_ops < options.adjustment_window_ops) {
         ++window_ops;
         if (e.latency_nanos > sla) {

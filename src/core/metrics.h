@@ -86,6 +86,26 @@ struct PhaseMetrics {
   /// Adjustment-speed metric: sum of latency above the SLA threshold over
   /// the first `adjustment_window_ops` operations of the phase, seconds.
   double adjustment_excess_seconds = 0.0;
+  /// Operations that ultimately failed in this phase (errors, timeouts,
+  /// and load shed by the circuit breaker).
+  uint64_t failed_operations = 0;
+};
+
+/// Health metrics under injected or organic failures (§III Lesson 2: a
+/// benchmark must expose stalls and outages that averages hide). Counts are
+/// pure functions of the event stream; degraded-mode duration and breaker/
+/// training counters are stamped by the driver, which owns that state.
+struct ResilienceMetrics {
+  uint64_t failed_operations = 0;  ///< Errors + timeouts + shed.
+  uint64_t timeouts = 0;           ///< Ops that blew their latency budget.
+  uint64_t shed_operations = 0;    ///< Dropped by the open circuit breaker.
+  uint64_t total_retries = 0;      ///< Retry attempts across all ops.
+  uint64_t breaker_opens = 0;      ///< Entries into the open state.
+  uint64_t failed_trains = 0;      ///< Training passes that failed.
+  double degraded_seconds = 0.0;   ///< Time with the breaker not closed.
+  /// Fraction of operations that completed successfully: the headline
+  /// availability number (1.0 on a healthy run).
+  double availability = 1.0;
 };
 
 /// Everything the benchmark reports about one run, computed purely from the
@@ -101,6 +121,7 @@ struct RunMetrics {
   std::vector<CumulativePoint> cumulative;
   std::vector<LatencyBand> bands;
   double area_vs_ideal = 0.0;
+  ResilienceMetrics resilience;
 };
 
 /// Parameters mirrored from the RunSpec (kept separate so metric code does

@@ -1,0 +1,112 @@
+#ifndef LSBENCH_CORE_RESILIENCE_H_
+#define LSBENCH_CORE_RESILIENCE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/random.h"
+
+namespace lsbench {
+
+/// How the driver responds to SUT failures: per-operation timeout budgets,
+/// retry with exponential backoff (seeded jitter) for transient codes, and
+/// a circuit breaker that sheds load in a degraded mode while the error
+/// rate is above threshold. All defaults leave resilience off so existing
+/// specs behave exactly as before.
+struct ResilienceSpec {
+  /// Per-operation latency budget measured from the intended arrival; an
+  /// operation completing past its deadline counts as a timeout failure
+  /// (retries share the same budget). 0 disables timeouts.
+  int64_t op_timeout_nanos = 0;
+
+  /// Retries for transient failures (kTimeout/kUnavailable/
+  /// kResourceExhausted). 0 disables retries.
+  uint32_t max_retries = 0;
+  int64_t backoff_initial_nanos = 1000000;  // 1 ms.
+  double backoff_multiplier = 2.0;
+  int64_t backoff_max_nanos = 1000000000;  // 1 s cap.
+  /// Jitter fraction in [0, 1): each delay is scaled by a seeded uniform
+  /// factor in [1 - jitter, 1 + jitter].
+  double backoff_jitter = 0.0;
+
+  /// Circuit breaker: opens when the failure rate over the last
+  /// `breaker_window_ops` outcomes reaches `breaker_failure_threshold`;
+  /// while open, operations are shed (skip-and-count degraded mode). After
+  /// `breaker_cooldown_nanos` it half-opens and `breaker_half_open_probes`
+  /// consecutive successes close it again.
+  bool breaker_enabled = false;
+  uint64_t breaker_window_ops = 100;
+  double breaker_failure_threshold = 0.5;
+  int64_t breaker_cooldown_nanos = 100000000;  // 100 ms.
+  uint64_t breaker_half_open_probes = 8;
+
+  bool Enabled() const {
+    return op_timeout_nanos > 0 || max_retries > 0 || breaker_enabled;
+  }
+};
+
+bool operator==(const ResilienceSpec& a, const ResilienceSpec& b);
+
+/// Deterministic exponential-backoff schedule with seeded jitter:
+/// delay(attempt) = min(initial * multiplier^(attempt-1), max) * jitter
+/// where jitter ~ U[1 - j, 1 + j] from the supplied seed. Attempts are
+/// 1-based.
+class RetryBackoff {
+ public:
+  RetryBackoff(const ResilienceSpec& spec, uint64_t seed)
+      : spec_(spec), rng_(seed) {}
+
+  int64_t NextDelayNanos(uint32_t attempt);
+
+ private:
+  ResilienceSpec spec_;
+  Rng rng_;
+};
+
+/// Classic three-state circuit breaker over a sliding window of operation
+/// outcomes. Single-threaded (the driver is synchronous); time comes in
+/// through the call sites so it works identically under VirtualClock.
+class CircuitBreaker {
+ public:
+  enum class State { kClosed, kOpen, kHalfOpen };
+
+  explicit CircuitBreaker(const ResilienceSpec& spec);
+
+  /// Whether a request may proceed at `now_nanos`. May transition
+  /// kOpen -> kHalfOpen when the cooldown has elapsed. Returns false only
+  /// while open (the caller sheds the operation).
+  bool AllowRequest(int64_t now_nanos);
+
+  void RecordSuccess(int64_t now_nanos);
+  void RecordFailure(int64_t now_nanos);
+
+  State state() const { return state_; }
+
+  /// Times the breaker left the closed state (degraded-mode entries).
+  uint64_t open_count() const { return open_count_; }
+
+  /// Total nanoseconds spent outside the closed state up to `now_nanos`.
+  int64_t DegradedNanos(int64_t now_nanos) const;
+
+ private:
+  void RecordOutcome(int64_t now_nanos, bool failed);
+  void Open(int64_t now_nanos);
+  void Close(int64_t now_nanos);
+
+  ResilienceSpec spec_;
+  State state_ = State::kClosed;
+  /// Ring buffer of the last `breaker_window_ops` outcomes (1 = failure).
+  std::vector<uint8_t> window_;
+  size_t window_head_ = 0;
+  size_t window_count_ = 0;
+  uint64_t window_failures_ = 0;
+  int64_t open_until_nanos_ = 0;
+  uint64_t half_open_successes_ = 0;
+  uint64_t open_count_ = 0;
+  int64_t degraded_accum_nanos_ = 0;
+  int64_t degraded_since_nanos_ = 0;
+};
+
+}  // namespace lsbench
+
+#endif  // LSBENCH_CORE_RESILIENCE_H_

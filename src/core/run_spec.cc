@@ -62,6 +62,50 @@ Status RunSpec::Validate() const {
   if (interval_nanos <= 0 || boxplot_sample_nanos <= 0) {
     return Status::InvalidArgument("reporting intervals must be positive");
   }
+  for (size_t i = 0; i < faults.windows.size(); ++i) {
+    const FaultWindow& w = faults.windows[i];
+    if (w.phase >= static_cast<int32_t>(phases.size())) {
+      return Status::InvalidArgument("fault window " + std::to_string(i) +
+                                     " references missing phase");
+    }
+    for (double rate :
+         {w.execute_fail_rate, w.latency_spike_rate, w.stall_rate}) {
+      if (rate < 0.0 || rate > 1.0) {
+        return Status::InvalidArgument("fault window " + std::to_string(i) +
+                                       " has a rate outside [0, 1]");
+      }
+    }
+    if (w.latency_spike_nanos < 0 || w.stall_nanos < 0 ||
+        w.train_hang_nanos < 0) {
+      return Status::InvalidArgument("fault window " + std::to_string(i) +
+                                     " has a negative duration");
+    }
+    if (w.execute_fail_code == StatusCode::kOk) {
+      return Status::InvalidArgument("fault window " + std::to_string(i) +
+                                     " cannot inject an OK failure");
+    }
+  }
+  if (resilience.op_timeout_nanos < 0 ||
+      resilience.backoff_initial_nanos < 0 ||
+      resilience.backoff_max_nanos < 0 ||
+      resilience.breaker_cooldown_nanos < 0) {
+    return Status::InvalidArgument("resilience durations must be >= 0");
+  }
+  if (resilience.backoff_multiplier < 1.0) {
+    return Status::InvalidArgument("backoff multiplier must be >= 1");
+  }
+  if (resilience.backoff_jitter < 0.0 || resilience.backoff_jitter >= 1.0) {
+    return Status::InvalidArgument("backoff jitter must be in [0, 1)");
+  }
+  if (resilience.breaker_enabled) {
+    if (resilience.breaker_window_ops == 0) {
+      return Status::InvalidArgument("breaker window must be non-empty");
+    }
+    if (resilience.breaker_failure_threshold <= 0.0 ||
+        resilience.breaker_failure_threshold > 1.0) {
+      return Status::InvalidArgument("breaker threshold must be in (0, 1]");
+    }
+  }
   return Status::OK();
 }
 
@@ -94,6 +138,30 @@ uint64_t RunSpec::StructuralHash() const {
     h = MixHash(h, p.scan_length);
     h = MixHash(h, HashDouble(p.range_selectivity));
   }
+  h = MixHash(h, faults.seed);
+  h = MixHash(h, faults.load_failures);
+  for (const FaultWindow& w : faults.windows) {
+    h = MixHash(h, static_cast<uint64_t>(static_cast<int64_t>(w.phase)));
+    h = MixHash(h, HashDouble(w.execute_fail_rate));
+    h = MixHash(h, static_cast<uint64_t>(w.execute_fail_code));
+    h = MixHash(h, HashDouble(w.latency_spike_rate));
+    h = MixHash(h, static_cast<uint64_t>(w.latency_spike_nanos));
+    h = MixHash(h, HashDouble(w.stall_rate));
+    h = MixHash(h, static_cast<uint64_t>(w.stall_nanos));
+    h = MixHash(h, w.fail_train ? 1 : 0);
+    h = MixHash(h, static_cast<uint64_t>(w.train_hang_nanos));
+  }
+  h = MixHash(h, static_cast<uint64_t>(resilience.op_timeout_nanos));
+  h = MixHash(h, resilience.max_retries);
+  h = MixHash(h, static_cast<uint64_t>(resilience.backoff_initial_nanos));
+  h = MixHash(h, HashDouble(resilience.backoff_multiplier));
+  h = MixHash(h, static_cast<uint64_t>(resilience.backoff_max_nanos));
+  h = MixHash(h, HashDouble(resilience.backoff_jitter));
+  h = MixHash(h, resilience.breaker_enabled ? 1 : 0);
+  h = MixHash(h, resilience.breaker_window_ops);
+  h = MixHash(h, HashDouble(resilience.breaker_failure_threshold));
+  h = MixHash(h, static_cast<uint64_t>(resilience.breaker_cooldown_nanos));
+  h = MixHash(h, resilience.breaker_half_open_probes);
   return h;
 }
 

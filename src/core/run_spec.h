@@ -5,7 +5,9 @@
 #include <string>
 #include <vector>
 
+#include "core/resilience.h"
 #include "data/dataset.h"
+#include "sut/fault_plan.h"
 #include "util/status.h"
 #include "workload/spec.h"
 
@@ -40,6 +42,11 @@ struct RunSpec {
   /// Run an offline training pass (timed) before execution.
   bool offline_training = true;
   uint64_t seed = 42;
+  /// Deterministic fault schedule; an empty plan injects nothing and the
+  /// driver runs the SUT unwrapped.
+  FaultPlan faults;
+  /// Timeout / retry / circuit-breaker policy; disabled by default.
+  ResilienceSpec resilience;
 
   /// Structural validation: phases reference valid datasets, lengths are
   /// nonzero, datasets are nonempty.

@@ -1,5 +1,6 @@
 #include "core/spec_text.h"
 
+#include <cstdio>
 #include <cstdlib>
 
 #include "util/string_util.h"
@@ -42,6 +43,52 @@ Result<bool> ParseBool(const std::string& value, const std::string& key) {
   if (value == "true" || value == "1" || value == "yes") return true;
   if (value == "false" || value == "0" || value == "no") return false;
   return Status::InvalidArgument("bad bool for '" + key + "': " + value);
+}
+
+Result<int64_t> ParseI64(const std::string& value, const std::string& key) {
+  char* end = nullptr;
+  const long long v = std::strtoll(value.c_str(), &end, 10);
+  if (end == value.c_str() || *end != '\0') {
+    return Status::InvalidArgument("bad integer for '" + key + "': " + value);
+  }
+  return static_cast<int64_t>(v);
+}
+
+Result<StatusCode> ParseFailCode(const std::string& value) {
+  if (value == "unavailable") return StatusCode::kUnavailable;
+  if (value == "timeout") return StatusCode::kTimeout;
+  if (value == "resource_exhausted") return StatusCode::kResourceExhausted;
+  if (value == "io_error") return StatusCode::kIoError;
+  if (value == "internal") return StatusCode::kInternal;
+  return Status::InvalidArgument("unknown fault code: " + value);
+}
+
+std::string FailCodeToSpecString(StatusCode code) {
+  switch (code) {
+    case StatusCode::kUnavailable:
+      return "unavailable";
+    case StatusCode::kTimeout:
+      return "timeout";
+    case StatusCode::kResourceExhausted:
+      return "resource_exhausted";
+    case StatusCode::kIoError:
+      return "io_error";
+    default:
+      return "internal";
+  }
+}
+
+/// Shortest decimal representation that strtod round-trips exactly.
+std::string FullDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  // Prefer a shorter form when it round-trips (keeps specs readable).
+  for (int precision = 1; precision <= 16; ++precision) {
+    char candidate[64];
+    std::snprintf(candidate, sizeof(candidate), "%.*g", precision, v);
+    if (std::strtod(candidate, nullptr) == v) return candidate;
+  }
+  return buf;
 }
 
 /// Accumulated description of one [dataset] section.
@@ -137,12 +184,14 @@ Result<TransitionKind> ParseTransition(const std::string& value) {
 
 Result<RunSpec> ParseRunSpecText(const std::string& text) {
   RunSpec spec;
-  enum class Section { kTop, kDataset, kPhase };
+  enum class Section { kTop, kDataset, kPhase, kFaults, kResilience };
   Section section = Section::kTop;
   DatasetDesc dataset_desc;
   bool dataset_open = false;
   PhaseSpec phase;
   bool phase_open = false;
+  FaultWindow fault_window;
+  bool fault_window_open = false;
 
   auto close_dataset = [&]() -> Status {
     if (!dataset_open) return Status::OK();
@@ -160,6 +209,22 @@ Result<RunSpec> ParseRunSpecText(const std::string& text) {
     phase_open = false;
     return Status::OK();
   };
+  auto close_fault_window = [&]() -> Status {
+    if (!fault_window_open) return Status::OK();
+    // An all-default window is a no-op carrier for plan-level keys
+    // (seed / load_failures) and is not recorded.
+    if (!(fault_window == FaultWindow())) {
+      spec.faults.windows.push_back(fault_window);
+    }
+    fault_window = FaultWindow();
+    fault_window_open = false;
+    return Status::OK();
+  };
+  auto close_sections = [&]() -> Status {
+    LSBENCH_RETURN_NOT_OK(close_dataset());
+    LSBENCH_RETURN_NOT_OK(close_phase());
+    return close_fault_window();
+  };
 
   size_t line_no = 0;
   for (const std::string& raw_line : Split(text, '\n')) {
@@ -171,17 +236,26 @@ Result<RunSpec> ParseRunSpecText(const std::string& text) {
     if (line.empty()) continue;
 
     if (line == "[dataset]") {
-      LSBENCH_RETURN_NOT_OK(close_dataset());
-      LSBENCH_RETURN_NOT_OK(close_phase());
+      LSBENCH_RETURN_NOT_OK(close_sections());
       section = Section::kDataset;
       dataset_open = true;
       continue;
     }
     if (line == "[phase]") {
-      LSBENCH_RETURN_NOT_OK(close_dataset());
-      LSBENCH_RETURN_NOT_OK(close_phase());
+      LSBENCH_RETURN_NOT_OK(close_sections());
       section = Section::kPhase;
       phase_open = true;
+      continue;
+    }
+    if (line == "[faults]") {
+      LSBENCH_RETURN_NOT_OK(close_sections());
+      section = Section::kFaults;
+      fault_window_open = true;
+      continue;
+    }
+    if (line == "[resilience]") {
+      LSBENCH_RETURN_NOT_OK(close_sections());
+      section = Section::kResilience;
       continue;
     }
     if (line.front() == '[') {
@@ -234,6 +308,14 @@ Result<RunSpec> ParseRunSpecText(const std::string& text) {
           const auto v = ParseU64(value, key);
           if (!v.ok()) return v.status();
           spec.adjustment_window_ops = v.value();
+        } else if (key == "fault_seed") {
+          const auto v = ParseU64(value, key);
+          if (!v.ok()) return v.status();
+          spec.faults.seed = v.value();
+        } else if (key == "fault_load_failures") {
+          const auto v = ParseU64(value, key);
+          if (!v.ok()) return v.status();
+          spec.faults.load_failures = static_cast<uint32_t>(v.value());
         } else {
           return Status::InvalidArgument("unknown top-level key: " + key);
         }
@@ -317,12 +399,191 @@ Result<RunSpec> ParseRunSpecText(const std::string& text) {
         }
         break;
       }
+      case Section::kFaults: {
+        if (key == "seed") {
+          const auto v = ParseU64(value, key);
+          if (!v.ok()) return v.status();
+          spec.faults.seed = v.value();
+        } else if (key == "load_failures") {
+          const auto v = ParseU64(value, key);
+          if (!v.ok()) return v.status();
+          spec.faults.load_failures = static_cast<uint32_t>(v.value());
+        } else if (key == "phase") {
+          const auto v = ParseI64(value, key);
+          if (!v.ok()) return v.status();
+          fault_window.phase = static_cast<int32_t>(v.value());
+        } else if (key == "execute_fail_rate") {
+          const auto v = ParseDouble(value, key);
+          if (!v.ok()) return v.status();
+          fault_window.execute_fail_rate = v.value();
+        } else if (key == "execute_fail_code") {
+          const auto v = ParseFailCode(value);
+          if (!v.ok()) return v.status();
+          fault_window.execute_fail_code = v.value();
+        } else if (key == "latency_spike_rate") {
+          const auto v = ParseDouble(value, key);
+          if (!v.ok()) return v.status();
+          fault_window.latency_spike_rate = v.value();
+        } else if (key == "latency_spike_us") {
+          const auto v = ParseU64(value, key);
+          if (!v.ok()) return v.status();
+          fault_window.latency_spike_nanos =
+              static_cast<int64_t>(v.value()) * 1000;
+        } else if (key == "stall_rate") {
+          const auto v = ParseDouble(value, key);
+          if (!v.ok()) return v.status();
+          fault_window.stall_rate = v.value();
+        } else if (key == "stall_us") {
+          const auto v = ParseU64(value, key);
+          if (!v.ok()) return v.status();
+          fault_window.stall_nanos = static_cast<int64_t>(v.value()) * 1000;
+        } else if (key == "fail_train") {
+          const auto v = ParseBool(value, key);
+          if (!v.ok()) return v.status();
+          fault_window.fail_train = v.value();
+        } else if (key == "train_hang_us") {
+          const auto v = ParseU64(value, key);
+          if (!v.ok()) return v.status();
+          fault_window.train_hang_nanos =
+              static_cast<int64_t>(v.value()) * 1000;
+        } else {
+          return Status::InvalidArgument("unknown faults key: " + key);
+        }
+        break;
+      }
+      case Section::kResilience: {
+        ResilienceSpec& r = spec.resilience;
+        if (key == "op_timeout_us") {
+          const auto v = ParseU64(value, key);
+          if (!v.ok()) return v.status();
+          r.op_timeout_nanos = static_cast<int64_t>(v.value()) * 1000;
+        } else if (key == "max_retries") {
+          const auto v = ParseU64(value, key);
+          if (!v.ok()) return v.status();
+          r.max_retries = static_cast<uint32_t>(v.value());
+        } else if (key == "backoff_initial_us") {
+          const auto v = ParseU64(value, key);
+          if (!v.ok()) return v.status();
+          r.backoff_initial_nanos = static_cast<int64_t>(v.value()) * 1000;
+        } else if (key == "backoff_multiplier") {
+          const auto v = ParseDouble(value, key);
+          if (!v.ok()) return v.status();
+          r.backoff_multiplier = v.value();
+        } else if (key == "backoff_max_us") {
+          const auto v = ParseU64(value, key);
+          if (!v.ok()) return v.status();
+          r.backoff_max_nanos = static_cast<int64_t>(v.value()) * 1000;
+        } else if (key == "backoff_jitter") {
+          const auto v = ParseDouble(value, key);
+          if (!v.ok()) return v.status();
+          r.backoff_jitter = v.value();
+        } else if (key == "breaker_enabled") {
+          const auto v = ParseBool(value, key);
+          if (!v.ok()) return v.status();
+          r.breaker_enabled = v.value();
+        } else if (key == "breaker_window_ops") {
+          const auto v = ParseU64(value, key);
+          if (!v.ok()) return v.status();
+          r.breaker_window_ops = static_cast<uint32_t>(v.value());
+        } else if (key == "breaker_threshold") {
+          const auto v = ParseDouble(value, key);
+          if (!v.ok()) return v.status();
+          r.breaker_failure_threshold = v.value();
+        } else if (key == "breaker_cooldown_us") {
+          const auto v = ParseU64(value, key);
+          if (!v.ok()) return v.status();
+          r.breaker_cooldown_nanos = static_cast<int64_t>(v.value()) * 1000;
+        } else if (key == "breaker_halfopen_probes") {
+          const auto v = ParseU64(value, key);
+          if (!v.ok()) return v.status();
+          r.breaker_half_open_probes = static_cast<uint32_t>(v.value());
+        } else {
+          return Status::InvalidArgument("unknown resilience key: " + key);
+        }
+        break;
+      }
     }
   }
-  LSBENCH_RETURN_NOT_OK(close_dataset());
-  LSBENCH_RETURN_NOT_OK(close_phase());
+  LSBENCH_RETURN_NOT_OK(close_sections());
   LSBENCH_RETURN_NOT_OK(spec.Validate());
   return spec;
+}
+
+std::string RenderResilienceText(const RunSpec& spec) {
+  std::string out;
+  const FaultPlan defaults_plan;
+  const ResilienceSpec defaults_res;
+  auto emit = [&](const std::string& line) {
+    out += line;
+    out += '\n';
+  };
+  auto emit_u64 = [&](const char* key, uint64_t v) {
+    emit(std::string(key) + " = " + std::to_string(v));
+  };
+  auto emit_us = [&](const char* key, int64_t nanos) {
+    emit(std::string(key) + " = " + std::to_string(nanos / 1000));
+  };
+  auto emit_dbl = [&](const char* key, double v) {
+    emit(std::string(key) + " = " + FullDouble(v));
+  };
+  auto emit_bool = [&](const char* key, bool v) {
+    emit(std::string(key) + std::string(v ? " = true" : " = false"));
+  };
+
+  if (!spec.faults.Empty() || spec.faults.seed != defaults_plan.seed) {
+    // Plan-level keys ride in the first [faults] section so the rendered
+    // text can be appended to any spec; an all-default carrier section is
+    // dropped again on parse.
+    bool plan_keys_pending = spec.faults.seed != defaults_plan.seed ||
+                             spec.faults.load_failures != 0;
+    auto emit_plan_keys = [&]() {
+      if (!plan_keys_pending) return;
+      if (spec.faults.seed != defaults_plan.seed) {
+        emit_u64("seed", spec.faults.seed);
+      }
+      if (spec.faults.load_failures != 0) {
+        emit_u64("load_failures", spec.faults.load_failures);
+      }
+      plan_keys_pending = false;
+    };
+    for (const FaultWindow& w : spec.faults.windows) {
+      if (!out.empty()) emit("");
+      emit("[faults]");
+      emit_plan_keys();
+      emit("phase = " + std::to_string(w.phase));
+      emit_dbl("execute_fail_rate", w.execute_fail_rate);
+      emit("execute_fail_code = " +
+           FailCodeToSpecString(w.execute_fail_code));
+      emit_dbl("latency_spike_rate", w.latency_spike_rate);
+      emit_us("latency_spike_us", w.latency_spike_nanos);
+      emit_dbl("stall_rate", w.stall_rate);
+      emit_us("stall_us", w.stall_nanos);
+      emit_bool("fail_train", w.fail_train);
+      emit_us("train_hang_us", w.train_hang_nanos);
+    }
+    if (plan_keys_pending) {
+      emit("[faults]");
+      emit_plan_keys();
+    }
+  }
+
+  if (!(spec.resilience == defaults_res)) {
+    if (!out.empty()) emit("");
+    emit("[resilience]");
+    const ResilienceSpec& r = spec.resilience;
+    emit_us("op_timeout_us", r.op_timeout_nanos);
+    emit_u64("max_retries", r.max_retries);
+    emit_us("backoff_initial_us", r.backoff_initial_nanos);
+    emit_dbl("backoff_multiplier", r.backoff_multiplier);
+    emit_us("backoff_max_us", r.backoff_max_nanos);
+    emit_dbl("backoff_jitter", r.backoff_jitter);
+    emit_bool("breaker_enabled", r.breaker_enabled);
+    emit_u64("breaker_window_ops", r.breaker_window_ops);
+    emit_dbl("breaker_threshold", r.breaker_failure_threshold);
+    emit_us("breaker_cooldown_us", r.breaker_cooldown_nanos);
+    emit_u64("breaker_halfopen_probes", r.breaker_half_open_probes);
+  }
+  return out;
 }
 
 }  // namespace lsbench

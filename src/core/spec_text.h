@@ -42,11 +42,52 @@ namespace lsbench {
 /// range_selectivity = 0.001
 /// ```
 ///
+/// Fault-injection and resilience blocks (all optional):
+///
+/// ```
+/// fault_seed = 77            # top-level: seeds the injector's RNG
+/// fault_load_failures = 0    # first N Load calls fail with an I/O error
+///
+/// [faults]                   # one section per fault window
+/// seed = 77                  # plan-level alternatives to the fault_*
+/// load_failures = 0          # top-level keys (usable in any window)
+/// phase = -1                 # -1 = every phase; exact match wins
+/// execute_fail_rate = 0.01   # P(injected transient Execute failure)
+/// execute_fail_code = unavailable  # unavailable|timeout|
+///                            # resource_exhausted|io_error|internal
+/// latency_spike_rate = 0.001
+/// latency_spike_us = 2000
+/// stall_rate = 0
+/// stall_us = 0
+/// fail_train = false
+/// train_hang_us = 0
+///
+/// [resilience]               # driver policy (single section)
+/// op_timeout_us = 10000      # per-op budget from intended arrival; 0 = off
+/// max_retries = 3
+/// backoff_initial_us = 500
+/// backoff_multiplier = 2.0
+/// backoff_max_us = 100000
+/// backoff_jitter = 0.2
+/// breaker_enabled = true
+/// breaker_window_ops = 200
+/// breaker_threshold = 0.5
+/// breaker_cooldown_us = 250000
+/// breaker_halfopen_probes = 10
+/// ```
+///
 /// Dataset kind parameters: gaussian(param1=mean, param2=stddev),
 /// lognormal(param1=mu, param2=sigma), pareto(param1=alpha),
 /// clustered(param1=num_clusters, param2=spread); uniform and emails take
 /// none. Unknown keys are rejected (typo safety).
 Result<RunSpec> ParseRunSpecText(const std::string& text);
+
+/// Renders a spec's fault-injection and resilience configuration back into
+/// spec text (the `fault_*` top-level keys plus `[faults]` / `[resilience]`
+/// sections). parse -> render -> parse is lossless for these blocks; note
+/// durations are emitted in whole microseconds, matching what the parser
+/// accepts. Returns "" when the spec has no faults and default resilience.
+std::string RenderResilienceText(const RunSpec& spec);
 
 }  // namespace lsbench
 

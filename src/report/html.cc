@@ -204,6 +204,23 @@ std::string RenderHtmlReport(const RunResult& result,
      << "<td>" << result.final_sut_stats.retrain_events << "</td>"
      << "</tr></table>\n";
 
+  const ResilienceMetrics& rm = m.resilience;
+  if (rm.failed_operations > 0 || rm.total_retries > 0 ||
+      rm.breaker_opens > 0 || rm.failed_trains > 0) {
+    os << "<table><tr><th>availability</th><th>errors</th><th>timeouts</th>"
+          "<th>shed</th><th>retries</th><th>breaker opens</th>"
+          "<th>degraded (s)</th><th>failed trains</th></tr><tr>"
+       << "<td>" << FormatDouble(100.0 * rm.availability, 2) << "%</td>"
+       << "<td>" << rm.failed_operations << "</td>"
+       << "<td>" << rm.timeouts << "</td>"
+       << "<td>" << rm.shed_operations << "</td>"
+       << "<td>" << rm.total_retries << "</td>"
+       << "<td>" << rm.breaker_opens << "</td>"
+       << "<td>" << FormatDouble(rm.degraded_seconds, 3) << "</td>"
+       << "<td>" << rm.failed_trains << "</td>"
+       << "</tr></table>\n";
+  }
+
   os << "<table><tr><th>phase</th><th>holdout</th><th>ops</th>"
         "<th>mean ops/s</th><th>p99</th><th>violations</th>"
         "<th>adjust excess (s)</th></tr>\n";

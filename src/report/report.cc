@@ -37,6 +37,19 @@ std::string RenderRunSummary(const RunResult& result) {
      << "%)\n";
   os << "area vs ideal: " << FormatDouble(m.area_vs_ideal, 1)
      << " query-seconds\n";
+  const ResilienceMetrics& rm = m.resilience;
+  if (rm.failed_operations > 0 || rm.total_retries > 0 ||
+      rm.breaker_opens > 0 || rm.failed_trains > 0) {
+    os << "resilience: availability="
+       << FormatDouble(100.0 * rm.availability, 2) << "%"
+       << ", errors=" << rm.failed_operations
+       << " (timeouts=" << rm.timeouts << ", shed=" << rm.shed_operations
+       << "), retries=" << rm.total_retries
+       << ", breaker opens=" << rm.breaker_opens
+       << ", degraded=" << FormatDouble(rm.degraded_seconds, 3) << "s";
+    if (rm.failed_trains > 0) os << ", failed trains=" << rm.failed_trains;
+    os << "\n";
+  }
   os << "SUT stats: memory=" << HumanCount(static_cast<double>(
                                    result.final_sut_stats.memory_bytes))
      << "B, retrain events=" << result.final_sut_stats.retrain_events

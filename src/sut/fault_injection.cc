@@ -1,0 +1,117 @@
+#include "sut/fault_injection.h"
+
+#include "util/assert.h"
+
+namespace lsbench {
+
+bool operator==(const FaultWindow& a, const FaultWindow& b) {
+  return a.phase == b.phase && a.execute_fail_rate == b.execute_fail_rate &&
+         a.execute_fail_code == b.execute_fail_code &&
+         a.latency_spike_rate == b.latency_spike_rate &&
+         a.latency_spike_nanos == b.latency_spike_nanos &&
+         a.stall_rate == b.stall_rate && a.stall_nanos == b.stall_nanos &&
+         a.fail_train == b.fail_train &&
+         a.train_hang_nanos == b.train_hang_nanos;
+}
+
+bool operator==(const FaultPlan& a, const FaultPlan& b) {
+  return a.seed == b.seed && a.load_failures == b.load_failures &&
+         a.windows == b.windows;
+}
+
+const FaultWindow* FaultPlan::WindowForPhase(int phase) const {
+  const FaultWindow* match = nullptr;
+  const FaultWindow* wildcard = nullptr;
+  for (const FaultWindow& w : windows) {
+    if (w.phase == phase) match = &w;
+    if (w.phase < 0) wildcard = &w;
+  }
+  return match != nullptr ? match : wildcard;
+}
+
+FaultInjectingSut::FaultInjectingSut(SystemUnderTest* inner, FaultPlan plan,
+                                     const Clock* clock,
+                                     VirtualClock* virtual_clock)
+    : inner_(inner),
+      plan_(std::move(plan)),
+      clock_(clock != nullptr ? clock : &default_clock_),
+      virtual_clock_(virtual_clock),
+      phase_rng_(PhaseRng(0)) {
+  LSBENCH_ASSERT(inner != nullptr);
+}
+
+Rng FaultInjectingSut::PhaseRng(int phase) const {
+  // Per-phase forks keep a phase's injection decisions independent of how
+  // many draws earlier phases consumed.
+  return Rng(plan_.seed).Fork(static_cast<uint64_t>(phase) + 0x0fa171u);
+}
+
+void FaultInjectingSut::BurnNanos(int64_t nanos) {
+  if (nanos <= 0) return;
+  if (virtual_clock_ != nullptr) {
+    virtual_clock_->AdvanceNanos(nanos);
+    return;
+  }
+  const int64_t until = clock_->NowNanos() + nanos;
+  while (clock_->NowNanos() < until) {
+    // Spin: injected latency must be observable in real-clock runs.
+  }
+}
+
+Status FaultInjectingSut::Load(const std::vector<KeyValue>& sorted_pairs) {
+  ++load_attempts_;
+  if (load_attempts_ <= plan_.load_failures) {
+    ++stats_.failed_loads;
+    return Status::IoError("injected fault: load I/O error (attempt " +
+                           std::to_string(load_attempts_) + ")");
+  }
+  return inner_->Load(sorted_pairs);
+}
+
+TrainReport FaultInjectingSut::Train() {
+  const FaultWindow* w = plan_.WindowForPhase(current_phase_);
+  if (w != nullptr && w->train_hang_nanos > 0) {
+    ++stats_.hung_trains;
+    BurnNanos(w->train_hang_nanos);
+  }
+  if (w != nullptr && w->fail_train) {
+    ++stats_.failed_trains;
+    TrainReport report;
+    report.status = Status::Unavailable("injected fault: training failed");
+    return report;
+  }
+  return inner_->Train();
+}
+
+OpResult FaultInjectingSut::Execute(const Operation& op) {
+  const FaultWindow* w = plan_.WindowForPhase(current_phase_);
+  if (w != nullptr) {
+    // Fixed draw order per operation keeps the decision stream stable
+    // across plans that enable different subsets of fault kinds.
+    const double u_fail = phase_rng_.NextDouble();
+    const double u_spike = phase_rng_.NextDouble();
+    const double u_stall = phase_rng_.NextDouble();
+    if (w->stall_rate > 0.0 && u_stall < w->stall_rate) {
+      ++stats_.injected_stalls;
+      BurnNanos(w->stall_nanos);
+    } else if (w->latency_spike_rate > 0.0 && u_spike < w->latency_spike_rate) {
+      ++stats_.injected_spikes;
+      BurnNanos(w->latency_spike_nanos);
+    }
+    if (w->execute_fail_rate > 0.0 && u_fail < w->execute_fail_rate) {
+      ++stats_.injected_failures;
+      OpResult result;
+      result.status = Status(w->execute_fail_code, "injected fault");
+      return result;
+    }
+  }
+  return inner_->Execute(op);
+}
+
+void FaultInjectingSut::OnPhaseStart(int phase_index, bool holdout) {
+  current_phase_ = phase_index;
+  phase_rng_ = PhaseRng(phase_index);
+  inner_->OnPhaseStart(phase_index, holdout);
+}
+
+}  // namespace lsbench

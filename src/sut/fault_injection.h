@@ -1,0 +1,61 @@
+#ifndef LSBENCH_SUT_FAULT_INJECTION_H_
+#define LSBENCH_SUT_FAULT_INJECTION_H_
+
+#include <string>
+#include <vector>
+
+#include "sut/fault_plan.h"
+#include "sut/sut.h"
+#include "util/clock.h"
+#include "util/random.h"
+
+namespace lsbench {
+
+/// Decorator that wraps any SystemUnderTest and perturbs it according to a
+/// FaultPlan: transient Execute failures, latency spikes and stalls, failed
+/// or hung training passes, and Load I/O errors. All decisions flow from
+/// RNG streams forked per phase from the plan's seed, so a faulted run is
+/// reproducible bit-for-bit — the injector is to system health what the
+/// workload generator is to data distributions.
+///
+/// Injected latency advances the supplied VirtualClock in simulation mode
+/// and busy-waits on the real clock otherwise, so spikes and stalls are
+/// visible to the driver's timestamps either way. The wrapper is
+/// transparent: name() and GetStats() pass through to the inner system.
+class FaultInjectingSut final : public SystemUnderTest {
+ public:
+  /// `inner` and `clock` must outlive the wrapper; nullptr `clock` selects
+  /// an internal RealClock. Pass the driver's VirtualClock as both `clock`
+  /// and `virtual_clock` for simulation runs.
+  explicit FaultInjectingSut(SystemUnderTest* inner, FaultPlan plan,
+                             const Clock* clock = nullptr,
+                             VirtualClock* virtual_clock = nullptr);
+
+  std::string name() const override { return inner_->name(); }
+  Status Load(const std::vector<KeyValue>& sorted_pairs) override;
+  TrainReport Train() override;
+  OpResult Execute(const Operation& op) override;
+  void OnPhaseStart(int phase_index, bool holdout) override;
+  SutStats GetStats() const override { return inner_->GetStats(); }
+
+  const FaultStats& fault_stats() const { return stats_; }
+
+ private:
+  /// Consumes `nanos` of time: advances the virtual clock, or spins.
+  void BurnNanos(int64_t nanos);
+  Rng PhaseRng(int phase) const;
+
+  SystemUnderTest* inner_;
+  FaultPlan plan_;
+  RealClock default_clock_;
+  const Clock* clock_;
+  VirtualClock* virtual_clock_;
+  Rng phase_rng_;
+  int current_phase_ = 0;
+  uint32_t load_attempts_ = 0;
+  FaultStats stats_;
+};
+
+}  // namespace lsbench
+
+#endif  // LSBENCH_SUT_FAULT_INJECTION_H_

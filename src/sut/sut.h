@@ -11,18 +11,25 @@
 
 namespace lsbench {
 
-/// Result of executing one operation.
+/// Result of executing one operation. `status` reports whether the system
+/// executed the operation at all (OK even for a miss); `ok` reports the
+/// data-level outcome (found / applied). A SUT that cannot serve a request
+/// (transient outage, internal error) returns a non-OK status and the
+/// resilient driver decides whether to retry, time out, or degrade.
 struct OpResult {
   bool ok = false;        ///< Found / applied.
   uint64_t rows = 0;      ///< Rows returned (scan) or counted (range count).
+  Status status;          ///< Execution outcome; defaults to OK.
 };
 
 /// What one training invocation did. The driver stamps wall time around the
 /// call; `work_items` lets cost models reason about training effort
-/// independent of machine speed.
+/// independent of machine speed. A failed training pass (e.g. under fault
+/// injection) reports a non-OK status with trained == false.
 struct TrainReport {
   bool trained = false;
   uint64_t work_items = 0;  ///< Keys fitted / models built.
+  Status status;            ///< Training outcome; defaults to OK.
 };
 
 /// Aggregate SUT-side statistics the benchmark reports alongside its own

@@ -22,8 +22,19 @@ std::string_view StatusCodeToString(StatusCode code) {
       return "Internal";
     case StatusCode::kIoError:
       return "IoError";
+    case StatusCode::kTimeout:
+      return "Timeout";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
+    case StatusCode::kResourceExhausted:
+      return "ResourceExhausted";
   }
   return "Unknown";
+}
+
+bool IsTransientStatusCode(StatusCode code) {
+  return code == StatusCode::kTimeout || code == StatusCode::kUnavailable ||
+         code == StatusCode::kResourceExhausted;
 }
 
 std::string Status::ToString() const {

@@ -20,11 +20,18 @@ enum class StatusCode {
   kUnimplemented,
   kInternal,
   kIoError,
+  kTimeout,
+  kUnavailable,
+  kResourceExhausted,
 };
 
 /// Returns a stable, human-readable name for a status code ("OK",
 /// "InvalidArgument", ...).
 std::string_view StatusCodeToString(StatusCode code);
+
+/// Transient codes: failures that a retry with backoff may recover from
+/// (the resilient driver's retry predicate). Everything else is permanent.
+bool IsTransientStatusCode(StatusCode code);
 
 /// A cheap, copyable success-or-error value. The OK status carries no
 /// allocation; error statuses carry a code and a message.
@@ -66,6 +73,15 @@ class Status {
   static Status IoError(std::string msg) {
     return Status(StatusCode::kIoError, std::move(msg));
   }
+  static Status Timeout(std::string msg) {
+    return Status(StatusCode::kTimeout, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -83,6 +99,14 @@ class Status {
   bool IsUnimplemented() const { return code_ == StatusCode::kUnimplemented; }
   bool IsInternal() const { return code_ == StatusCode::kInternal; }
   bool IsIoError() const { return code_ == StatusCode::kIoError; }
+  bool IsTimeout() const { return code_ == StatusCode::kTimeout; }
+  bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
+  bool IsResourceExhausted() const {
+    return code_ == StatusCode::kResourceExhausted;
+  }
+
+  /// True for codes a retry may recover from (see IsTransientStatusCode).
+  bool IsTransient() const { return IsTransientStatusCode(code_); }
 
   /// "OK" or "<Code>: <message>".
   std::string ToString() const;
@@ -103,6 +127,20 @@ inline bool operator==(const Status& a, const Status& b) {
     ::lsbench::Status _st = (expr);                 \
     if (!_st.ok()) return _st;                      \
   } while (false)
+
+#define LSBENCH_STATUS_CONCAT_IMPL(a, b) a##b
+#define LSBENCH_STATUS_CONCAT(a, b) LSBENCH_STATUS_CONCAT_IMPL(a, b)
+
+/// Evaluates `rexpr` (a Result<T>), propagating a non-OK status to the
+/// caller; on success assigns the unwrapped value to `lhs`:
+///   LSBENCH_ASSIGN_OR_RETURN(const RunSpec spec, ParseRunSpecText(text));
+/// Usable in functions returning Status or Result<U>.
+#define LSBENCH_ASSIGN_OR_RETURN(lhs, rexpr)                             \
+  auto LSBENCH_STATUS_CONCAT(_lsb_result_, __LINE__) = (rexpr);          \
+  if (!LSBENCH_STATUS_CONCAT(_lsb_result_, __LINE__).ok()) {             \
+    return LSBENCH_STATUS_CONCAT(_lsb_result_, __LINE__).status();       \
+  }                                                                      \
+  lhs = std::move(LSBENCH_STATUS_CONCAT(_lsb_result_, __LINE__)).value()
 
 /// Holds either a value of type T or an error Status. The value is only
 /// accessible when ok().

@@ -337,5 +337,57 @@ TEST_F(DriverTest, StructuralHashDistinguishesSpecs) {
   EXPECT_NE(a.StructuralHash(), a2.StructuralHash());
 }
 
+TEST_F(DriverTest, StructuralHashCoversFaultsAndResilience) {
+  const RunSpec a = MakeTwoPhaseSpec(1);
+  RunSpec faulted = MakeTwoPhaseSpec(1);
+  FaultWindow w;
+  w.execute_fail_rate = 0.1;
+  faulted.faults.windows.push_back(w);
+  EXPECT_NE(a.StructuralHash(), faulted.StructuralHash());
+
+  RunSpec resilient = MakeTwoPhaseSpec(1);
+  resilient.resilience.max_retries = 3;
+  EXPECT_NE(a.StructuralHash(), resilient.StructuralHash());
+}
+
+TEST_F(DriverTest, LoadFailureProducesCleanError) {
+  VirtualClock clock;
+  DriverOptions options;
+  options.virtual_clock = &clock;
+  BenchmarkDriver driver(&clock, options);
+  BTreeSystem sut;
+  RunSpec spec = MakeTwoPhaseSpec(20);
+  spec.faults.load_failures = 1;  // The single Load call fails.
+
+  const Result<RunResult> result = driver.Run(spec, &sut);
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsIoError());
+
+  // The failed run leaves no partial state: with the fault removed, the
+  // same driver reruns the spec to a full event stream.
+  spec.faults.load_failures = 0;
+  const Result<RunResult> retry = driver.Run(spec, &sut);
+  ASSERT_TRUE(retry.ok()) << retry.status().ToString();
+  EXPECT_EQ(retry.value().events.size(), 4000u);
+}
+
+TEST_F(DriverTest, HoldoutRegistryResetClearsCrossTestState) {
+  VirtualClock clock;
+  DriverOptions options;
+  options.virtual_clock = &clock;
+  BenchmarkDriver driver(&clock, options);
+  BTreeSystem sut;
+  const RunSpec spec = MakeTwoPhaseSpec(21, /*with_holdout=*/true);
+
+  ASSERT_TRUE(driver.Run(spec, &sut).ok());
+  ASSERT_FALSE(driver.Run(spec, &sut).ok());
+
+  // A reset fully clears the registry: the spec gets a fresh single-run
+  // budget, and exactly one.
+  BenchmarkDriver::ResetHoldoutRegistryForTesting();
+  ASSERT_TRUE(driver.Run(spec, &sut).ok());
+  EXPECT_FALSE(driver.Run(spec, &sut).ok());
+}
+
 }  // namespace
 }  // namespace lsbench

@@ -1,0 +1,287 @@
+#include "sut/fault_injection.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/clock.h"
+
+namespace lsbench {
+namespace {
+
+/// Minimal recording SUT: every call is counted, Execute always succeeds.
+class RecordingSut : public SystemUnderTest {
+ public:
+  std::string name() const override { return "recording_sut"; }
+
+  Status Load(const std::vector<KeyValue>&) override {
+    ++loads;
+    return Status::OK();
+  }
+
+  TrainReport Train() override {
+    ++trains;
+    TrainReport report;
+    report.trained = true;
+    report.work_items = 7;
+    return report;
+  }
+
+  OpResult Execute(const Operation&) override {
+    ++executes;
+    OpResult result;
+    result.ok = true;
+    return result;
+  }
+
+  void OnPhaseStart(int phase_index, bool) override {
+    last_phase = phase_index;
+  }
+
+  SutStats GetStats() const override {
+    SutStats stats;
+    stats.memory_bytes = 123;
+    return stats;
+  }
+
+  int loads = 0;
+  int trains = 0;
+  int executes = 0;
+  int last_phase = -1;
+};
+
+TEST(FaultPlanTest, EmptyAndWindowLookup) {
+  FaultPlan plan;
+  EXPECT_TRUE(plan.Empty());
+  EXPECT_EQ(plan.WindowForPhase(0), nullptr);
+
+  FaultWindow wildcard;
+  wildcard.phase = -1;
+  wildcard.execute_fail_rate = 0.1;
+  FaultWindow exact;
+  exact.phase = 2;
+  exact.execute_fail_rate = 0.9;
+  plan.windows = {wildcard, exact};
+  EXPECT_FALSE(plan.Empty());
+
+  // Exact match beats the wildcard; other phases fall back to it.
+  ASSERT_NE(plan.WindowForPhase(2), nullptr);
+  EXPECT_EQ(plan.WindowForPhase(2)->execute_fail_rate, 0.9);
+  ASSERT_NE(plan.WindowForPhase(0), nullptr);
+  EXPECT_EQ(plan.WindowForPhase(0)->execute_fail_rate, 0.1);
+
+  // Among equally specific windows the last one wins.
+  FaultWindow exact2;
+  exact2.phase = 2;
+  exact2.execute_fail_rate = 0.5;
+  plan.windows.push_back(exact2);
+  EXPECT_EQ(plan.WindowForPhase(2)->execute_fail_rate, 0.5);
+}
+
+TEST(FaultPlanTest, LoadFailuresAloneMakePlanNonEmpty) {
+  FaultPlan plan;
+  plan.load_failures = 1;
+  EXPECT_FALSE(plan.Empty());
+}
+
+TEST(FaultInjectionTest, TransparentWithoutFaults) {
+  RecordingSut inner;
+  VirtualClock clock;
+  FaultInjectingSut sut(&inner, FaultPlan(), &clock, &clock);
+
+  EXPECT_EQ(sut.name(), "recording_sut");
+  EXPECT_TRUE(sut.Load({}).ok());
+  EXPECT_TRUE(sut.Train().trained);
+  Operation op;
+  const OpResult r = sut.Execute(op);
+  EXPECT_TRUE(r.ok);
+  EXPECT_TRUE(r.status.ok());
+  EXPECT_EQ(inner.loads, 1);
+  EXPECT_EQ(inner.trains, 1);
+  EXPECT_EQ(inner.executes, 1);
+  EXPECT_EQ(sut.GetStats().memory_bytes, 123u);
+  EXPECT_EQ(clock.NowNanos(), 0);  // No synthetic latency.
+}
+
+TEST(FaultInjectionTest, CertainExecuteFailureNeverReachesInner) {
+  RecordingSut inner;
+  VirtualClock clock;
+  FaultPlan plan;
+  FaultWindow w;
+  w.execute_fail_rate = 1.0;
+  w.execute_fail_code = StatusCode::kResourceExhausted;
+  plan.windows = {w};
+  FaultInjectingSut sut(&inner, plan, &clock, &clock);
+
+  Operation op;
+  for (int i = 0; i < 50; ++i) {
+    const OpResult r = sut.Execute(op);
+    EXPECT_FALSE(r.status.ok());
+    EXPECT_TRUE(r.status.IsResourceExhausted());
+  }
+  EXPECT_EQ(inner.executes, 0);
+  EXPECT_EQ(sut.fault_stats().injected_failures, 50u);
+}
+
+TEST(FaultInjectionTest, FailureRateRoughlyMatchesProbability) {
+  RecordingSut inner;
+  VirtualClock clock;
+  FaultPlan plan;
+  FaultWindow w;
+  w.execute_fail_rate = 0.2;
+  plan.windows = {w};
+  FaultInjectingSut sut(&inner, plan, &clock, &clock);
+
+  Operation op;
+  const int kOps = 10000;
+  int failures = 0;
+  for (int i = 0; i < kOps; ++i) {
+    if (!sut.Execute(op).status.ok()) ++failures;
+  }
+  EXPECT_NEAR(static_cast<double>(failures) / kOps, 0.2, 0.02);
+  EXPECT_EQ(sut.fault_stats().injected_failures,
+            static_cast<uint64_t>(failures));
+}
+
+TEST(FaultInjectionTest, WindowsAreScopedToPhases) {
+  RecordingSut inner;
+  VirtualClock clock;
+  FaultPlan plan;
+  FaultWindow w;
+  w.phase = 1;
+  w.execute_fail_rate = 1.0;
+  plan.windows = {w};
+  FaultInjectingSut sut(&inner, plan, &clock, &clock);
+
+  Operation op;
+  sut.OnPhaseStart(0, false);
+  EXPECT_TRUE(sut.Execute(op).status.ok());
+  sut.OnPhaseStart(1, false);
+  EXPECT_FALSE(sut.Execute(op).status.ok());
+  sut.OnPhaseStart(2, false);
+  EXPECT_TRUE(sut.Execute(op).status.ok());
+  EXPECT_EQ(inner.last_phase, 2);  // Phase notifications pass through.
+}
+
+TEST(FaultInjectionTest, LatencySpikesAndStallsAdvanceVirtualClock) {
+  RecordingSut inner;
+  VirtualClock clock;
+  FaultPlan plan;
+  FaultWindow w;
+  w.latency_spike_rate = 1.0;
+  w.latency_spike_nanos = 5000;
+  plan.windows = {w};
+  FaultInjectingSut sut(&inner, plan, &clock, &clock);
+
+  Operation op;
+  EXPECT_TRUE(sut.Execute(op).status.ok());
+  EXPECT_EQ(clock.NowNanos(), 5000);
+  EXPECT_EQ(sut.fault_stats().injected_spikes, 1u);
+
+  // A stall takes priority over a spike when both fire.
+  FaultPlan stall_plan;
+  FaultWindow sw;
+  sw.latency_spike_rate = 1.0;
+  sw.latency_spike_nanos = 5000;
+  sw.stall_rate = 1.0;
+  sw.stall_nanos = 1000000;
+  stall_plan.windows = {sw};
+  VirtualClock clock2;
+  FaultInjectingSut stalling(&inner, stall_plan, &clock2, &clock2);
+  EXPECT_TRUE(stalling.Execute(op).status.ok());
+  EXPECT_EQ(clock2.NowNanos(), 1000000);
+  EXPECT_EQ(stalling.fault_stats().injected_stalls, 1u);
+  EXPECT_EQ(stalling.fault_stats().injected_spikes, 0u);
+}
+
+TEST(FaultInjectionTest, LoadFailuresAreBounded) {
+  RecordingSut inner;
+  VirtualClock clock;
+  FaultPlan plan;
+  plan.load_failures = 2;
+  FaultInjectingSut sut(&inner, plan, &clock, &clock);
+
+  EXPECT_TRUE(sut.Load({}).IsIoError());
+  EXPECT_TRUE(sut.Load({}).IsIoError());
+  EXPECT_TRUE(sut.Load({}).ok());
+  EXPECT_EQ(inner.loads, 1);
+  EXPECT_EQ(sut.fault_stats().failed_loads, 2u);
+}
+
+TEST(FaultInjectionTest, TrainHangAndFailure) {
+  RecordingSut inner;
+  VirtualClock clock;
+  FaultPlan plan;
+  FaultWindow w;
+  w.train_hang_nanos = 250000000;  // 250 ms hang.
+  w.fail_train = true;
+  plan.windows = {w};
+  FaultInjectingSut sut(&inner, plan, &clock, &clock);
+
+  const TrainReport report = sut.Train();
+  EXPECT_FALSE(report.trained);
+  EXPECT_TRUE(report.status.IsUnavailable());
+  EXPECT_EQ(clock.NowNanos(), 250000000);
+  EXPECT_EQ(inner.trains, 0);
+  EXPECT_EQ(sut.fault_stats().hung_trains, 1u);
+  EXPECT_EQ(sut.fault_stats().failed_trains, 1u);
+}
+
+/// Replays the injector's Execute decisions as a bit vector.
+std::vector<bool> InjectionTrace(uint64_t seed, int phases, int ops) {
+  RecordingSut inner;
+  VirtualClock clock;
+  FaultPlan plan;
+  plan.seed = seed;
+  FaultWindow w;
+  w.execute_fail_rate = 0.1;
+  w.latency_spike_rate = 0.05;
+  w.latency_spike_nanos = 1000;
+  plan.windows = {w};
+  FaultInjectingSut sut(&inner, plan, &clock, &clock);
+  std::vector<bool> trace;
+  Operation op;
+  for (int p = 0; p < phases; ++p) {
+    sut.OnPhaseStart(p, false);
+    for (int i = 0; i < ops; ++i) {
+      trace.push_back(sut.Execute(op).status.ok());
+    }
+  }
+  return trace;
+}
+
+TEST(FaultInjectionTest, DecisionsAreSeedDeterministic) {
+  const auto a = InjectionTrace(99, 3, 500);
+  const auto b = InjectionTrace(99, 3, 500);
+  EXPECT_EQ(a, b);
+  // A different seed produces a different trace (overwhelmingly likely
+  // given 1500 draws at 10%).
+  EXPECT_NE(a, InjectionTrace(100, 3, 500));
+}
+
+TEST(FaultInjectionTest, PhaseStreamsAreIndependentOfDrawCounts) {
+  // The injection decisions inside phase 1 must not depend on how many ops
+  // phase 0 executed: per-phase RNG forks.
+  auto phase1_trace = [](int phase0_ops) {
+    RecordingSut inner;
+    VirtualClock clock;
+    FaultPlan plan;
+    FaultWindow w;
+    w.execute_fail_rate = 0.2;
+    plan.windows = {w};
+    FaultInjectingSut sut(&inner, plan, &clock, &clock);
+    Operation op;
+    sut.OnPhaseStart(0, false);
+    for (int i = 0; i < phase0_ops; ++i) sut.Execute(op);
+    sut.OnPhaseStart(1, false);
+    std::vector<bool> trace;
+    for (int i = 0; i < 200; ++i) {
+      trace.push_back(sut.Execute(op).status.ok());
+    }
+    return trace;
+  };
+  EXPECT_EQ(phase1_trace(10), phase1_trace(1000));
+}
+
+}  // namespace
+}  // namespace lsbench

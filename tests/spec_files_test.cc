@@ -29,7 +29,8 @@ TEST_P(SpecFilesTest, ShippedSpecParsesAndValidates) {
 
 INSTANTIATE_TEST_SUITE_P(ShippedSpecs, SpecFilesTest,
                          ::testing::Values("demo_shift.lsb",
-                                           "holdout_eval.lsb"),
+                                           "holdout_eval.lsb",
+                                           "resilience_demo.lsb"),
                          [](const ::testing::TestParamInfo<const char*>& info) {
                            std::string name = info.param;
                            for (char& c : name) {

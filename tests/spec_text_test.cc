@@ -161,5 +161,136 @@ TEST(SpecTextTest, EmailDatasetKind) {
   EXPECT_GT(result.value().datasets[0].size(), 100u);
 }
 
+// ---------------------------------------------------------------------------
+// [faults] / [resilience]
+// ---------------------------------------------------------------------------
+
+constexpr char kFaultedSpec[] = R"(
+name = faulted
+fault_seed = 777
+fault_load_failures = 2
+
+[dataset]
+num_keys = 500
+
+[phase]
+name = healthy
+ops = 100
+mix = get:1.0
+
+[phase]
+name = stormy
+ops = 100
+mix = get:1.0
+
+[faults]
+phase = -1
+latency_spike_rate = 0.01
+latency_spike_us = 1500
+
+[faults]
+phase = 1
+execute_fail_rate = 0.25
+execute_fail_code = resource_exhausted
+stall_rate = 0.001
+stall_us = 50000
+fail_train = true
+train_hang_us = 2000
+
+[resilience]
+op_timeout_us = 10000
+max_retries = 3
+backoff_initial_us = 500
+backoff_multiplier = 1.5
+backoff_max_us = 100000
+backoff_jitter = 0.2
+breaker_enabled = true
+breaker_window_ops = 50
+breaker_threshold = 0.4
+breaker_cooldown_us = 250000
+breaker_halfopen_probes = 6
+)";
+
+TEST(SpecTextTest, ParsesFaultsAndResilience) {
+  const Result<RunSpec> result = ParseRunSpecText(kFaultedSpec);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const RunSpec& spec = result.value();
+
+  EXPECT_EQ(spec.faults.seed, 777u);
+  EXPECT_EQ(spec.faults.load_failures, 2u);
+  ASSERT_EQ(spec.faults.windows.size(), 2u);
+  const FaultWindow& wildcard = spec.faults.windows[0];
+  EXPECT_EQ(wildcard.phase, -1);
+  EXPECT_DOUBLE_EQ(wildcard.latency_spike_rate, 0.01);
+  EXPECT_EQ(wildcard.latency_spike_nanos, 1500000);
+  const FaultWindow& stormy = spec.faults.windows[1];
+  EXPECT_EQ(stormy.phase, 1);
+  EXPECT_DOUBLE_EQ(stormy.execute_fail_rate, 0.25);
+  EXPECT_EQ(stormy.execute_fail_code, StatusCode::kResourceExhausted);
+  EXPECT_EQ(stormy.stall_nanos, 50000000);
+  EXPECT_TRUE(stormy.fail_train);
+  EXPECT_EQ(stormy.train_hang_nanos, 2000000);
+
+  const ResilienceSpec& r = spec.resilience;
+  EXPECT_EQ(r.op_timeout_nanos, 10000000);
+  EXPECT_EQ(r.max_retries, 3u);
+  EXPECT_EQ(r.backoff_initial_nanos, 500000);
+  EXPECT_DOUBLE_EQ(r.backoff_multiplier, 1.5);
+  EXPECT_EQ(r.backoff_max_nanos, 100000000);
+  EXPECT_DOUBLE_EQ(r.backoff_jitter, 0.2);
+  EXPECT_TRUE(r.breaker_enabled);
+  EXPECT_EQ(r.breaker_window_ops, 50u);
+  EXPECT_DOUBLE_EQ(r.breaker_failure_threshold, 0.4);
+  EXPECT_EQ(r.breaker_cooldown_nanos, 250000000);
+  EXPECT_EQ(r.breaker_half_open_probes, 6u);
+}
+
+TEST(SpecTextTest, FaultsRoundTripLosslessly) {
+  const RunSpec parsed = ParseRunSpecText(kFaultedSpec).value();
+
+  // Re-embed the rendered fault/resilience blocks into a minimal base spec
+  // and parse again: both blocks must survive byte-exactly in structure.
+  const std::string rendered = RenderResilienceText(parsed);
+  EXPECT_NE(rendered.find("[faults]"), std::string::npos);
+  EXPECT_NE(rendered.find("[resilience]"), std::string::npos);
+  const std::string base =
+      "name = roundtrip\n[dataset]\nnum_keys = 500\n"
+      "[phase]\nops = 100\nmix = get:1.0\n"
+      "[phase]\nops = 100\nmix = get:1.0\n";
+  const Result<RunSpec> reparsed = ParseRunSpecText(base + rendered);
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status().ToString();
+  EXPECT_TRUE(reparsed.value().faults == parsed.faults);
+  EXPECT_TRUE(reparsed.value().resilience == parsed.resilience);
+
+  // Rendering the reparsed spec reproduces the same text (fixed point).
+  EXPECT_EQ(RenderResilienceText(reparsed.value()), rendered);
+}
+
+TEST(SpecTextTest, RenderResilienceIsEmptyForDefaultSpec) {
+  const RunSpec plain =
+      ParseRunSpecText(
+          "[dataset]\nnum_keys = 100\n[phase]\nops = 10\nmix = get:1\n")
+          .value();
+  EXPECT_EQ(RenderResilienceText(plain), "");
+}
+
+TEST(SpecTextTest, RejectsBadFaultValues) {
+  const std::string base =
+      "[dataset]\nnum_keys = 100\n[phase]\nops = 10\nmix = get:1\n";
+  EXPECT_TRUE(ParseRunSpecText(base + "[faults]\nexecute_fail_code = maybe\n")
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(ParseRunSpecText(base + "[faults]\nblast_radius = 3\n")
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(ParseRunSpecText(base + "[resilience]\nshields = up\n")
+                  .status()
+                  .IsInvalidArgument());
+  // Validate() rejects out-of-range rates and windows for missing phases.
+  EXPECT_FALSE(ParseRunSpecText(base + "[faults]\nexecute_fail_rate = 1.5\n")
+                   .ok());
+  EXPECT_FALSE(ParseRunSpecText(base + "[faults]\nphase = 9\n").ok());
+}
+
 }  // namespace
 }  // namespace lsbench

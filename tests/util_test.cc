@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <memory>
 #include <set>
 #include <sstream>
 #include <vector>
@@ -42,6 +43,25 @@ TEST(StatusTest, AllFactoriesProduceMatchingCodes) {
   EXPECT_TRUE(Status::Unimplemented("x").IsUnimplemented());
   EXPECT_TRUE(Status::Internal("x").IsInternal());
   EXPECT_TRUE(Status::IoError("x").IsIoError());
+  EXPECT_TRUE(Status::Timeout("x").IsTimeout());
+  EXPECT_TRUE(Status::Unavailable("x").IsUnavailable());
+  EXPECT_TRUE(Status::ResourceExhausted("x").IsResourceExhausted());
+}
+
+TEST(StatusTest, TransientCodesAreExactlyTheRetriableOnes) {
+  EXPECT_TRUE(Status::Timeout("x").IsTransient());
+  EXPECT_TRUE(Status::Unavailable("x").IsTransient());
+  EXPECT_TRUE(Status::ResourceExhausted("x").IsTransient());
+  EXPECT_TRUE(IsTransientStatusCode(StatusCode::kTimeout));
+  EXPECT_TRUE(IsTransientStatusCode(StatusCode::kUnavailable));
+  EXPECT_TRUE(IsTransientStatusCode(StatusCode::kResourceExhausted));
+
+  EXPECT_FALSE(Status::OK().IsTransient());
+  EXPECT_FALSE(Status::NotFound("x").IsTransient());
+  EXPECT_FALSE(Status::Internal("x").IsTransient());
+  EXPECT_FALSE(Status::IoError("x").IsTransient());
+  EXPECT_FALSE(IsTransientStatusCode(StatusCode::kOk));
+  EXPECT_FALSE(IsTransientStatusCode(StatusCode::kInvalidArgument));
 }
 
 TEST(StatusTest, EqualityComparesCodeAndMessage) {
@@ -54,6 +74,10 @@ TEST(StatusTest, StatusCodeToStringCoversAllCodes) {
   EXPECT_EQ(StatusCodeToString(StatusCode::kOk), "OK");
   EXPECT_EQ(StatusCodeToString(StatusCode::kInternal), "Internal");
   EXPECT_EQ(StatusCodeToString(StatusCode::kIoError), "IoError");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kTimeout), "Timeout");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kUnavailable), "Unavailable");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kResourceExhausted),
+            "ResourceExhausted");
 }
 
 Status FailsWhenNegative(int x) {
@@ -90,6 +114,43 @@ TEST(ResultTest, MoveOutValue) {
   ASSERT_TRUE(r.ok());
   const std::vector<int> v = std::move(r).value();
   EXPECT_EQ(v.size(), 3u);
+}
+
+Result<int> HalveEven(int x) {
+  if (x % 2 != 0) return Status::InvalidArgument("odd");
+  return x / 2;
+}
+
+Result<std::vector<int>> UsesAssignOrReturn(int x) {
+  LSBENCH_ASSIGN_OR_RETURN(const int half, HalveEven(x));
+  LSBENCH_ASSIGN_OR_RETURN(const int quarter, HalveEven(half));
+  return std::vector<int>{half, quarter};
+}
+
+TEST(ResultTest, AssignOrReturnUnwrapsAndPropagates) {
+  const Result<std::vector<int>> ok = UsesAssignOrReturn(8);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value(), (std::vector<int>{4, 2}));
+  // Error at the first statement propagates.
+  EXPECT_TRUE(UsesAssignOrReturn(3).status().IsInvalidArgument());
+  // Error at the second statement propagates too.
+  EXPECT_TRUE(UsesAssignOrReturn(6).status().IsInvalidArgument());
+}
+
+Result<std::string> MoveOnlyAssignOrReturn(bool fail) {
+  auto make = [fail]() -> Result<std::unique_ptr<std::string>> {
+    if (fail) return Status::NotFound("gone");
+    return std::make_unique<std::string>("moved");
+  };
+  LSBENCH_ASSIGN_OR_RETURN(const std::unique_ptr<std::string> p, make());
+  return *p;
+}
+
+TEST(ResultTest, AssignOrReturnHandlesMoveOnlyTypes) {
+  const Result<std::string> ok = MoveOnlyAssignOrReturn(false);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value(), "moved");
+  EXPECT_TRUE(MoveOnlyAssignOrReturn(true).status().IsNotFound());
 }
 
 // ---------------------------------------------------------------------------

@@ -4,6 +4,8 @@
 // Usage:
 //   lsbench_cli <spec-file> [--sut=btree|lsm|rmi|pgm|adaptive|stdcmp]
 //               [--no-holdout-enforcement] [--csv] [--html=PATH]
+//               [--faults=RATE] [--no-faults] [--op-timeout-us=N]
+//               [--retries=N]
 //
 //   --sut               system under test (default btree). "stdcmp" runs
 //                       btree + rmi + adaptive through the comparison
@@ -13,11 +15,19 @@
 //   --csv               also print CSV blocks for downstream plotting
 //   --html=PATH         additionally write a self-contained HTML report
 //                       with inline SVG charts to PATH
+//   --faults=RATE       inject transient Execute failures in every phase at
+//                       the given rate (adds a wildcard fault window on top
+//                       of whatever the spec declares)
+//   --no-faults         strip all fault windows from the spec (run the
+//                       healthy baseline of a faulted spec)
+//   --op-timeout-us=N   override the per-op timeout budget (0 disables)
+//   --retries=N         override the max retry count for transient errors
 //
 // See src/core/spec_text.h for the spec file format; sample specs live in
 // specs/.
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <memory>
@@ -53,6 +63,10 @@ int Run(int argc, char** argv) {
   std::string sut_kind = "btree";
   bool enforce_holdout = true;
   bool emit_csv = false;
+  bool strip_faults = false;
+  double fault_rate = -1.0;
+  int64_t op_timeout_us = -1;
+  int retries = -1;
   std::string html_path;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -64,6 +78,14 @@ int Run(int argc, char** argv) {
       emit_csv = true;
     } else if (arg.rfind("--html=", 0) == 0) {
       html_path = arg.substr(7);
+    } else if (arg == "--no-faults") {
+      strip_faults = true;
+    } else if (arg.rfind("--faults=", 0) == 0) {
+      fault_rate = std::atof(arg.c_str() + 9);
+    } else if (arg.rfind("--op-timeout-us=", 0) == 0) {
+      op_timeout_us = std::atoll(arg.c_str() + 16);
+    } else if (arg.rfind("--retries=", 0) == 0) {
+      retries = std::atoi(arg.c_str() + 10);
     } else if (!arg.empty() && arg[0] != '-') {
       spec_path = arg;
     } else {
@@ -86,15 +108,34 @@ int Run(int argc, char** argv) {
   }
   std::ostringstream buffer;
   buffer << in.rdbuf();
-  const Result<RunSpec> spec = ParseRunSpecText(buffer.str());
-  if (!spec.ok()) {
+  Result<RunSpec> parsed = ParseRunSpecText(buffer.str());
+  if (!parsed.ok()) {
     std::fprintf(stderr, "spec error: %s\n",
-                 spec.status().ToString().c_str());
+                 parsed.status().ToString().c_str());
     return 1;
   }
+  RunSpec spec = std::move(parsed).value();
   std::printf("parsed spec '%s': %zu dataset(s), %zu phase(s)\n",
-              spec.value().name.c_str(), spec.value().datasets.size(),
-              spec.value().phases.size());
+              spec.name.c_str(), spec.datasets.size(), spec.phases.size());
+
+  // Fault / resilience overrides on top of the spec.
+  if (strip_faults) spec.faults = FaultPlan();
+  if (fault_rate >= 0.0) {
+    FaultWindow window;
+    window.execute_fail_rate = fault_rate;
+    spec.faults.windows.push_back(window);
+  }
+  if (op_timeout_us >= 0) spec.resilience.op_timeout_nanos = op_timeout_us * 1000;
+  if (retries >= 0) spec.resilience.max_retries = static_cast<uint32_t>(retries);
+  if (const Status st = spec.Validate(); !st.ok()) {
+    std::fprintf(stderr, "spec error: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  if (!spec.faults.Empty()) {
+    std::printf("fault plan: %zu window(s), seed %llu\n",
+                spec.faults.windows.size(),
+                static_cast<unsigned long long>(spec.faults.seed));
+  }
 
   DriverOptions driver_options;
   driver_options.enforce_holdout_once = enforce_holdout;
@@ -104,7 +145,7 @@ int Run(int argc, char** argv) {
     LearnedKvSystem rmi;
     AdaptiveKvSystem adaptive;
     const Result<ComparisonReport> report = CompareSystems(
-        spec.value(), {&btree, &rmi, &adaptive}, nullptr, driver_options);
+        spec, {&btree, &rmi, &adaptive}, nullptr, driver_options);
     if (!report.ok()) {
       std::fprintf(stderr, "run error: %s\n",
                    report.status().ToString().c_str());
@@ -120,7 +161,7 @@ int Run(int argc, char** argv) {
     return 2;
   }
   BenchmarkDriver driver(nullptr, driver_options);
-  const Result<RunResult> result = driver.Run(spec.value(), sut.get());
+  const Result<RunResult> result = driver.Run(spec, sut.get());
   if (!result.ok()) {
     std::fprintf(stderr, "run error: %s\n",
                  result.status().ToString().c_str());
@@ -129,7 +170,7 @@ int Run(int argc, char** argv) {
   const RunResult& run = result.value();
   std::printf("%s\n", RenderRunSummary(run).c_str());
   const SpecializationReport specialization =
-      BuildSpecializationReport(spec.value(), run);
+      BuildSpecializationReport(spec, run);
   std::printf("%s\n", RenderSpecializationReport(specialization).c_str());
   std::printf("%s\n",
               RenderSlaBands(run.metrics.bands, run.metrics.sla_nanos)
