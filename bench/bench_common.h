@@ -10,16 +10,14 @@
 #include "core/run_spec.h"
 #include "data/dataset.h"
 #include "sut/systems.h"
+#include "util/env.h"
 
 namespace lsbench {
 namespace bench {
 
 /// Scale knob honored by every figure bench: LSBENCH_QUICK=1 shrinks
 /// datasets and op counts ~10x so the full suite stays fast on CI.
-inline bool QuickMode() {
-  const char* env = std::getenv("LSBENCH_QUICK");
-  return env != nullptr && env[0] == '1';
-}
+inline bool QuickMode() { return EnvFlagEnabled("LSBENCH_QUICK"); }
 
 inline size_t ScaledKeys(size_t full) { return QuickMode() ? full / 10 : full; }
 inline uint64_t ScaledOps(uint64_t full) {
@@ -59,6 +57,16 @@ inline RunResult MustRun(const RunSpec& spec, SystemUnderTest* sut) {
     std::abort();
   }
   return std::move(result).value();
+}
+
+/// Loads `pairs` into `sut`, aborting the process on failure: a silently
+/// failed load would make every downstream number meaningless.
+inline void MustLoad(SystemUnderTest* sut, const std::vector<KeyValue>& pairs) {
+  const Status st = sut->Load(pairs);
+  if (!st.ok()) {
+    std::fprintf(stderr, "load failed: %s\n", st.ToString().c_str());
+    std::abort();
+  }
 }
 
 /// Prints a section header for bench output.

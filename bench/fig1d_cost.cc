@@ -80,10 +80,17 @@ void Main() {
     for (size_t i = 0; i < ds.keys.size(); ++i) {
       pairs.emplace_back(ds.keys[i], static_cast<Value>(i));
     }
-    learned.Load(pairs);
+    bench::MustLoad(&learned, pairs);
     const int reps = 3;
     Stopwatch watch(&clock);
-    for (int r = 0; r < reps; ++r) learned.Train();
+    for (int r = 0; r < reps; ++r) {
+      const TrainReport report = learned.Train();
+      if (!report.status.ok()) {
+        std::fprintf(stderr, "train failed: %s\n",
+                     report.status.ToString().c_str());
+        std::abort();
+      }
+    }
     const double cpu_seconds = watch.ElapsedSeconds() / reps;
     const double throughput = MeasureThroughput(spec, &learned);
     sweeps.push_back({cpu_seconds, throughput,

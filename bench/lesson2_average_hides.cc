@@ -107,8 +107,8 @@ void Main() {
       std::max(a.p99_latency_ns, b.p99_latency_ns) /
           std::max(1.0, std::min(a.p99_latency_ns, b.p99_latency_ns)),
       static_cast<double>(std::max(a.sla_violations, b.sla_violations)) /
-          std::max<uint64_t>(1, std::min(a.sla_violations,
-                                         b.sla_violations)));
+          static_cast<double>(std::max<uint64_t>(
+              1, std::min(a.sla_violations, b.sla_violations))));
 }
 
 }  // namespace

@@ -54,7 +54,7 @@ void Main() {
     sys_options.rmi.num_leaf_models = budget.models;
     sys_options.rmi.train_sample_every = budget.sample_every;
     LearnedKvSystem sut(sys_options);
-    sut.Load(pairs);
+    bench::MustLoad(&sut, pairs);
     Stopwatch watch(&clock);
     const TrainReport report = sut.Train();
     const double train_seconds = watch.ElapsedSeconds();

@@ -53,7 +53,8 @@ int main() {
   std::printf("dataset synthesis: KS(prod, synth) = %.4f, shared keys = "
               "%zu/%zu (%.2f%%)\n",
               ks, shared, synthetic.size(),
-              100.0 * static_cast<double>(shared) / synthetic.size());
+              100.0 * static_cast<double>(shared) /
+                  static_cast<double>(synthetic.size()));
   std::printf(
       "workload fit: mix get=%.2f scan=%.2f insert=%.2f, access=%s, "
       "scan_length=%u, hot10 mass=%.2f\n",

@@ -67,7 +67,7 @@ void BenchmarkDriver::WaitUntil(int64_t target_abs_nanos) {
 Result<RunResult> BenchmarkDriver::Run(const RunSpec& spec,
                                        SystemUnderTest* sut) {
   LSBENCH_ASSERT(sut != nullptr);
-  LSBENCH_RETURN_NOT_OK(spec.Validate());
+  LSBENCH_RETURN_IF_ERROR(spec.Validate());
 
   const bool has_holdout =
       std::any_of(spec.phases.begin(), spec.phases.end(),
@@ -96,8 +96,7 @@ Result<RunResult> BenchmarkDriver::Run(const RunSpec& spec,
   // ---- Load ----
   {
     Stopwatch watch(clock_);
-    const Status st = sut->Load(BuildLoadImage(spec));
-    if (!st.ok()) return st;
+    LSBENCH_RETURN_IF_ERROR(sut->Load(BuildLoadImage(spec)));
     result.load_seconds = watch.ElapsedSeconds();
   }
 

@@ -34,8 +34,7 @@ Result<RunResult> ReplayTrace(const OperationTrace& trace,
 
   {
     Stopwatch watch(clock);
-    const Status st = sut->Load(load_image);
-    if (!st.ok()) return st;
+    LSBENCH_RETURN_IF_ERROR(sut->Load(load_image));
     result.load_seconds = watch.ElapsedSeconds();
   }
   if (options.offline_training) {

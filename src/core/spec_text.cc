@@ -221,8 +221,8 @@ Result<RunSpec> ParseRunSpecText(const std::string& text) {
     return Status::OK();
   };
   auto close_sections = [&]() -> Status {
-    LSBENCH_RETURN_NOT_OK(close_dataset());
-    LSBENCH_RETURN_NOT_OK(close_phase());
+    LSBENCH_RETURN_IF_ERROR(close_dataset());
+    LSBENCH_RETURN_IF_ERROR(close_phase());
     return close_fault_window();
   };
 
@@ -236,25 +236,25 @@ Result<RunSpec> ParseRunSpecText(const std::string& text) {
     if (line.empty()) continue;
 
     if (line == "[dataset]") {
-      LSBENCH_RETURN_NOT_OK(close_sections());
+      LSBENCH_RETURN_IF_ERROR(close_sections());
       section = Section::kDataset;
       dataset_open = true;
       continue;
     }
     if (line == "[phase]") {
-      LSBENCH_RETURN_NOT_OK(close_sections());
+      LSBENCH_RETURN_IF_ERROR(close_sections());
       section = Section::kPhase;
       phase_open = true;
       continue;
     }
     if (line == "[faults]") {
-      LSBENCH_RETURN_NOT_OK(close_sections());
+      LSBENCH_RETURN_IF_ERROR(close_sections());
       section = Section::kFaults;
       fault_window_open = true;
       continue;
     }
     if (line == "[resilience]") {
-      LSBENCH_RETURN_NOT_OK(close_sections());
+      LSBENCH_RETURN_IF_ERROR(close_sections());
       section = Section::kResilience;
       continue;
     }
@@ -357,7 +357,7 @@ Result<RunSpec> ParseRunSpecText(const std::string& text) {
           if (!v.ok()) return v.status();
           phase.num_operations = v.value();
         } else if (key == "mix") {
-          LSBENCH_RETURN_NOT_OK(ParseMix(value, &phase.mix));
+          LSBENCH_RETURN_IF_ERROR(ParseMix(value, &phase.mix));
         } else if (key == "access") {
           const auto v = ParseAccess(value);
           if (!v.ok()) return v.status();
@@ -504,8 +504,8 @@ Result<RunSpec> ParseRunSpecText(const std::string& text) {
       }
     }
   }
-  LSBENCH_RETURN_NOT_OK(close_sections());
-  LSBENCH_RETURN_NOT_OK(spec.Validate());
+  LSBENCH_RETURN_IF_ERROR(close_sections());
+  LSBENCH_RETURN_IF_ERROR(spec.Validate());
   return spec;
 }
 

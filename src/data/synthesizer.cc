@@ -51,13 +51,15 @@ FittedWorkload FitPhaseSpecFromTrace(const OperationTrace& trace,
   // 1. Operation mix: relative frequencies.
   const std::vector<uint64_t> hist = trace.TypeHistogram();
   const double total = static_cast<double>(trace.size());
-  fitted.phase.mix.get = hist[static_cast<int>(OpType::kGet)] / total;
-  fitted.phase.mix.scan = hist[static_cast<int>(OpType::kScan)] / total;
-  fitted.phase.mix.insert = hist[static_cast<int>(OpType::kInsert)] / total;
-  fitted.phase.mix.update = hist[static_cast<int>(OpType::kUpdate)] / total;
-  fitted.phase.mix.del = hist[static_cast<int>(OpType::kDelete)] / total;
-  fitted.phase.mix.range_count =
-      hist[static_cast<int>(OpType::kRangeCount)] / total;
+  const auto fraction = [&](OpType type) {
+    return static_cast<double>(hist[static_cast<size_t>(type)]) / total;
+  };
+  fitted.phase.mix.get = fraction(OpType::kGet);
+  fitted.phase.mix.scan = fraction(OpType::kScan);
+  fitted.phase.mix.insert = fraction(OpType::kInsert);
+  fitted.phase.mix.update = fraction(OpType::kUpdate);
+  fitted.phase.mix.del = fraction(OpType::kDelete);
+  fitted.phase.mix.range_count = fraction(OpType::kRangeCount);
 
   // 2. Access skew: mass of read accesses on the hottest 10% of distinct
   //    keys, mapped onto the closest generator family.

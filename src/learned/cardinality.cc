@@ -94,7 +94,8 @@ void LearnedCardinalityEstimator::Retrain(
   const double stride =
       static_cast<double>(n) / static_cast<double>(sample_n);
   for (size_t i = 0; i < sample_n; ++i) {
-    sample.push_back(sorted_keys[static_cast<size_t>(i * stride)]);
+    sample.push_back(
+        sorted_keys[static_cast<size_t>(static_cast<double>(i) * stride)]);
   }
   const int knots = std::max(2, options_.num_knots);
   for (int k = 0; k < knots; ++k) {

@@ -86,17 +86,17 @@ double MmdSquared(const std::vector<double>& a, const std::vector<double>& b,
   double kaa = 0.0;
   for (size_t i = 0; i < m; ++i)
     for (size_t j = i + 1; j < m; ++j) kaa += kernel(a[i], a[j]);
-  kaa = 2.0 * kaa / (static_cast<double>(m) * (m - 1));
+  kaa = 2.0 * kaa / (static_cast<double>(m) * static_cast<double>(m - 1));
 
   double kbb = 0.0;
   for (size_t i = 0; i < n; ++i)
     for (size_t j = i + 1; j < n; ++j) kbb += kernel(b[i], b[j]);
-  kbb = 2.0 * kbb / (static_cast<double>(n) * (n - 1));
+  kbb = 2.0 * kbb / (static_cast<double>(n) * static_cast<double>(n - 1));
 
   double kab = 0.0;
   for (size_t i = 0; i < m; ++i)
     for (size_t j = 0; j < n; ++j) kab += kernel(a[i], b[j]);
-  kab = kab / (static_cast<double>(m) * n);
+  kab = kab / (static_cast<double>(m) * static_cast<double>(n));
 
   return kaa + kbb - 2.0 * kab;
 }
@@ -145,7 +145,7 @@ std::vector<double> Subsample(const std::vector<double>& values,
   const double stride =
       static_cast<double>(values.size()) / static_cast<double>(max_n);
   for (size_t i = 0; i < max_n; ++i) {
-    out.push_back(values[static_cast<size_t>(i * stride)]);
+    out.push_back(values[static_cast<size_t>(static_cast<double>(i) * stride)]);
   }
   return out;
 }

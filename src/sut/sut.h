@@ -16,7 +16,7 @@ namespace lsbench {
 /// data-level outcome (found / applied). A SUT that cannot serve a request
 /// (transient outage, internal error) returns a non-OK status and the
 /// resilient driver decides whether to retry, time out, or degrade.
-struct OpResult {
+struct [[nodiscard]] OpResult {
   bool ok = false;        ///< Found / applied.
   uint64_t rows = 0;      ///< Rows returned (scan) or counted (range count).
   Status status;          ///< Execution outcome; defaults to OK.
@@ -26,7 +26,7 @@ struct OpResult {
 /// call; `work_items` lets cost models reason about training effort
 /// independent of machine speed. A failed training pass (e.g. under fault
 /// injection) reports a non-OK status with trained == false.
-struct TrainReport {
+struct [[nodiscard]] TrainReport {
   bool trained = false;
   uint64_t work_items = 0;  ///< Keys fitted / models built.
   Status status;            ///< Training outcome; defaults to OK.

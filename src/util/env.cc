@@ -1,0 +1,19 @@
+#include "util/env.h"
+
+#include <cstdlib>
+
+namespace lsbench {
+
+std::optional<std::string> GetEnv(std::string_view name) {
+  const std::string key(name);
+  const char* value = std::getenv(key.c_str());
+  if (value == nullptr) return std::nullopt;
+  return std::string(value);
+}
+
+bool EnvFlagEnabled(std::string_view name) {
+  const std::optional<std::string> value = GetEnv(name);
+  return value.has_value() && !value->empty() && value->front() == '1';
+}
+
+}  // namespace lsbench

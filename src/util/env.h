@@ -1,0 +1,22 @@
+#ifndef LSBENCH_UTIL_ENV_H_
+#define LSBENCH_UTIL_ENV_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace lsbench {
+
+/// The sanctioned process-environment read. Ambient state is a
+/// reproducibility hazard: anything that changes benchmark *results* must
+/// come from the spec, never from the environment. Scale/verbosity knobs
+/// (e.g. LSBENCH_QUICK) may use this helper; direct getenv calls outside
+/// src/util/ are rejected by lsbench-lint's no-getenv rule.
+std::optional<std::string> GetEnv(std::string_view name);
+
+/// True when `name` is set and its value begins with '1'.
+bool EnvFlagEnabled(std::string_view name);
+
+}  // namespace lsbench
+
+#endif  // LSBENCH_UTIL_ENV_H_

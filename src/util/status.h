@@ -35,7 +35,12 @@ bool IsTransientStatusCode(StatusCode code);
 
 /// A cheap, copyable success-or-error value. The OK status carries no
 /// allocation; error statuses carry a code and a message.
-class Status {
+///
+/// [[nodiscard]] at the type level: any function returning Status by value
+/// makes the caller handle (or explicitly (void)-discard) the result. A
+/// silently dropped error from Load()/Train() would corrupt benchmark
+/// results without failing a test.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
@@ -121,12 +126,17 @@ inline bool operator==(const Status& a, const Status& b) {
 }
 
 /// Propagates a non-OK status to the caller. Usable only in functions
-/// returning Status.
-#define LSBENCH_RETURN_NOT_OK(expr)                 \
+/// returning Status. Replaces the hand-rolled
+///   auto s = Fallible(); if (!s.ok()) return s;
+#define LSBENCH_RETURN_IF_ERROR(expr)               \
   do {                                              \
     ::lsbench::Status _st = (expr);                 \
     if (!_st.ok()) return _st;                      \
   } while (false)
+
+/// Older spelling of LSBENCH_RETURN_IF_ERROR, kept as an alias so in-flight
+/// branches keep compiling. New code should use LSBENCH_RETURN_IF_ERROR.
+#define LSBENCH_RETURN_NOT_OK(expr) LSBENCH_RETURN_IF_ERROR(expr)
 
 #define LSBENCH_STATUS_CONCAT_IMPL(a, b) a##b
 #define LSBENCH_STATUS_CONCAT(a, b) LSBENCH_STATUS_CONCAT_IMPL(a, b)
@@ -143,9 +153,10 @@ inline bool operator==(const Status& a, const Status& b) {
   lhs = std::move(LSBENCH_STATUS_CONCAT(_lsb_result_, __LINE__)).value()
 
 /// Holds either a value of type T or an error Status. The value is only
-/// accessible when ok().
+/// accessible when ok(). [[nodiscard]] for the same reason as Status: a
+/// dropped Result is a dropped error.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit construction from a value or a Status keeps call sites terse:
   ///   Result<int> F() { return 42; }

@@ -128,8 +128,8 @@ INSTANTIATE_TEST_SUITE_P(
     AllPolicies, CacheConformanceTest,
     ::testing::Values(CachePolicy::kLru, CachePolicy::kLfu,
                       CachePolicy::kFifo, CachePolicy::kLearned),
-    [](const ::testing::TestParamInfo<CachePolicy>& info) {
-      return CachePolicyToString(info.param);
+    [](const ::testing::TestParamInfo<CachePolicy>& param_info) {
+      return CachePolicyToString(param_info.param);
     });
 
 TEST(CacheFactoryTest, NamesMatchPolicies) {

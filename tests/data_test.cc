@@ -69,7 +69,7 @@ TEST(DistributionTest, ParetoIsRightSkewed) {
   const double median = Quantile(samples, 0.5);
   double mean = 0;
   for (double v : samples) mean += v;
-  mean /= samples.size();
+  mean /= static_cast<double>(samples.size());
   EXPECT_LT(median, mean * 0.5);
 }
 

@@ -272,7 +272,7 @@ TEST(FaultInjectionTest, PhaseStreamsAreIndependentOfDrawCounts) {
     FaultInjectingSut sut(&inner, plan, &clock, &clock);
     Operation op;
     sut.OnPhaseStart(0, false);
-    for (int i = 0; i < phase0_ops; ++i) sut.Execute(op);
+    for (int i = 0; i < phase0_ops; ++i) (void)sut.Execute(op);
     sut.OnPhaseStart(1, false);
     std::vector<bool> trace;
     for (int i = 0; i < 200; ++i) {

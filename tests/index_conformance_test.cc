@@ -217,8 +217,8 @@ TEST_P(IndexConformanceTest, NameIsNonEmpty) {
 
 INSTANTIATE_TEST_SUITE_P(
     AllIndexes, IndexConformanceTest, ::testing::ValuesIn(AllFactories()),
-    [](const ::testing::TestParamInfo<IndexFactory>& info) {
-      return info.param.label;
+    [](const ::testing::TestParamInfo<IndexFactory>& param_info) {
+      return param_info.param.label;
     });
 
 }  // namespace

@@ -78,8 +78,8 @@ INSTANTIATE_TEST_SUITE_P(
                    }
                    return keys;
                  }}),
-    [](const ::testing::TestParamInfo<SortCase>& info) {
-      return info.param.label;
+    [](const ::testing::TestParamInfo<SortCase>& param_info) {
+      return param_info.param.label;
     });
 
 TEST(LearnedSortEdgeTest, TinyInputsFallBack) {

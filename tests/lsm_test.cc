@@ -248,7 +248,9 @@ TEST(LearnedLsmTest, ModelsSurviveCompactions) {
     const auto a = learned.Get(key);
     const auto b = plain.Get(key);
     EXPECT_EQ(a.has_value(), b.has_value()) << key;
-    if (a.has_value()) EXPECT_EQ(*a, *b);
+    if (a.has_value()) {
+      EXPECT_EQ(*a, *b);
+    }
   }
 }
 

@@ -96,7 +96,9 @@ TEST(GenerateJobsTest, DeterministicAndWellFormed) {
     EXPECT_EQ(a[i].arrival_seconds, b[i].arrival_seconds);
     EXPECT_EQ(a[i].true_service_seconds, b[i].true_service_seconds);
     EXPECT_GT(a[i].true_service_seconds, 0.0);
-    if (i > 0) EXPECT_GE(a[i].arrival_seconds, a[i - 1].arrival_seconds);
+    if (i > 0) {
+      EXPECT_GE(a[i].arrival_seconds, a[i - 1].arrival_seconds);
+    }
   }
 }
 

@@ -31,8 +31,8 @@ INSTANTIATE_TEST_SUITE_P(ShippedSpecs, SpecFilesTest,
                          ::testing::Values("demo_shift.lsb",
                                            "holdout_eval.lsb",
                                            "resilience_demo.lsb"),
-                         [](const ::testing::TestParamInfo<const char*>& info) {
-                           std::string name = info.param;
+                         [](const ::testing::TestParamInfo<const char*>& param_info) {
+                           std::string name = param_info.param;
                            for (char& c : name) {
                              if (c == '.') c = '_';
                            }

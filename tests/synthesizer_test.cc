@@ -43,7 +43,8 @@ TEST_P(SynthesizeDatasetTest, MatchesSourceDistribution) {
       ++shared;
     }
   }
-  EXPECT_LT(static_cast<double>(shared) / synthetic.size(), 0.02);
+  EXPECT_LT(static_cast<double>(shared) / static_cast<double>(synthetic.size()),
+            0.02);
 }
 
 INSTANTIATE_TEST_SUITE_P(

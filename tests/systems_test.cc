@@ -133,8 +133,8 @@ INSTANTIATE_TEST_SUITE_P(
     Kinds, LearnedSystemTest,
     ::testing::Values(LearnedSystemOptions::IndexKind::kRmi,
                       LearnedSystemOptions::IndexKind::kPgm),
-    [](const ::testing::TestParamInfo<LearnedSystemOptions::IndexKind>& info) {
-      return info.param == LearnedSystemOptions::IndexKind::kRmi ? "rmi"
+    [](const ::testing::TestParamInfo<LearnedSystemOptions::IndexKind>& param_info) {
+      return param_info.param == LearnedSystemOptions::IndexKind::kRmi ? "rmi"
                                                                  : "pgm";
     });
 
@@ -146,7 +146,7 @@ TEST(LearnedSystemTest, DeltaThresholdPolicyRetrains) {
   LearnedKvSystem sut(options, &clock);
   const auto pairs = UniformPairs(10000, 6);
   ASSERT_TRUE(sut.Load(pairs).ok());
-  sut.Train();
+  (void)sut.Train();
   ASSERT_EQ(sut.retrain_events(), 0u);
 
   // Insert enough fresh keys to cross the 1% delta threshold repeatedly.
@@ -156,7 +156,7 @@ TEST(LearnedSystemTest, DeltaThresholdPolicyRetrains) {
     op.type = OpType::kInsert;
     op.key = rng.Next();
     op.value = i;
-    sut.Execute(op);
+    (void)sut.Execute(op);
   }
   EXPECT_GT(sut.retrain_events(), 0u);
   EXPECT_LT(sut.delta_size(), 200u);  // Deltas were folded in.
@@ -172,12 +172,12 @@ TEST(LearnedSystemTest, DriftTriggeredPolicyRetrainsAfterShift) {
   LearnedKvSystem sut(options);
   const auto pairs = UniformPairs(10000, 8);
   ASSERT_TRUE(sut.Load(pairs).ok());
-  sut.Train();
+  (void)sut.Train();
 
   // Keep reading the trained distribution: no drift.
   Rng rng(9);
   for (int i = 0; i < 1000; ++i) {
-    sut.Execute(MakeGet(pairs[rng.NextBounded(pairs.size())].first));
+    (void)sut.Execute(MakeGet(pairs[rng.NextBounded(pairs.size())].first));
   }
   EXPECT_EQ(sut.retrain_events(), 0u);
 
@@ -188,7 +188,7 @@ TEST(LearnedSystemTest, DriftTriggeredPolicyRetrainsAfterShift) {
     op.type = OpType::kInsert;
     op.key = (uint64_t{1} << 39) + rng.NextBounded(1 << 20);
     op.value = i;
-    sut.Execute(op);
+    (void)sut.Execute(op);
   }
   EXPECT_GT(sut.retrain_events(), 0u);
 }
@@ -198,7 +198,7 @@ TEST(LearnedSystemTest, HoldoutPhaseSuppressesPhaseStartRetrain) {
   options.retrain_policy = RetrainPolicy::kOnPhaseStart;
   LearnedKvSystem sut(options);
   ASSERT_TRUE(sut.Load(UniformPairs(5000, 10)).ok());
-  sut.Train();
+  (void)sut.Train();
   sut.OnPhaseStart(1, /*holdout=*/true);
   EXPECT_EQ(sut.retrain_events(), 0u);
   sut.OnPhaseStart(2, /*holdout=*/false);
@@ -210,14 +210,14 @@ TEST(LearnedSystemTest, NeverPolicyNeverRetrains) {
   options.retrain_policy = RetrainPolicy::kNever;
   LearnedKvSystem sut(options);
   ASSERT_TRUE(sut.Load(UniformPairs(5000, 11)).ok());
-  sut.Train();
+  (void)sut.Train();
   Rng rng(12);
   for (int i = 0; i < 3000; ++i) {
     Operation op;
     op.type = OpType::kInsert;
     op.key = rng.Next();
     op.value = i;
-    sut.Execute(op);
+    (void)sut.Execute(op);
   }
   EXPECT_EQ(sut.retrain_events(), 0u);
   EXPECT_GT(sut.delta_size(), 2000u);

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdlib>
 #include <memory>
 #include <set>
 #include <sstream>
@@ -8,6 +9,7 @@
 
 #include "util/clock.h"
 #include "util/csv.h"
+#include "util/env.h"
 #include "util/histogram.h"
 #include "util/random.h"
 #include "util/status.h"
@@ -85,14 +87,57 @@ Status FailsWhenNegative(int x) {
   return Status::OK();
 }
 
-Status UsesReturnNotOk(int x) {
+Status UsesReturnIfError(int x) {
+  LSBENCH_RETURN_IF_ERROR(FailsWhenNegative(x));
+  return Status::OK();
+}
+
+Status UsesLegacyReturnNotOk(int x) {
   LSBENCH_RETURN_NOT_OK(FailsWhenNegative(x));
   return Status::OK();
 }
 
-TEST(StatusTest, ReturnNotOkPropagates) {
-  EXPECT_TRUE(UsesReturnNotOk(1).ok());
-  EXPECT_TRUE(UsesReturnNotOk(-1).IsInvalidArgument());
+Status CountingFallible(int* calls) {
+  ++*calls;
+  return Status::OK();
+}
+
+TEST(StatusTest, ReturnIfErrorPropagates) {
+  EXPECT_TRUE(UsesReturnIfError(1).ok());
+  EXPECT_TRUE(UsesReturnIfError(-1).IsInvalidArgument());
+}
+
+TEST(StatusTest, LegacyReturnNotOkAliasStillWorks) {
+  EXPECT_TRUE(UsesLegacyReturnNotOk(1).ok());
+  EXPECT_TRUE(UsesLegacyReturnNotOk(-1).IsInvalidArgument());
+}
+
+TEST(StatusTest, ReturnIfErrorEvaluatesExpressionOnce) {
+  int calls = 0;
+  const Status st = [&]() -> Status {
+    LSBENCH_RETURN_IF_ERROR(CountingFallible(&calls));
+    return Status::OK();
+  }();
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(EnvTest, GetEnvReadsAndMisses) {
+  ::setenv("LSBENCH_UTIL_TEST_VAR", "hello", 1);
+  EXPECT_EQ(GetEnv("LSBENCH_UTIL_TEST_VAR").value_or(""), "hello");
+  ::unsetenv("LSBENCH_UTIL_TEST_VAR");
+  EXPECT_FALSE(GetEnv("LSBENCH_UTIL_TEST_VAR").has_value());
+}
+
+TEST(EnvTest, EnvFlagEnabledRequiresLeadingOne) {
+  ::setenv("LSBENCH_UTIL_TEST_FLAG", "1", 1);
+  EXPECT_TRUE(EnvFlagEnabled("LSBENCH_UTIL_TEST_FLAG"));
+  ::setenv("LSBENCH_UTIL_TEST_FLAG", "0", 1);
+  EXPECT_FALSE(EnvFlagEnabled("LSBENCH_UTIL_TEST_FLAG"));
+  ::setenv("LSBENCH_UTIL_TEST_FLAG", "", 1);
+  EXPECT_FALSE(EnvFlagEnabled("LSBENCH_UTIL_TEST_FLAG"));
+  ::unsetenv("LSBENCH_UTIL_TEST_FLAG");
+  EXPECT_FALSE(EnvFlagEnabled("LSBENCH_UTIL_TEST_FLAG"));
 }
 
 TEST(ResultTest, HoldsValue) {
@@ -267,8 +312,10 @@ TEST(RngTest, NextBoolRespectsProbability) {
 TEST(ClockTest, RealClockAdvances) {
   RealClock clock;
   const int64_t a = clock.NowNanos();
-  volatile double sink = 0.0;
-  for (int i = 0; i < 100000; ++i) sink += i;
+  double sink = 0.0;
+  for (int i = 0; i < 100000; ++i) sink += static_cast<double>(i);
+  volatile double keep = sink;
+  (void)keep;
   const int64_t b = clock.NowNanos();
   EXPECT_GE(b, a);
 }
@@ -327,7 +374,8 @@ TEST(HistogramTest, QuantilesApproximateExactOnUniformData) {
   std::sort(exact.begin(), exact.end());
   for (double q : {0.1, 0.5, 0.9, 0.99}) {
     const double approx = h.Quantile(q);
-    const double truth = exact[static_cast<size_t>(q * (exact.size() - 1))];
+    const double truth =
+        exact[static_cast<size_t>(q * static_cast<double>(exact.size() - 1))];
     EXPECT_NEAR(approx, truth, truth * 0.06) << "q=" << q;
   }
 }

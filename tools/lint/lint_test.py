@@ -1,0 +1,161 @@
+#!/usr/bin/env python3
+"""Unit tests for lsbench_lint: every rule must fire on its fail fixture,
+stay quiet on the pass fixtures, and be silenceable via suppressions."""
+
+import os
+import sys
+import unittest
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+import lsbench_lint as lint  # noqa: E402
+
+TESTDATA = os.path.join(os.path.dirname(os.path.abspath(__file__)), "testdata")
+
+# fail/ fixture (relative to testdata/) -> rule that must fire in it, with
+# the number of distinct findings expected.
+EXPECTED_FAILURES = {
+    "fail/random_device.cc": ("no-random-device", 1),
+    "fail/libc_rand.cc": ("no-libc-rand", 2),
+    "fail/wall_clock.cc": ("no-wall-clock", 2),
+    "fail/env_read.cc": ("no-getenv", 1),
+    "fail/unseeded_mt19937.cc": ("no-unseeded-mt19937", 2),
+    "fail/report/hash_order.cc": ("unordered-iteration", 1),
+    "fail/discarded_status.cc": ("discarded-status", 2),
+}
+
+
+def lint_dir(subdir):
+    """Lints one fixture subtree; returns the findings."""
+    root = os.path.join(TESTDATA, subdir)
+    files = []
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames.sort()
+        for name in sorted(filenames):
+            path = os.path.join(dirpath, name)
+            rel = os.path.relpath(path, TESTDATA)
+            with open(path, "r", encoding="utf-8") as f:
+                files.append((rel, f.read()))
+    return lint.lint_files(files)
+
+
+class PassFixtures(unittest.TestCase):
+    def test_pass_tree_is_clean(self):
+        findings = lint_dir("pass")
+        self.assertEqual([], [str(f) for f in findings])
+
+
+class FailFixtures(unittest.TestCase):
+    def test_every_rule_fires(self):
+        findings = lint_dir("fail")
+        by_file = {}
+        for f in findings:
+            by_file.setdefault(f.path, []).append(f)
+        for rel, (rule, count) in EXPECTED_FAILURES.items():
+            with self.subTest(fixture=rel):
+                got = by_file.get(rel, [])
+                self.assertEqual(
+                    count, sum(1 for f in got if f.rule == rule),
+                    f"{rel}: expected {count} x {rule}, got "
+                    f"{[str(f) for f in got]}")
+                # No *other* rule may fire on a single-rule fixture: each
+                # fixture isolates exactly one invariant.
+                self.assertEqual(
+                    [], [str(f) for f in got if f.rule != rule])
+
+    def test_no_unexpected_files_flagged(self):
+        findings = lint_dir("fail")
+        self.assertEqual(set(EXPECTED_FAILURES), {f.path for f in findings})
+
+    def test_every_rule_is_covered_by_a_fixture(self):
+        covered = {rule for rule, _ in EXPECTED_FAILURES.values()}
+        self.assertEqual(set(lint.ALL_RULES), covered)
+
+
+class SuppressedFixtures(unittest.TestCase):
+    def test_suppressions_silence_every_rule(self):
+        findings = lint_dir("suppressed")
+        self.assertEqual([], [str(f) for f in findings])
+
+    def test_suppressed_tree_mirrors_fail_tree(self):
+        # Guards against a suppression fixture drifting: every fail fixture
+        # must have a suppressed twin.
+        fail_files = {os.path.relpath(p, "fail") for p in EXPECTED_FAILURES}
+        sup_root = os.path.join(TESTDATA, "suppressed")
+        sup_files = set()
+        for dirpath, _, filenames in os.walk(sup_root):
+            for name in filenames:
+                sup_files.add(os.path.relpath(
+                    os.path.join(dirpath, name), sup_root))
+        self.assertEqual(fail_files, sup_files)
+
+
+class EngineUnitTests(unittest.TestCase):
+    def test_strip_comments_and_strings(self):
+        code = 'int x = 1; // time(nullptr)\nconst char* s = "rand()";\n'
+        stripped = lint.strip_comments_and_strings(code)
+        self.assertNotIn("time", stripped)
+        self.assertNotIn("rand", stripped)
+        self.assertEqual(code.count("\n"), stripped.count("\n"))
+
+    def test_block_comment_preserves_line_numbers(self):
+        code = "a /* one\ntwo\nthree */ b\n"
+        stripped = lint.strip_comments_and_strings(code)
+        self.assertEqual(3, stripped.count("\n"))
+        self.assertNotIn("two", stripped)
+
+    def test_suppression_covers_next_line(self):
+        sup = lint.parse_suppressions([
+            "// lsbench-lint: allow(no-wall-clock, no-getenv)",
+            "time(nullptr);",
+        ])
+        self.assertIn("no-wall-clock", sup[1])
+        self.assertIn("no-getenv", sup[2])
+
+    def test_rules_filter(self):
+        files = [("x.cc", "#include <ctime>\nlong n = time(nullptr);\n")]
+        self.assertEqual(1, len(lint.lint_files(files)))
+        self.assertEqual(
+            [], lint.lint_files(files, rules=("no-getenv",)))
+
+    def test_getenv_allowed_under_util(self):
+        body = "#include <cstdlib>\nconst char* v = std::getenv(\"X\");\n"
+        flagged = lint.lint_files([("src/core/a.cc", body)])
+        allowed = lint.lint_files([("src/util/env.cc", body)])
+        self.assertEqual(["no-getenv"], [f.rule for f in flagged])
+        self.assertEqual([], allowed)
+
+    def test_discarded_status_consumed_forms_ok(self):
+        body = (
+            "class Status { public: bool ok() const; };\n"
+            "Status Work();\n"
+            "Status Caller() {\n"
+            "  Status st = Work();\n"
+            "  if (!st.ok()) return st;\n"
+            "  (void)Work();\n"
+            "  return Work();\n"
+            "}\n")
+        self.assertEqual([], lint.lint_files([("src/a.cc", body)]))
+
+    def test_discarded_status_multiline_call(self):
+        body = (
+            "class Status { public: bool ok() const; };\n"
+            "Status Work(int a, int b);\n"
+            "void Caller() {\n"
+            "  Work(1,\n"
+            "       2);\n"
+            "}\n")
+        findings = lint.lint_files([("src/a.cc", body)])
+        self.assertEqual(["discarded-status"], [f.rule for f in findings])
+        self.assertEqual(4, findings[0].line)
+
+    def test_status_names_collected_across_files(self):
+        header = "class Status {};\nStatus Work();\n"
+        impl = "void Caller() {\n  Work();\n}\n"
+        findings = lint.lint_files(
+            [("src/a.h", header), ("src/b.cc", impl)])
+        self.assertEqual(["discarded-status"], [f.rule for f in findings])
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -1,0 +1,21 @@
+// Must fire: discarded-status (bare-expression calls dropping the result).
+namespace lsbench {
+
+class Status {
+ public:
+  bool ok() const { return true; }
+};
+
+class Store {
+ public:
+  Status Flush();
+};
+
+Status Reload(Store* store);
+
+void Tick(Store* store) {
+  store->Flush();
+  Reload(store);
+}
+
+}  // namespace lsbench

@@ -1,0 +1,7 @@
+// Must fire: no-getenv (this file is not under src/util/).
+#include <cstdlib>
+
+bool QuickMode() {
+  const char* env = std::getenv("LSBENCH_QUICK");
+  return env != nullptr && env[0] == '1';
+}

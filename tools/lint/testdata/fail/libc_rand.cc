@@ -1,0 +1,7 @@
+// Must fire: no-libc-rand (both the seed call and the draw).
+#include <cstdlib>
+
+int Draw() {
+  srand(42);
+  return rand();
+}

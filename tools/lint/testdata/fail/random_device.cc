@@ -1,0 +1,7 @@
+// Must fire: no-random-device.
+#include <random>
+
+unsigned Entropy() {
+  std::random_device rd;
+  return rd();
+}

@@ -1,0 +1,19 @@
+// Must fire: unordered-iteration (report-scope file emitting rows straight
+// out of an unordered_map).
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace lsbench {
+
+std::vector<std::string> EmitCounts(
+    const std::unordered_map<std::string, uint64_t>& counts) {
+  std::vector<std::string> out;
+  for (const auto& [name, n] : counts) {
+    out.push_back(name + "=" + std::to_string(n));
+  }
+  return out;
+}
+
+}  // namespace lsbench

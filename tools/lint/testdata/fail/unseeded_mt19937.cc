@@ -1,0 +1,12 @@
+// Must fire: no-unseeded-mt19937 (default-constructed engines).
+#include <random>
+
+unsigned long A() {
+  std::mt19937 gen;
+  return gen();
+}
+
+unsigned long long B() {
+  std::mt19937_64 gen{};
+  return gen();
+}

@@ -1,0 +1,11 @@
+// Must fire: no-wall-clock (libc time() and std::chrono::system_clock).
+#include <chrono>
+#include <ctime>
+
+long Now() {
+  return static_cast<long>(time(nullptr));
+}
+
+long long NowChrono() {
+  return std::chrono::system_clock::now().time_since_epoch().count();
+}

@@ -1,0 +1,23 @@
+// Report-scope file that copies unordered data into a sorted container
+// before emitting it: the unordered-iteration rule must stay quiet.
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace lsbench {
+
+std::vector<std::string> EmitCounts(
+    const std::unordered_map<std::string, uint64_t>& counts) {
+  std::vector<std::pair<std::string, uint64_t>> rows(counts.begin(),
+                                                     counts.end());
+  std::sort(rows.begin(), rows.end());
+  std::vector<std::string> out;
+  for (const auto& [name, n] : rows) {
+    out.push_back(name + "=" + std::to_string(n));
+  }
+  return out;
+}
+
+}  // namespace lsbench

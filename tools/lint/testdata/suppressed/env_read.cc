@@ -1,0 +1,8 @@
+// Same violation as fail/env_read.cc, silenced by a suppression.
+#include <cstdlib>
+
+bool QuickMode() {
+  // lsbench-lint: allow(no-getenv)
+  const char* env = std::getenv("LSBENCH_QUICK");
+  return env != nullptr && env[0] == '1';
+}

@@ -1,0 +1,9 @@
+// Same violations as fail/libc_rand.cc, silenced by suppressions — one
+// same-line, one on the preceding line.
+#include <cstdlib>
+
+int Draw() {
+  srand(42);  // lsbench-lint: allow(no-libc-rand)
+  // lsbench-lint: allow(no-libc-rand)
+  return rand();
+}

@@ -1,0 +1,7 @@
+// Same violation as fail/random_device.cc, silenced by a suppression.
+#include <random>
+
+unsigned Entropy() {
+  std::random_device rd;  // lsbench-lint: allow(no-random-device)
+  return rd();
+}

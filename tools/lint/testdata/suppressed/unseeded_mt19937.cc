@@ -1,0 +1,13 @@
+// Same violations as fail/unseeded_mt19937.cc, silenced by suppressions.
+#include <random>
+
+unsigned long A() {
+  std::mt19937 gen;  // lsbench-lint: allow(no-unseeded-mt19937)
+  return gen();
+}
+
+unsigned long long B() {
+  // lsbench-lint: allow(no-unseeded-mt19937)
+  std::mt19937_64 gen{};
+  return gen();
+}

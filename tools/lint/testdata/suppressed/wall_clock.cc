@@ -1,0 +1,12 @@
+// Same violations as fail/wall_clock.cc, silenced by suppressions.
+#include <chrono>
+#include <ctime>
+
+long Now() {
+  return static_cast<long>(time(nullptr));  // lsbench-lint: allow(no-wall-clock)
+}
+
+long long NowChrono() {
+  // lsbench-lint: allow(no-wall-clock)
+  return std::chrono::system_clock::now().time_since_epoch().count();
+}
