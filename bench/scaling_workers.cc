@@ -1,0 +1,111 @@
+// Worker-scaling sweep: the same closed-loop workload driven at
+// [execution] workers = 1, 2, 4 against a thread-safe partitioned store
+// and, as the serialization baseline, a single-lock B-tree (the driver
+// wraps serial SUTs in SerializingSut, so its "scaling" curve is the cost
+// of the lock).
+//
+// Expected shape on a multi-core machine: the partitioned store scales
+// near-linearly to the core count (>= 2x from 1 -> 4 workers) while the
+// serialized B-tree stays flat or degrades slightly from lock handoff.
+// On a single hardware thread both curves are flat — the sweep prints the
+// detected core count so the numbers can be read honestly.
+
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "sut/concurrent_kv.h"
+
+namespace lsbench {
+namespace {
+
+RunSpec BuildSpec(const Dataset& dataset, uint32_t workers) {
+  RunSpec spec;
+  spec.name = "scaling_workers_w" + std::to_string(workers);
+  spec.seed = 4242;
+  spec.datasets.push_back(dataset);
+  spec.interval_nanos = 100000000;  // 100 ms.
+
+  PhaseSpec reads;
+  reads.name = "read_heavy";
+  reads.dataset_index = 0;
+  reads.mix.get = 0.9;
+  reads.mix.scan = 0.1;
+  reads.access = AccessPattern::kZipfian;
+  reads.num_operations = bench::ScaledOps(400000);
+  spec.phases.push_back(reads);
+
+  PhaseSpec mixed;
+  mixed.name = "mixed";
+  mixed.dataset_index = 0;
+  mixed.mix.get = 0.6;
+  mixed.mix.insert = 0.25;
+  mixed.mix.update = 0.1;
+  mixed.mix.del = 0.05;
+  mixed.num_operations = bench::ScaledOps(400000);
+  spec.phases.push_back(mixed);
+
+  spec.execution.workers = workers;
+  return spec;
+}
+
+struct SweepPoint {
+  uint32_t workers = 0;
+  double throughput = 0.0;
+  double p99_us = 0.0;
+};
+
+template <typename MakeSut>
+std::vector<SweepPoint> Sweep(const Dataset& dataset, MakeSut make_sut) {
+  std::vector<SweepPoint> points;
+  for (const uint32_t workers : {1u, 2u, 4u}) {
+    auto sut = make_sut();
+    const RunResult run = bench::MustRun(BuildSpec(dataset, workers), &sut);
+    SweepPoint point;
+    point.workers = workers;
+    point.throughput = run.metrics.mean_throughput;
+    point.p99_us = run.metrics.overall_latency.P99() / 1000.0;
+    points.push_back(point);
+  }
+  return points;
+}
+
+void PrintSweep(const char* label, const std::vector<SweepPoint>& points) {
+  std::printf("\n%s\n", label);
+  std::printf("| workers | throughput (ops/s) | speedup vs 1 | p99 (us) |\n");
+  std::printf("|---------|--------------------|--------------|----------|\n");
+  for (const SweepPoint& p : points) {
+    std::printf("| %7u | %18.0f | %12.2f | %8.1f |\n", p.workers,
+                p.throughput, p.throughput / points.front().throughput,
+                p.p99_us);
+  }
+  std::printf("\ncsv: workers,throughput,speedup,p99_us\n");
+  for (const SweepPoint& p : points) {
+    std::printf("csv: %u,%.0f,%.3f,%.1f\n", p.workers, p.throughput,
+                p.throughput / points.front().throughput, p.p99_us);
+  }
+}
+
+int Main() {
+  bench::Header("Worker scaling: thread-safe vs serialized SUT");
+  const unsigned cores = std::thread::hardware_concurrency();
+  std::printf("hardware threads: %u%s\n", cores,
+              cores < 4 ? "  (expect flat curves below 4 cores)" : "");
+
+  DatasetOptions options;
+  options.num_keys = bench::ScaledKeys(200000);
+  options.seed = 7;
+  const Dataset dataset = GenerateDataset(UniformUnit(), options);
+
+  PrintSweep("partitioned_kv_system (thread-safe, per-shard locks)",
+             Sweep(dataset, [] { return PartitionedKvSystem(16); }));
+  PrintSweep("btree_system (serial, driver-side SerializingSut lock)",
+             Sweep(dataset, [] { return BTreeSystem(); }));
+  return 0;
+}
+
+}  // namespace
+}  // namespace lsbench
+
+int main() { return lsbench::Main(); }

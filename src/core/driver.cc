@@ -1,13 +1,17 @@
 #include "core/driver.h"
 
 #include <algorithm>
-#include <limits>
 #include <optional>
+#include <thread>
 #include <unordered_set>
+#include <utility>
 
+#include "core/event_sink.h"
+#include "core/executor.h"
+#include "core/workload_stream.h"
 #include "sut/fault_injection.h"
+#include "sut/serializing.h"
 #include "util/assert.h"
-#include "workload/generator.h"
 
 namespace lsbench {
 
@@ -19,6 +23,97 @@ namespace {
 std::unordered_set<uint64_t>& HoldoutRegistry() {
   static auto* registry = new std::unordered_set<uint64_t>();
   return *registry;
+}
+
+/// Stream tag for per-worker RNG roots. Worker 0's root is the master
+/// itself, so enabling fan-out never perturbs the single-worker stream.
+constexpr uint64_t kWorkerStreamTag = 0x3077ab5cULL;
+
+/// Stream tag for the backoff-jitter fork (historical constant — worker 0
+/// must reproduce the monolithic driver's backoff sequence).
+constexpr uint64_t kBackoffStreamTag = 0x0ba2c0ffULL;
+
+/// Routes one worker's Execute calls through its fault lane. Phase
+/// notifications and lifecycle calls are orchestrator business — the
+/// wrapped injector receives OnPhaseStart exactly once per phase, from the
+/// driver, never per worker.
+class LaneSut final : public SystemUnderTest {
+ public:
+  LaneSut(FaultInjectingSut* fault, size_t lane)
+      : fault_(fault), lane_(lane) {}
+
+  std::string name() const override { return fault_->name(); }
+  SutConcurrency concurrency() const override {
+    return fault_->concurrency();
+  }
+  Status Load(const std::vector<KeyValue>& sorted_pairs) override {
+    return fault_->Load(sorted_pairs);
+  }
+  TrainReport Train() override { return fault_->Train(); }
+  OpResult Execute(const Operation& op) override {
+    return fault_->ExecuteLane(lane_, op);
+  }
+  void OnPhaseStart(int phase_index, bool holdout) override {
+    // Intentionally empty: the orchestrator notifies the injector directly.
+    (void)phase_index;
+    (void)holdout;
+  }
+  SutStats GetStats() const override { return fault_->GetStats(); }
+
+ private:
+  FaultInjectingSut* fault_;
+  size_t lane_;
+};
+
+/// One worker's slice of the staged execution core: its workload stream,
+/// resilient executor, event shard, clocks, and (under fan-out) its lane
+/// adapter and private virtual clock.
+struct WorkerContext {
+  uint32_t worker_id = 0;
+  const Clock* clock = nullptr;
+  /// The virtual clock this worker paces against in simulation mode: the
+  /// driver's own clock at workers == 1, a private per-worker clock under
+  /// fan-out, nullptr on the real clock.
+  VirtualClock* sim_clock = nullptr;
+  std::optional<VirtualClock> private_clock;  ///< Simulation fan-out only.
+  std::optional<LaneSut> lane;
+  std::optional<WorkloadStream> stream;
+  std::optional<ResilientExecutor> executor;
+  EventSink sink{0};
+  int32_t current_phase = 0;
+};
+
+/// Drains one worker's current phase: issue, pace, execute resiliently,
+/// record. This is the inner loop both the serial path and every worker
+/// thread run; at workers == 1 it reproduces the monolithic driver's loop
+/// bit-for-bit.
+void RunWorkerPhase(WorkerContext* ctx, int64_t run_start_nanos) {
+  WorkloadStream& stream = *ctx->stream;
+  ResilientExecutor& executor = *ctx->executor;
+  const Pacer pacer(ctx->clock, ctx->sim_clock);
+  while (stream.HasNext()) {
+    const WorkloadStream::Issue issue = stream.Next();
+    pacer.PaceUntil(run_start_nanos + issue.arrival_rel_nanos);
+
+    const ExecOutcome outcome =
+        executor.ExecuteOne(issue.op, issue.arrival_rel_nanos);
+    const int64_t completion_rel = ctx->clock->NowNanos() - run_start_nanos;
+
+    OpEvent event;
+    event.timestamp_nanos = completion_rel;
+    event.latency_nanos =
+        std::max<int64_t>(0, completion_rel - issue.arrival_rel_nanos);
+    event.phase = ctx->current_phase;
+    event.type = issue.op.type;
+    event.ok = !outcome.failed && outcome.result.ok;
+    event.rows = outcome.result.rows;
+    event.retries = outcome.retries;
+    event.failed = outcome.failed;
+    event.timed_out = outcome.timed_out;
+    event.shed = outcome.shed;
+    ctx->sink.Record(event);
+    stream.RecordCompletion(completion_rel);
+  }
 }
 
 }  // namespace
@@ -40,6 +135,11 @@ std::vector<KeyValue> BuildLoadImage(const RunSpec& spec) {
   return pairs;
 }
 
+uint64_t WorkerShare(uint64_t total, uint32_t workers, uint32_t worker) {
+  LSBENCH_ASSERT(workers > 0 && worker < workers);
+  return total / workers + (worker < total % workers ? 1 : 0);
+}
+
 BenchmarkDriver::BenchmarkDriver(const Clock* clock, DriverOptions options)
     : clock_(clock != nullptr ? clock : &default_clock_), options_(options) {
   if (options_.virtual_clock != nullptr) {
@@ -50,18 +150,6 @@ BenchmarkDriver::BenchmarkDriver(const Clock* clock, DriverOptions options)
 
 void BenchmarkDriver::ResetHoldoutRegistryForTesting() {
   HoldoutRegistry().clear();
-}
-
-void BenchmarkDriver::WaitUntil(int64_t target_abs_nanos) {
-  if (options_.virtual_clock != nullptr) {
-    if (options_.virtual_clock->NowNanos() < target_abs_nanos) {
-      options_.virtual_clock->SetNanos(target_abs_nanos);
-    }
-    return;
-  }
-  while (clock_->NowNanos() < target_abs_nanos) {
-    // Spin: open-loop pacing needs sub-microsecond resolution.
-  }
 }
 
 Result<RunResult> BenchmarkDriver::Run(const RunSpec& spec,
@@ -85,6 +173,17 @@ Result<RunResult> BenchmarkDriver::Run(const RunSpec& spec,
   RunResult result;
   result.sut_name = sut->name();
   result.run_name = spec.name;
+
+  const uint32_t workers = spec.execution.workers;
+
+  // ---- SUT concurrency contract ----
+  // Serial systems keep working under fan-out behind a driver-side lock;
+  // thread-safe systems run bare.
+  std::optional<SerializingSut> serializer;
+  if (workers > 1 && sut->concurrency() == SutConcurrency::kSerial) {
+    serializer.emplace(sut);
+    sut = &*serializer;
+  }
 
   // ---- Fault injection (spec-driven, deterministic) ----
   std::optional<FaultInjectingSut> fault_wrapper;
@@ -115,161 +214,138 @@ Result<RunResult> BenchmarkDriver::Run(const RunSpec& spec,
 
   // ---- Execution ----
   const int64_t run_start = clock_->NowNanos();
-  Rng master(spec.seed);
-  result.events.reserve([&] {
-    uint64_t total = 0;
-    for (const PhaseSpec& p : spec.phases) total += p.num_operations;
-    return total;
-  }());
+  const Rng master(spec.seed);
+  const bool simulated = options_.virtual_clock != nullptr;
 
-  // Resilience machinery: backoff jitter draws from a dedicated fork of the
-  // master stream (so enabling retries never perturbs workload generation),
-  // and the circuit breaker tracks health across phases.
-  const ResilienceSpec& res = spec.resilience;
-  RetryBackoff backoff(res, master.Fork(0x0ba2c0ffULL).Next());
-  std::optional<CircuitBreaker> breaker;
-  if (res.breaker_enabled) breaker.emplace(res);
+  ResilientExecutor::Options exec_options;
+  exec_options.run_start_nanos = run_start;
+  exec_options.virtual_service_nanos = options_.virtual_service_nanos;
+  exec_options.virtual_shed_nanos = options_.virtual_shed_nanos;
 
-  std::unique_ptr<OperationGenerator> prev_generator;
-  int64_t last_completion_rel = 0;
+  std::vector<WorkerContext> contexts(workers);
+  uint64_t total_ops = 0;
+  for (const PhaseSpec& p : spec.phases) total_ops += p.num_operations;
+  for (uint32_t w = 0; w < workers; ++w) {
+    WorkerContext& ctx = contexts[w];
+    ctx.worker_id = w;
+    ctx.sink = EventSink(w);
+    ctx.sink.Reserve(WorkerShare(total_ops, workers, w) + workers);
+
+    // Clocks: the single worker shares the driver's; under simulated
+    // fan-out each worker advances a private virtual clock, synchronized
+    // at phase boundaries.
+    if (workers > 1 && simulated) {
+      ctx.private_clock.emplace();
+      ctx.private_clock->SetNanos(run_start);
+      ctx.clock = &*ctx.private_clock;
+      ctx.sim_clock = &*ctx.private_clock;
+    } else {
+      ctx.clock = clock_;
+      ctx.sim_clock = options_.virtual_clock;  // nullptr on the real clock.
+    }
+
+    // RNG roots: worker 0 IS the master stream (bit-identity), workers
+    // w > 0 fork disjoint streams.
+    const Rng root = w == 0 ? master : master.Fork(kWorkerStreamTag + w);
+    ctx.stream.emplace(&spec, root, 1.0 / static_cast<double>(workers));
+
+    SystemUnderTest* target = sut;
+    if (workers > 1 && fault_wrapper) {
+      ctx.lane.emplace(&*fault_wrapper, w);
+      target = &*ctx.lane;
+    }
+    ctx.executor.emplace(target, spec.resilience,
+                         Pacer(ctx.clock, ctx.sim_clock),
+                         root.Fork(kBackoffStreamTag).Next(),
+                         spec.resilience.breaker_enabled, exec_options);
+  }
+
+  // Under fan-out, bind one fault lane (with its clocks) per worker.
+  if (workers > 1 && fault_wrapper) {
+    std::vector<FaultInjectingSut::LaneClocks> lanes(workers);
+    for (uint32_t w = 0; w < workers; ++w) {
+      lanes[w].clock = contexts[w].clock;
+      lanes[w].virtual_clock = contexts[w].sim_clock;
+    }
+    fault_wrapper->ConfigureLanes(std::move(lanes));
+  }
 
   for (size_t phase_idx = 0; phase_idx < spec.phases.size(); ++phase_idx) {
     const PhaseSpec& phase = spec.phases[phase_idx];
-    const Dataset& dataset = spec.datasets[phase.dataset_index];
 
     PhaseBoundary boundary;
     boundary.phase = static_cast<int32_t>(phase_idx);
     boundary.holdout = phase.holdout;
     boundary.start_nanos = clock_->NowNanos() - run_start;
 
+    // Exactly one notification per phase, through the full wrapper chain.
     sut->OnPhaseStart(static_cast<int>(phase_idx), phase.holdout);
 
-    auto generator = std::make_unique<OperationGenerator>(
-        &dataset, phase, master.Fork(phase_idx * 2 + 1).Next());
-    Rng mix_rng = master.Fork(phase_idx * 2 + 2);
-    std::unique_ptr<ArrivalProcess> arrival =
-        MakeArrivalProcess(phase.arrival, phase.arrival_rate_qps);
+    for (uint32_t w = 0; w < workers; ++w) {
+      WorkerContext& ctx = contexts[w];
+      ctx.current_phase = static_cast<int32_t>(phase_idx);
+      ctx.stream->BeginPhase(
+          phase_idx, WorkerShare(phase.num_operations, workers, w),
+          WorkerShare(phase.transition_operations, workers, w),
+          ctx.clock->NowNanos() - run_start);
+    }
 
-    const bool blend =
-        phase_idx > 0 && prev_generator != nullptr &&
-        phase.transition_operations > 0 &&
-        phase.transition_in != TransitionKind::kAbrupt;
-
-    int64_t intended_rel = clock_->NowNanos() - run_start;
-    for (uint64_t op_idx = 0; op_idx < phase.num_operations; ++op_idx) {
-      // Pick the source generator: during a transition window the old
-      // phase's stream fades out per the configured ramp.
-      OperationGenerator* source = generator.get();
-      if (blend && op_idx < phase.transition_operations) {
-        const double progress =
-            static_cast<double>(op_idx) /
-            static_cast<double>(phase.transition_operations);
-        const double new_fraction =
-            TransitionMixFraction(phase.transition_in, progress);
-        if (!mix_rng.NextBool(new_fraction)) source = prev_generator.get();
+    if (workers == 1) {
+      RunWorkerPhase(&contexts[0], run_start);
+    } else if (simulated) {
+      // Deterministic simulated fan-out: workers run sequentially on
+      // private virtual clocks, then a *virtual barrier* advances every
+      // clock to the phase's maximum. Event order is recovered at merge.
+      for (WorkerContext& ctx : contexts) RunWorkerPhase(&ctx, run_start);
+      int64_t max_nanos = options_.virtual_clock->NowNanos();
+      for (const WorkerContext& ctx : contexts) {
+        max_nanos = std::max(max_nanos, ctx.clock->NowNanos());
       }
-      const Operation op = source->Next();
-
-      // Arrival pacing: open-loop streams fix the intended arrival times;
-      // closed-loop issues immediately after the previous completion.
-      const double inter = arrival->NextInterarrivalSeconds(
-          &mix_rng, static_cast<double>(intended_rel) * 1e-9);
-      int64_t arrival_rel;
-      if (inter <= 0.0) {
-        arrival_rel = last_completion_rel;
-      } else {
-        intended_rel += static_cast<int64_t>(inter * 1e9);
-        arrival_rel = intended_rel;
+      for (WorkerContext& ctx : contexts) {
+        if (ctx.private_clock->NowNanos() < max_nanos) {
+          ctx.private_clock->SetNanos(max_nanos);
+        }
       }
-      WaitUntil(run_start + arrival_rel);
-
-      // Resilient execution: attempt, classify, retry transient failures
-      // with backoff inside the op's deadline, or shed when degraded.
-      const int64_t deadline_rel =
-          res.op_timeout_nanos > 0
-              ? arrival_rel + res.op_timeout_nanos
-              : std::numeric_limits<int64_t>::max();
-      OpResult op_result;
-      uint16_t retries = 0;
-      bool timed_out = false;
-      bool shed = false;
-      bool op_failed = false;
-      for (;;) {
-        if (breaker && !breaker->AllowRequest(clock_->NowNanos())) {
-          // Open breaker: degraded mode sheds the operation unexecuted.
-          shed = true;
-          op_failed = true;
-          op_result = OpResult();
-          if (options_.virtual_clock != nullptr) {
-            options_.virtual_clock->AdvanceNanos(options_.virtual_shed_nanos);
-          }
-          break;
-        }
-        op_result = sut->Execute(op);
-        if (options_.virtual_clock != nullptr) {
-          options_.virtual_clock->AdvanceNanos(options_.virtual_service_nanos);
-        }
-        const int64_t now_rel = clock_->NowNanos() - run_start;
-        const bool past_deadline = now_rel > deadline_rel;
-        if (op_result.status.ok() && !past_deadline) {
-          if (breaker) breaker->RecordSuccess(clock_->NowNanos());
-          break;
-        }
-        // Failure: a SUT error, a blown latency budget, or both.
-        if (breaker) breaker->RecordFailure(clock_->NowNanos());
-        if (past_deadline) {
-          // The deadline is spent; retrying cannot deliver in time.
-          timed_out = true;
-          op_failed = true;
-          break;
-        }
-        if (op_result.status.IsTransient() && retries < res.max_retries) {
-          ++retries;
-          WaitUntil(clock_->NowNanos() + backoff.NextDelayNanos(retries));
-          continue;
-        }
-        op_failed = true;
-        break;
+      if (options_.virtual_clock->NowNanos() < max_nanos) {
+        options_.virtual_clock->SetNanos(max_nanos);
       }
-      const int64_t completion_rel = clock_->NowNanos() - run_start;
-
-      OpEvent event;
-      event.timestamp_nanos = completion_rel;
-      event.latency_nanos = std::max<int64_t>(0, completion_rel - arrival_rel);
-      event.phase = static_cast<int32_t>(phase_idx);
-      event.type = op.type;
-      event.ok = !op_failed && op_result.ok;
-      event.rows = op_result.rows;
-      event.retries = retries;
-      event.failed = op_failed;
-      event.timed_out = timed_out;
-      event.shed = shed;
-      result.events.push_back(event);
-      last_completion_rel = completion_rel;
+    } else {
+      // Real-clock fan-out: one joined thread per worker; the join is the
+      // phase barrier. Threads are never detached (lsbench-lint:
+      // no-detached-thread).
+      std::vector<std::thread> threads;
+      threads.reserve(workers);
+      for (WorkerContext& ctx : contexts) {
+        threads.emplace_back(RunWorkerPhase, &ctx, run_start);
+      }
+      for (std::thread& t : threads) t.join();
     }
 
     boundary.end_nanos = clock_->NowNanos() - run_start;
     boundary.operations = phase.num_operations;
     result.boundaries.push_back(boundary);
-    prev_generator = std::move(generator);
   }
 
+  // ---- Merge shards ----
+  std::vector<EventStream> shards;
+  shards.reserve(workers);
+  for (WorkerContext& ctx : contexts) {
+    shards.push_back(ctx.sink.TakeEvents());
+  }
+  result.events = MergeEventShards(std::move(shards));
+
   // ---- Metrics ----
-  MetricsOptions mopts;
-  mopts.interval_nanos = spec.interval_nanos;
-  mopts.boxplot_sample_nanos = spec.boxplot_sample_nanos;
-  mopts.adjustment_window_ops = spec.adjustment_window_ops;
-  mopts.sla_nanos = spec.sla.threshold_nanos;
-  mopts.sla_auto_percentile = spec.sla.auto_percentile;
-  mopts.sla_auto_margin = spec.sla.auto_margin;
-  result.metrics = ComputeRunMetrics(result.events, result.boundaries, mopts);
+  result.metrics = ComputeRunMetrics(result.events, result.boundaries,
+                                     MetricsOptions::FromSpec(spec));
   // Driver-owned resilience state the metric layer cannot derive from the
   // event stream alone.
   result.metrics.resilience.failed_trains = failed_trains;
-  if (breaker) {
-    result.metrics.resilience.breaker_opens = breaker->open_count();
-    result.metrics.resilience.degraded_seconds =
-        static_cast<double>(breaker->DegradedNanos(clock_->NowNanos())) *
+  for (const WorkerContext& ctx : contexts) {
+    const CircuitBreaker* breaker = ctx.executor->breaker();
+    if (breaker == nullptr) continue;
+    result.metrics.resilience.breaker_opens += breaker->open_count();
+    result.metrics.resilience.degraded_seconds +=
+        static_cast<double>(breaker->DegradedNanos(ctx.clock->NowNanos())) *
         1e-9;
   }
   result.final_sut_stats = sut->GetStats();

@@ -40,6 +40,10 @@ struct DriverOptions {
   /// wall time; instead it advances this clock to each intended arrival and
   /// by `virtual_service_nanos` per executed operation. The same object
   /// must be the driver's clock. Deterministic end-to-end runs for tests.
+  /// Under `workers > 1` each worker advances a private virtual clock and
+  /// the driver synchronizes them (and this clock) to the maximum at every
+  /// phase boundary — a virtual barrier, so simulated multi-worker runs
+  /// are deterministic too.
   VirtualClock* virtual_clock = nullptr;
   int64_t virtual_service_nanos = 100000;  // 100 us.
   /// Enforce the paper's single-execution rule for hold-out phases via the
@@ -57,12 +61,24 @@ struct DriverOptions {
 /// training as a timed first-class step, open/closed-loop arrivals, and
 /// hold-out phases that are never trained on and run at most once.
 ///
+/// Execution is staged (docs/ARCHITECTURE.md): WorkloadStream issues and
+/// paces operations, ResilientExecutor applies the timeout/retry/breaker
+/// policy around each Execute, and EventSink shards completed events per
+/// worker. `spec.execution.workers` fans the stream out to N workers, each
+/// with a forked RNG stream, its own executor, and its own event shard;
+/// shards merge deterministically by (timestamp, worker, seq) before
+/// metrics. `workers == 1` is bit-identical to the historical serial
+/// driver. Serial SUTs run under fan-out behind a driver-side lock
+/// (SerializingSut); thread-safe SUTs opt in via
+/// SystemUnderTest::concurrency().
+///
 /// When the spec carries a FaultPlan the SUT is transparently wrapped in a
-/// FaultInjectingSut, and the spec's ResilienceSpec governs how the driver
-/// responds to failures: per-op timeout budgets (deadline measured from the
-/// intended arrival), retry with exponential backoff and seeded jitter for
-/// transient codes, and a circuit breaker that sheds load (skip-and-count
-/// degraded mode) while the error rate is above threshold.
+/// FaultInjectingSut (one fault lane per worker), and the spec's
+/// ResilienceSpec governs how the driver responds to failures: per-op
+/// timeout budgets (deadline measured from the intended arrival), retry
+/// with exponential backoff and seeded jitter for transient codes, and a
+/// circuit breaker per worker that sheds load (skip-and-count degraded
+/// mode) while the error rate is above threshold.
 class BenchmarkDriver {
  public:
   /// `clock` must outlive the driver; nullptr selects an internal RealClock.
@@ -77,9 +93,6 @@ class BenchmarkDriver {
   static void ResetHoldoutRegistryForTesting();
 
  private:
-  /// Busy-waits (real clock) or jumps (virtual clock) to `target_abs_nanos`.
-  void WaitUntil(int64_t target_abs_nanos);
-
   RealClock default_clock_;
   const Clock* clock_;
   DriverOptions options_;
@@ -88,6 +101,11 @@ class BenchmarkDriver {
 /// Builds the initial load image for a spec: the first phase's dataset as
 /// (key, ordinal) pairs.
 std::vector<KeyValue> BuildLoadImage(const RunSpec& spec);
+
+/// This worker's share of `total` items under the driver's round-robin
+/// split: total/workers plus one of the first (total % workers) remainders.
+/// Shares over all workers always sum to `total`.
+uint64_t WorkerShare(uint64_t total, uint32_t workers, uint32_t worker);
 
 }  // namespace lsbench
 

@@ -1,0 +1,50 @@
+#ifndef LSBENCH_CORE_EVENT_SINK_H_
+#define LSBENCH_CORE_EVENT_SINK_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/events.h"
+
+namespace lsbench {
+
+/// Stage 3 of the execution core: one worker's event shard. Each worker
+/// records into its own sink with no synchronization; the sink stamps the
+/// worker id and a per-shard issue sequence number so shards can later be
+/// merged into one deterministic stream regardless of thread scheduling.
+class EventSink {
+ public:
+  explicit EventSink(uint32_t worker) : worker_(worker) {}
+
+  void Reserve(size_t n) { events_.reserve(n); }
+
+  /// Records one completed operation, stamping provenance.
+  void Record(OpEvent event) {
+    event.worker = worker_;
+    event.seq = next_seq_++;
+    events_.push_back(event);
+  }
+
+  uint32_t worker() const { return worker_; }
+  EventStream& events() { return events_; }
+  const EventStream& events() const { return events_; }
+
+  /// Moves the shard out (the sink is spent afterwards).
+  EventStream TakeEvents() { return std::move(events_); }
+
+ private:
+  uint32_t worker_;
+  uint64_t next_seq_ = 0;
+  EventStream events_;
+};
+
+/// Merges per-worker event shards into one stream ordered by
+/// (timestamp, worker, seq). The tie-break on provenance makes the merged
+/// order a pure function of the shards' contents — two runs with identical
+/// shards merge identically no matter how threads interleaved. A single
+/// already-ordered shard passes through unchanged.
+EventStream MergeEventShards(std::vector<EventStream> shards);
+
+}  // namespace lsbench
+
+#endif  // LSBENCH_CORE_EVENT_SINK_H_

@@ -24,6 +24,12 @@ struct OpEvent {
   bool failed = false;    ///< Operation ultimately failed (any cause).
   bool timed_out = false; ///< Exceeded its per-op timeout budget.
   bool shed = false;      ///< Dropped unexecuted by the open circuit breaker.
+  // Provenance (multi-worker runs): which worker shard produced the event
+  // and its issue order within that shard. Together with the timestamp they
+  // define the deterministic merge order (timestamp, worker, seq) — ties
+  // between workers never depend on thread scheduling.
+  uint32_t worker = 0;
+  uint64_t seq = 0;
 };
 
 /// When a phase ran, and whether it was out-of-sample.

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "core/run_spec.h"
 #include "util/assert.h"
 
 namespace lsbench {
@@ -169,6 +170,39 @@ int64_t CalibrateSla(const EventStream& events, double percentile,
   return static_cast<int64_t>(threshold);
 }
 
+MetricsOptions MetricsOptions::FromSpec(const RunSpec& spec) {
+  MetricsOptions options;
+  options.interval_nanos = spec.interval_nanos;
+  options.boxplot_sample_nanos = spec.boxplot_sample_nanos;
+  options.adjustment_window_ops = spec.adjustment_window_ops;
+  options.sla_nanos = spec.sla.threshold_nanos;
+  options.sla_auto_percentile = spec.sla.auto_percentile;
+  options.sla_auto_margin = spec.sla.auto_margin;
+  return options;
+}
+
+void ShardAccumulation::Accumulate(const OpEvent& event, int64_t sla_nanos) {
+  ++operations;
+  if (event.ok) ++ok_operations;
+  latency.Record(static_cast<double>(event.latency_nanos));
+  if (event.latency_nanos > sla_nanos) ++sla_violations;
+  if (event.failed) ++failed_operations;
+  if (event.timed_out) ++timeouts;
+  if (event.shed) ++shed_operations;
+  total_retries += event.retries;
+}
+
+void ShardAccumulation::Merge(const ShardAccumulation& other) {
+  operations += other.operations;
+  ok_operations += other.ok_operations;
+  sla_violations += other.sla_violations;
+  failed_operations += other.failed_operations;
+  timeouts += other.timeouts;
+  shed_operations += other.shed_operations;
+  total_retries += other.total_retries;
+  latency.Merge(other.latency);
+}
+
 RunMetrics ComputeRunMetrics(const EventStream& events,
                              const std::vector<PhaseBoundary>& boundaries,
                              const MetricsOptions& options) {
@@ -195,14 +229,16 @@ RunMetrics ComputeRunMetrics(const EventStream& events,
   }
   metrics.sla_nanos = sla;
 
-  for (const OpEvent& e : events) {
-    metrics.overall_latency.Record(static_cast<double>(e.latency_nanos));
-    if (e.latency_nanos > sla) ++metrics.total_sla_violations;
-    if (e.failed) ++metrics.resilience.failed_operations;
-    if (e.timed_out) ++metrics.resilience.timeouts;
-    if (e.shed) ++metrics.resilience.shed_operations;
-    metrics.resilience.total_retries += e.retries;
-  }
+  // Whole-run totals go through the same mergeable accumulation the
+  // multi-worker driver uses per shard, so the two paths cannot diverge.
+  ShardAccumulation acc;
+  for (const OpEvent& e : events) acc.Accumulate(e, sla);
+  metrics.overall_latency = acc.latency;
+  metrics.total_sla_violations = acc.sla_violations;
+  metrics.resilience.failed_operations = acc.failed_operations;
+  metrics.resilience.timeouts = acc.timeouts;
+  metrics.resilience.shed_operations = acc.shed_operations;
+  metrics.resilience.total_retries = acc.total_retries;
   if (!events.empty()) {
     metrics.resilience.availability =
         static_cast<double>(events.size() -

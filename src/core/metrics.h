@@ -10,6 +10,8 @@
 
 namespace lsbench {
 
+struct RunSpec;
+
 /// One point of the Fig. 1b cumulative-completions curve.
 struct CumulativePoint {
   int64_t t_nanos = 0;
@@ -134,6 +136,34 @@ struct MetricsOptions {
   int64_t sla_nanos = 0;
   double sla_auto_percentile = 0.99;
   double sla_auto_margin = 2.0;
+
+  /// The one mirroring point from a RunSpec's reporting/SLA fields — every
+  /// consumer (driver, per-shard accumulation, tools) goes through this so
+  /// the two layers cannot drift apart.
+  static MetricsOptions FromSpec(const RunSpec& spec);
+};
+
+/// Order-independent aggregates of one event shard. Each worker can fold
+/// its own events into a ShardAccumulation without synchronization; merging
+/// the per-worker accumulations yields exactly the totals ComputeRunMetrics
+/// derives from the merged stream (every field is a sum, so accumulation
+/// commutes with the shard merge). ComputeRunMetrics itself routes its
+/// whole-run totals through this type to machine-enforce that property.
+struct ShardAccumulation {
+  uint64_t operations = 0;
+  uint64_t ok_operations = 0;
+  uint64_t sla_violations = 0;
+  uint64_t failed_operations = 0;
+  uint64_t timeouts = 0;
+  uint64_t shed_operations = 0;
+  uint64_t total_retries = 0;
+  Histogram latency;
+
+  /// Folds one event in. `sla_nanos` must be the run's resolved threshold.
+  void Accumulate(const OpEvent& event, int64_t sla_nanos);
+
+  /// Adds another shard's aggregates into this one.
+  void Merge(const ShardAccumulation& other);
 };
 
 /// Computes the full metric suite. `events` must be sorted by timestamp and

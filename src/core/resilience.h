@@ -2,6 +2,7 @@
 #define LSBENCH_CORE_RESILIENCE_H_
 
 #include <cstdint>
+#include <mutex>
 #include <vector>
 
 #include "util/random.h"
@@ -64,8 +65,12 @@ class RetryBackoff {
 };
 
 /// Classic three-state circuit breaker over a sliding window of operation
-/// outcomes. Single-threaded (the driver is synchronous); time comes in
-/// through the call sites so it works identically under VirtualClock.
+/// outcomes. Thread-safe: state transitions are serialized by an internal
+/// mutex so a breaker may be shared between workers (the multi-worker
+/// driver normally gives each worker its own instance — that keeps fan-out
+/// deterministic — but the class itself must not be the reason a shared
+/// configuration races). Time comes in through the call sites so it works
+/// identically under VirtualClock.
 class CircuitBreaker {
  public:
   enum class State { kClosed, kOpen, kHalfOpen };
@@ -80,10 +85,16 @@ class CircuitBreaker {
   void RecordSuccess(int64_t now_nanos);
   void RecordFailure(int64_t now_nanos);
 
-  State state() const { return state_; }
+  State state() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return state_;
+  }
 
   /// Times the breaker left the closed state (degraded-mode entries).
-  uint64_t open_count() const { return open_count_; }
+  uint64_t open_count() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return open_count_;
+  }
 
   /// Total nanoseconds spent outside the closed state up to `now_nanos`.
   int64_t DegradedNanos(int64_t now_nanos) const;
@@ -93,6 +104,7 @@ class CircuitBreaker {
   void Open(int64_t now_nanos);
   void Close(int64_t now_nanos);
 
+  mutable std::mutex mu_;
   ResilienceSpec spec_;
   State state_ = State::kClosed;
   /// Ring buffer of the last `breaker_window_ops` outcomes (1 = failure).

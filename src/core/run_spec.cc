@@ -106,6 +106,9 @@ Status RunSpec::Validate() const {
       return Status::InvalidArgument("breaker threshold must be in (0, 1]");
     }
   }
+  if (execution.workers == 0 || execution.workers > 1024) {
+    return Status::InvalidArgument("execution workers must be in [1, 1024]");
+  }
   return Status::OK();
 }
 
@@ -162,6 +165,7 @@ uint64_t RunSpec::StructuralHash() const {
   h = MixHash(h, HashDouble(resilience.breaker_failure_threshold));
   h = MixHash(h, static_cast<uint64_t>(resilience.breaker_cooldown_nanos));
   h = MixHash(h, resilience.breaker_half_open_probes);
+  h = MixHash(h, execution.workers);
   return h;
 }
 

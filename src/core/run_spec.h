@@ -24,6 +24,15 @@ struct SlaSpec {
   double auto_margin = 2.0;
 };
 
+/// How the driver fans the operation stream out (`[execution]` section).
+/// `workers = 1` is the serial staged pipeline and is bit-identical to the
+/// historical monolithic driver; `workers = N` splits every phase's
+/// operations across N workers, each with its own forked RNG stream and
+/// event shard, merged deterministically by (timestamp, worker, seq).
+struct ExecutionSpec {
+  uint32_t workers = 1;
+};
+
 /// The complete description of one benchmark run: datasets, the phase
 /// sequence over them, SLA, and reporting granularity. A RunSpec plus a
 /// seed fully determines the operation stream.
@@ -47,6 +56,8 @@ struct RunSpec {
   FaultPlan faults;
   /// Timeout / retry / circuit-breaker policy; disabled by default.
   ResilienceSpec resilience;
+  /// Worker fan-out; defaults to the serial pipeline.
+  ExecutionSpec execution;
 
   /// Structural validation: phases reference valid datasets, lengths are
   /// nonzero, datasets are nonempty.

@@ -184,7 +184,14 @@ Result<TransitionKind> ParseTransition(const std::string& value) {
 
 Result<RunSpec> ParseRunSpecText(const std::string& text) {
   RunSpec spec;
-  enum class Section { kTop, kDataset, kPhase, kFaults, kResilience };
+  enum class Section {
+    kTop,
+    kDataset,
+    kPhase,
+    kFaults,
+    kResilience,
+    kExecution
+  };
   Section section = Section::kTop;
   DatasetDesc dataset_desc;
   bool dataset_open = false;
@@ -256,6 +263,11 @@ Result<RunSpec> ParseRunSpecText(const std::string& text) {
     if (line == "[resilience]") {
       LSBENCH_RETURN_IF_ERROR(close_sections());
       section = Section::kResilience;
+      continue;
+    }
+    if (line == "[execution]") {
+      LSBENCH_RETURN_IF_ERROR(close_sections());
+      section = Section::kExecution;
       continue;
     }
     if (line.front() == '[') {
@@ -499,6 +511,16 @@ Result<RunSpec> ParseRunSpecText(const std::string& text) {
           r.breaker_half_open_probes = static_cast<uint32_t>(v.value());
         } else {
           return Status::InvalidArgument("unknown resilience key: " + key);
+        }
+        break;
+      }
+      case Section::kExecution: {
+        if (key == "workers") {
+          const auto v = ParseU64(value, key);
+          if (!v.ok()) return v.status();
+          spec.execution.workers = static_cast<uint32_t>(v.value());
+        } else {
+          return Status::InvalidArgument("unknown execution key: " + key);
         }
         break;
       }

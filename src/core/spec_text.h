@@ -74,6 +74,10 @@ namespace lsbench {
 /// breaker_threshold = 0.5
 /// breaker_cooldown_us = 250000
 /// breaker_halfopen_probes = 10
+///
+/// [execution]                # driver fan-out (single section, optional)
+/// workers = 4                # concurrent workers, in [1, 1024]; 1 (the
+///                            # default) reproduces the serial driver
 /// ```
 ///
 /// Dataset kind parameters: gaussian(param1=mean, param2=stddev),

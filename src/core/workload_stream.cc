@@ -1,0 +1,76 @@
+#include "core/workload_stream.h"
+
+#include <utility>
+
+#include "util/assert.h"
+
+namespace lsbench {
+
+WorkloadStream::WorkloadStream(const RunSpec* spec, Rng root,
+                               double rate_scale)
+    : spec_(spec), root_(root), rate_scale_(rate_scale) {
+  LSBENCH_ASSERT(spec != nullptr);
+  LSBENCH_ASSERT(rate_scale > 0.0);
+}
+
+void WorkloadStream::BeginPhase(size_t phase_idx, uint64_t num_operations,
+                                uint64_t transition_operations,
+                                int64_t now_rel_nanos) {
+  LSBENCH_ASSERT(phase_idx < spec_->phases.size());
+  const PhaseSpec& phase = spec_->phases[phase_idx];
+
+  phase_idx_ = phase_idx;
+  phase_ops_ = num_operations;
+  transition_ops_ = transition_operations;
+  issued_ = 0;
+
+  prev_generator_ = std::move(generator_);
+  generator_ = std::make_unique<OperationGenerator>(
+      &spec_->datasets[phase.dataset_index], phase,
+      root_.Fork(phase_idx * 2 + 1).Next());
+  mix_rng_ = root_.Fork(phase_idx * 2 + 2);
+  arrival_ = MakeArrivalProcess(phase.arrival,
+                                phase.arrival_rate_qps * rate_scale_);
+
+  blend_ = phase_idx > 0 && prev_generator_ != nullptr &&
+           transition_ops_ > 0 &&
+           phase.transition_in != TransitionKind::kAbrupt;
+
+  intended_rel_ = now_rel_nanos;
+}
+
+WorkloadStream::Issue WorkloadStream::Next() {
+  LSBENCH_ASSERT(HasNext());
+  const PhaseSpec& phase = spec_->phases[phase_idx_];
+  const uint64_t op_idx = issued_++;
+
+  // Pick the source generator: during a transition window the old phase's
+  // stream fades out per the configured ramp.
+  OperationGenerator* source = generator_.get();
+  if (blend_ && op_idx < transition_ops_) {
+    const double progress =
+        static_cast<double>(op_idx) / static_cast<double>(transition_ops_);
+    const double new_fraction =
+        TransitionMixFraction(phase.transition_in, progress);
+    if (!mix_rng_.NextBool(new_fraction)) source = prev_generator_.get();
+  }
+
+  Issue issue;
+  issue.op = source->Next();
+
+  // Arrival pacing: open-loop streams fix the intended arrival times;
+  // closed-loop issues immediately after the previous completion.
+  const double inter = arrival_->NextInterarrivalSeconds(
+      &mix_rng_, static_cast<double>(intended_rel_) * 1e-9);
+  if (inter <= 0.0) {
+    issue.arrival_rel_nanos = last_completion_rel_;
+    issue.open_loop = false;
+  } else {
+    intended_rel_ += static_cast<int64_t>(inter * 1e9);
+    issue.arrival_rel_nanos = intended_rel_;
+    issue.open_loop = true;
+  }
+  return issue;
+}
+
+}  // namespace lsbench

@@ -1,0 +1,90 @@
+#ifndef LSBENCH_CORE_WORKLOAD_STREAM_H_
+#define LSBENCH_CORE_WORKLOAD_STREAM_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "core/run_spec.h"
+#include "util/random.h"
+#include "workload/arrival.h"
+#include "workload/generator.h"
+#include "workload/operation.h"
+
+namespace lsbench {
+
+/// Stage 1 of the execution core: turns a RunSpec's phase sequence into a
+/// paced operation stream for one worker. Owns phase-transition blending
+/// (the old phase's generator fades out per the configured ramp), arrival
+/// pacing (open-loop intended arrivals vs. closed-loop issue-on-completion),
+/// and the per-phase RNG forking discipline.
+///
+/// Determinism contract: a WorkloadStream seeded with `Rng(spec.seed)` and
+/// rate_scale 1.0 reproduces the historical monolithic driver's draw
+/// sequence bit-for-bit — generator seeds fork as `root.Fork(phase*2 + 1)`,
+/// the blend/arrival stream as `root.Fork(phase*2 + 2)`, in that order, and
+/// each operation consumes draws in the fixed order (blend?, op, inter-
+/// arrival). Additional workers seed disjoint streams from further forks of
+/// the run seed, so enabling fan-out never perturbs worker 0.
+class WorkloadStream {
+ public:
+  /// `spec` must outlive the stream. `root` is this worker's RNG root;
+  /// `rate_scale` divides open-loop arrival rates across workers (1/N so N
+  /// workers still present the spec's aggregate offered load).
+  WorkloadStream(const RunSpec* spec, Rng root, double rate_scale);
+
+  WorkloadStream(const WorkloadStream&) = delete;
+  WorkloadStream& operator=(const WorkloadStream&) = delete;
+  WorkloadStream(WorkloadStream&&) = default;
+
+  /// Enters phase `phase_idx` with this worker's share of the phase's
+  /// operations and transition window. `now_rel_nanos` re-anchors open-loop
+  /// pacing at the current run-relative time (matching the monolith, which
+  /// reset intended arrivals at each phase start).
+  void BeginPhase(size_t phase_idx, uint64_t num_operations,
+                  uint64_t transition_operations, int64_t now_rel_nanos);
+
+  /// Whether the current phase still has operations to issue.
+  bool HasNext() const { return issued_ < phase_ops_; }
+
+  /// One issued operation and when it is intended to start (run-relative).
+  struct Issue {
+    Operation op;
+    int64_t arrival_rel_nanos = 0;
+    /// Closed-loop issues have no intended arrival of their own (they start
+    /// at the previous completion); open-loop issues are paced.
+    bool open_loop = false;
+  };
+
+  /// Draws the next operation of the current phase. Requires HasNext().
+  Issue Next();
+
+  /// Feeds back the completion time of the last issued operation —
+  /// closed-loop pacing issues the next operation at this instant.
+  void RecordCompletion(int64_t completion_rel_nanos) {
+    last_completion_rel_ = completion_rel_nanos;
+  }
+
+ private:
+  const RunSpec* spec_;
+  Rng root_;
+  double rate_scale_;
+
+  // Current-phase state.
+  size_t phase_idx_ = 0;
+  uint64_t phase_ops_ = 0;
+  uint64_t transition_ops_ = 0;
+  uint64_t issued_ = 0;
+  bool blend_ = false;
+  std::unique_ptr<OperationGenerator> generator_;
+  std::unique_ptr<OperationGenerator> prev_generator_;
+  std::unique_ptr<ArrivalProcess> arrival_;
+  Rng mix_rng_;
+
+  // Pacing state (persists across phases, like the monolith's locals).
+  int64_t intended_rel_ = 0;
+  int64_t last_completion_rel_ = 0;
+};
+
+}  // namespace lsbench
+
+#endif  // LSBENCH_CORE_WORKLOAD_STREAM_H_

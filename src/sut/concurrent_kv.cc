@@ -1,0 +1,154 @@
+#include "sut/concurrent_kv.h"
+
+#include <algorithm>
+
+#include "util/assert.h"
+
+namespace lsbench {
+
+namespace {
+constexpr size_t kScanChunk = 1024;
+}  // namespace
+
+PartitionedKvSystem::PartitionedKvSystem(size_t partitions, int fanout)
+    : fanout_(fanout) {
+  LSBENCH_ASSERT(partitions > 0);
+  shards_.reserve(partitions);
+  for (size_t i = 0; i < partitions; ++i) {
+    shards_.push_back(std::make_unique<Shard>(fanout_));
+  }
+  shard_lower_.assign(partitions, 0);
+}
+
+std::string PartitionedKvSystem::name() const {
+  return "partitioned_kv_system(p=" + std::to_string(shards_.size()) + ")";
+}
+
+size_t PartitionedKvSystem::ShardFor(Key key) const {
+  // Last shard whose lower bound is <= key. shard_lower_[0] == 0, so the
+  // iterator is never begin().
+  const auto it =
+      std::upper_bound(shard_lower_.begin(), shard_lower_.end(), key);
+  return static_cast<size_t>(it - shard_lower_.begin()) - 1;
+}
+
+Status PartitionedKvSystem::Load(const std::vector<KeyValue>& sorted_pairs) {
+  const size_t partitions = shards_.size();
+  const size_t n = sorted_pairs.size();
+
+  // Equi-count split keys: shard i owns keys in
+  // [shard_lower_[i], shard_lower_[i + 1]).
+  shard_lower_.assign(partitions, 0);
+  for (size_t i = 1; i < partitions; ++i) {
+    const size_t split = i * n / partitions;
+    shard_lower_[i] =
+        split < n ? sorted_pairs[split].first : shard_lower_[i - 1];
+  }
+
+  std::vector<KeyValue> slice;
+  size_t begin = 0;
+  for (size_t i = 0; i < partitions; ++i) {
+    size_t end = n;
+    if (i + 1 < partitions) {
+      const auto it = std::lower_bound(
+          sorted_pairs.begin() + static_cast<ptrdiff_t>(begin),
+          sorted_pairs.end(), shard_lower_[i + 1],
+          [](const KeyValue& kv, Key k) { return kv.first < k; });
+      end = static_cast<size_t>(it - sorted_pairs.begin());
+    }
+    slice.assign(sorted_pairs.begin() + static_cast<ptrdiff_t>(begin),
+                 sorted_pairs.begin() + static_cast<ptrdiff_t>(end));
+    std::lock_guard<std::mutex> lock(shards_[i]->mu);
+    shards_[i]->tree.BulkLoad(slice);
+    begin = end;
+  }
+  return Status::OK();
+}
+
+OpResult PartitionedKvSystem::Execute(const Operation& op) {
+  OpResult result;
+  switch (op.type) {
+    case OpType::kGet: {
+      Shard& shard = *shards_[ShardFor(op.key)];
+      std::lock_guard<std::mutex> lock(shard.mu);
+      const auto v = shard.tree.Get(op.key);
+      result.ok = v.has_value();
+      result.rows = result.ok ? 1 : 0;
+      break;
+    }
+    case OpType::kInsert:
+    case OpType::kUpdate: {
+      Shard& shard = *shards_[ShardFor(op.key)];
+      std::lock_guard<std::mutex> lock(shard.mu);
+      shard.tree.Insert(op.key, op.value);
+      result.ok = true;
+      result.rows = 1;
+      break;
+    }
+    case OpType::kDelete: {
+      Shard& shard = *shards_[ShardFor(op.key)];
+      std::lock_guard<std::mutex> lock(shard.mu);
+      result.ok = shard.tree.Erase(op.key);
+      result.rows = result.ok ? 1 : 0;
+      break;
+    }
+    case OpType::kScan: {
+      // Walk consecutive partitions, locking one at a time, until the scan
+      // limit is met or the key space is exhausted.
+      std::vector<KeyValue> out;
+      out.reserve(op.scan_length);
+      Key cursor = op.key;
+      for (size_t i = ShardFor(op.key);
+           i < shards_.size() && out.size() < op.scan_length; ++i) {
+        Shard& shard = *shards_[i];
+        std::lock_guard<std::mutex> lock(shard.mu);
+        shard.tree.Scan(cursor, op.scan_length - out.size(), &out);
+      }
+      result.ok = true;
+      result.rows = out.size();
+      break;
+    }
+    case OpType::kRangeCount: {
+      uint64_t count = 0;
+      std::vector<KeyValue> chunk;
+      bool done = false;
+      for (size_t i = ShardFor(op.key); i < shards_.size() && !done; ++i) {
+        Shard& shard = *shards_[i];
+        std::lock_guard<std::mutex> lock(shard.mu);
+        Key cursor = std::max(op.key, shard_lower_[i]);
+        while (!done) {
+          chunk.clear();
+          const size_t got = shard.tree.Scan(cursor, kScanChunk, &chunk);
+          if (got == 0) break;
+          for (const auto& [k, v] : chunk) {
+            (void)v;
+            if (k > op.range_end) {
+              done = true;
+              break;
+            }
+            ++count;
+          }
+          if (done || got < kScanChunk) break;
+          const Key last = chunk.back().first;
+          if (last == ~Key{0}) break;
+          cursor = last + 1;
+        }
+      }
+      result.ok = true;
+      result.rows = count;
+      break;
+    }
+  }
+  return result;
+}
+
+SutStats PartitionedKvSystem::GetStats() const {
+  SutStats stats;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    stats.memory_bytes += shard->tree.MemoryBytes();
+  }
+  return stats;
+}
+
+}  // namespace lsbench

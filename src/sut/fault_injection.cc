@@ -1,8 +1,17 @@
 #include "sut/fault_injection.h"
 
+#include <utility>
+
 #include "util/assert.h"
 
 namespace lsbench {
+
+namespace {
+
+/// Stream tag separating per-lane fault forks from every other fork family.
+constexpr uint64_t kLaneStreamTag = 0x1a9e0000ULL;
+
+}  // namespace
 
 bool operator==(const FaultWindow& a, const FaultWindow& b) {
   return a.phase == b.phase && a.execute_fail_rate == b.execute_fail_rate &&
@@ -32,12 +41,25 @@ const FaultWindow* FaultPlan::WindowForPhase(int phase) const {
 FaultInjectingSut::FaultInjectingSut(SystemUnderTest* inner, FaultPlan plan,
                                      const Clock* clock,
                                      VirtualClock* virtual_clock)
-    : inner_(inner),
-      plan_(std::move(plan)),
-      clock_(clock != nullptr ? clock : &default_clock_),
-      virtual_clock_(virtual_clock),
-      phase_rng_(PhaseRng(0)) {
+    : inner_(inner), plan_(std::move(plan)) {
   LSBENCH_ASSERT(inner != nullptr);
+  LaneClocks lane0;
+  lane0.clock = clock != nullptr ? clock : &default_clock_;
+  lane0.virtual_clock = virtual_clock;
+  lanes_.push_back(lane0);
+  lane_rngs_.push_back(LaneRng(0, 0));
+}
+
+void FaultInjectingSut::ConfigureLanes(std::vector<LaneClocks> lanes) {
+  LSBENCH_ASSERT(!lanes.empty());
+  for (LaneClocks& lane : lanes) {
+    if (lane.clock == nullptr) lane.clock = &default_clock_;
+  }
+  lanes_ = std::move(lanes);
+  lane_rngs_.clear();
+  for (size_t lane = 0; lane < lanes_.size(); ++lane) {
+    lane_rngs_.push_back(LaneRng(current_phase_, lane));
+  }
 }
 
 Rng FaultInjectingSut::PhaseRng(int phase) const {
@@ -46,14 +68,21 @@ Rng FaultInjectingSut::PhaseRng(int phase) const {
   return Rng(plan_.seed).Fork(static_cast<uint64_t>(phase) + 0x0fa171u);
 }
 
-void FaultInjectingSut::BurnNanos(int64_t nanos) {
+Rng FaultInjectingSut::LaneRng(int phase, size_t lane) const {
+  const Rng base = PhaseRng(phase);
+  if (lane == 0) return base;
+  return base.Fork(kLaneStreamTag + lane);
+}
+
+void FaultInjectingSut::BurnNanos(size_t lane, int64_t nanos) {
   if (nanos <= 0) return;
-  if (virtual_clock_ != nullptr) {
-    virtual_clock_->AdvanceNanos(nanos);
+  const LaneClocks& clocks = lanes_[lane];
+  if (clocks.virtual_clock != nullptr) {
+    clocks.virtual_clock->AdvanceNanos(nanos);
     return;
   }
-  const int64_t until = clock_->NowNanos() + nanos;
-  while (clock_->NowNanos() < until) {
+  const int64_t until = clocks.clock->NowNanos() + nanos;
+  while (clocks.clock->NowNanos() < until) {
     // Spin: injected latency must be observable in real-clock runs.
   }
 }
@@ -61,7 +90,7 @@ void FaultInjectingSut::BurnNanos(int64_t nanos) {
 Status FaultInjectingSut::Load(const std::vector<KeyValue>& sorted_pairs) {
   ++load_attempts_;
   if (load_attempts_ <= plan_.load_failures) {
-    ++stats_.failed_loads;
+    stats_.failed_loads.fetch_add(1, std::memory_order_relaxed);
     return Status::IoError("injected fault: load I/O error (attempt " +
                            std::to_string(load_attempts_) + ")");
   }
@@ -71,11 +100,11 @@ Status FaultInjectingSut::Load(const std::vector<KeyValue>& sorted_pairs) {
 TrainReport FaultInjectingSut::Train() {
   const FaultWindow* w = plan_.WindowForPhase(current_phase_);
   if (w != nullptr && w->train_hang_nanos > 0) {
-    ++stats_.hung_trains;
-    BurnNanos(w->train_hang_nanos);
+    stats_.hung_trains.fetch_add(1, std::memory_order_relaxed);
+    BurnNanos(0, w->train_hang_nanos);
   }
   if (w != nullptr && w->fail_train) {
-    ++stats_.failed_trains;
+    stats_.failed_trains.fetch_add(1, std::memory_order_relaxed);
     TrainReport report;
     report.status = Status::Unavailable("injected fault: training failed");
     return report;
@@ -84,22 +113,28 @@ TrainReport FaultInjectingSut::Train() {
 }
 
 OpResult FaultInjectingSut::Execute(const Operation& op) {
+  return ExecuteLane(0, op);
+}
+
+OpResult FaultInjectingSut::ExecuteLane(size_t lane, const Operation& op) {
+  LSBENCH_ASSERT(lane < lanes_.size());
   const FaultWindow* w = plan_.WindowForPhase(current_phase_);
   if (w != nullptr) {
+    Rng& rng = lane_rngs_[lane];
     // Fixed draw order per operation keeps the decision stream stable
     // across plans that enable different subsets of fault kinds.
-    const double u_fail = phase_rng_.NextDouble();
-    const double u_spike = phase_rng_.NextDouble();
-    const double u_stall = phase_rng_.NextDouble();
+    const double u_fail = rng.NextDouble();
+    const double u_spike = rng.NextDouble();
+    const double u_stall = rng.NextDouble();
     if (w->stall_rate > 0.0 && u_stall < w->stall_rate) {
-      ++stats_.injected_stalls;
-      BurnNanos(w->stall_nanos);
+      stats_.injected_stalls.fetch_add(1, std::memory_order_relaxed);
+      BurnNanos(lane, w->stall_nanos);
     } else if (w->latency_spike_rate > 0.0 && u_spike < w->latency_spike_rate) {
-      ++stats_.injected_spikes;
-      BurnNanos(w->latency_spike_nanos);
+      stats_.injected_spikes.fetch_add(1, std::memory_order_relaxed);
+      BurnNanos(lane, w->latency_spike_nanos);
     }
     if (w->execute_fail_rate > 0.0 && u_fail < w->execute_fail_rate) {
-      ++stats_.injected_failures;
+      stats_.injected_failures.fetch_add(1, std::memory_order_relaxed);
       OpResult result;
       result.status = Status(w->execute_fail_code, "injected fault");
       return result;
@@ -110,8 +145,25 @@ OpResult FaultInjectingSut::Execute(const Operation& op) {
 
 void FaultInjectingSut::OnPhaseStart(int phase_index, bool holdout) {
   current_phase_ = phase_index;
-  phase_rng_ = PhaseRng(phase_index);
+  for (size_t lane = 0; lane < lane_rngs_.size(); ++lane) {
+    lane_rngs_[lane] = LaneRng(phase_index, lane);
+  }
   inner_->OnPhaseStart(phase_index, holdout);
+}
+
+FaultStats FaultInjectingSut::fault_stats() const {
+  FaultStats snapshot;
+  snapshot.injected_failures =
+      stats_.injected_failures.load(std::memory_order_relaxed);
+  snapshot.injected_spikes =
+      stats_.injected_spikes.load(std::memory_order_relaxed);
+  snapshot.injected_stalls =
+      stats_.injected_stalls.load(std::memory_order_relaxed);
+  snapshot.failed_loads = stats_.failed_loads.load(std::memory_order_relaxed);
+  snapshot.failed_trains =
+      stats_.failed_trains.load(std::memory_order_relaxed);
+  snapshot.hung_trains = stats_.hung_trains.load(std::memory_order_relaxed);
+  return snapshot;
 }
 
 }  // namespace lsbench

@@ -1,6 +1,8 @@
 #ifndef LSBENCH_SUT_FAULT_INJECTION_H_
 #define LSBENCH_SUT_FAULT_INJECTION_H_
 
+#include <atomic>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -22,38 +24,86 @@ namespace lsbench {
 /// and busy-waits on the real clock otherwise, so spikes and stalls are
 /// visible to the driver's timestamps either way. The wrapper is
 /// transparent: name() and GetStats() pass through to the inner system.
+///
+/// Concurrency: the injector fans out to *lanes*. Each lane owns a seeded
+/// fault stream (forked per phase, lane 0 identical to the historical
+/// single-stream injector) and the clock pair it burns injected latency
+/// against. Distinct lanes may execute concurrently — stats counters are
+/// atomic and lanes share no mutable state — provided each thread sticks
+/// to its own lane and the inner system is itself thread-safe (the driver
+/// wraps serial systems in SerializingSut before fanning out). Execute()
+/// is lane 0; multi-worker drivers call ExecuteLane(worker, op).
 class FaultInjectingSut final : public SystemUnderTest {
  public:
+  /// The clocks one lane burns injected latency against. In simulation
+  /// mode each worker advances a private VirtualClock, so each lane needs
+  /// its worker's pair.
+  struct LaneClocks {
+    const Clock* clock = nullptr;
+    VirtualClock* virtual_clock = nullptr;
+  };
+
   /// `inner` and `clock` must outlive the wrapper; nullptr `clock` selects
   /// an internal RealClock. Pass the driver's VirtualClock as both `clock`
-  /// and `virtual_clock` for simulation runs.
+  /// and `virtual_clock` for simulation runs. Starts with a single lane
+  /// (lane 0) bound to these clocks.
   explicit FaultInjectingSut(SystemUnderTest* inner, FaultPlan plan,
                              const Clock* clock = nullptr,
                              VirtualClock* virtual_clock = nullptr);
 
+  /// Rebinds the lane table for a multi-worker run: lane w uses
+  /// `lanes[w]`'s clocks and a per-(phase, lane) forked fault stream.
+  /// Must be called at a quiescent point (no concurrent ExecuteLane).
+  /// Lane 0's stream is unchanged by fan-out.
+  void ConfigureLanes(std::vector<LaneClocks> lanes);
+
+  size_t lane_count() const { return lanes_.size(); }
+
   std::string name() const override { return inner_->name(); }
+  /// As concurrent as the wrapped system: the injector itself is safe for
+  /// concurrent distinct-lane execution.
+  SutConcurrency concurrency() const override {
+    return inner_->concurrency();
+  }
   Status Load(const std::vector<KeyValue>& sorted_pairs) override;
   TrainReport Train() override;
+  /// Equivalent to ExecuteLane(0, op).
   OpResult Execute(const Operation& op) override;
+  /// Executes `op` through lane `lane`'s fault stream and clocks. Safe to
+  /// call concurrently from different threads iff each uses its own lane.
+  OpResult ExecuteLane(size_t lane, const Operation& op);
   void OnPhaseStart(int phase_index, bool holdout) override;
   SutStats GetStats() const override { return inner_->GetStats(); }
 
-  const FaultStats& fault_stats() const { return stats_; }
+  /// Snapshot of what the injector did so far.
+  FaultStats fault_stats() const;
 
  private:
-  /// Consumes `nanos` of time: advances the virtual clock, or spins.
-  void BurnNanos(int64_t nanos);
+  /// Consumes `nanos` of lane time: advances the lane's virtual clock, or
+  /// spins its real clock.
+  void BurnNanos(size_t lane, int64_t nanos);
   Rng PhaseRng(int phase) const;
+  /// Lane 0 is the historical per-phase stream; higher lanes fork further
+  /// so each worker sees an independent, reproducible fault sequence.
+  Rng LaneRng(int phase, size_t lane) const;
 
   SystemUnderTest* inner_;
   FaultPlan plan_;
   RealClock default_clock_;
-  const Clock* clock_;
-  VirtualClock* virtual_clock_;
-  Rng phase_rng_;
+  std::vector<LaneClocks> lanes_;
+  std::vector<Rng> lane_rngs_;
   int current_phase_ = 0;
   uint32_t load_attempts_ = 0;
-  FaultStats stats_;
+
+  struct AtomicFaultStats {
+    std::atomic<uint64_t> injected_failures{0};
+    std::atomic<uint64_t> injected_spikes{0};
+    std::atomic<uint64_t> injected_stalls{0};
+    std::atomic<uint64_t> failed_loads{0};
+    std::atomic<uint64_t> failed_trains{0};
+    std::atomic<uint64_t> hung_trains{0};
+  };
+  AtomicFaultStats stats_;
 };
 
 }  // namespace lsbench

@@ -1,0 +1,67 @@
+#ifndef LSBENCH_SUT_SERIALIZING_H_
+#define LSBENCH_SUT_SERIALIZING_H_
+
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "sut/sut.h"
+#include "util/assert.h"
+
+namespace lsbench {
+
+/// Decorator that makes a serial SystemUnderTest safe to drive from many
+/// workers by serializing every entry point behind one mutex — the
+/// driver-side "external lock" fallback of the SUT concurrency contract.
+/// Every pre-existing (serial) SUT keeps running under `workers > 1`
+/// unchanged; it just cannot scale, which is itself a faithful measurement
+/// of a serial system under concurrent offered load.
+class SerializingSut final : public SystemUnderTest {
+ public:
+  /// `inner` must outlive the wrapper.
+  explicit SerializingSut(SystemUnderTest* inner) : inner_(inner) {
+    LSBENCH_ASSERT(inner != nullptr);
+  }
+
+  std::string name() const override {
+    std::lock_guard<std::mutex> lock(mu_);
+    return inner_->name();
+  }
+
+  SutConcurrency concurrency() const override {
+    return SutConcurrency::kThreadSafe;
+  }
+
+  Status Load(const std::vector<KeyValue>& sorted_pairs) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    return inner_->Load(sorted_pairs);
+  }
+
+  TrainReport Train() override {
+    std::lock_guard<std::mutex> lock(mu_);
+    return inner_->Train();
+  }
+
+  OpResult Execute(const Operation& op) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    return inner_->Execute(op);
+  }
+
+  void OnPhaseStart(int phase_index, bool holdout) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    inner_->OnPhaseStart(phase_index, holdout);
+  }
+
+  SutStats GetStats() const override {
+    std::lock_guard<std::mutex> lock(mu_);
+    return inner_->GetStats();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  SystemUnderTest* inner_;
+};
+
+}  // namespace lsbench
+
+#endif  // LSBENCH_SUT_SERIALIZING_H_

@@ -42,6 +42,22 @@ struct SutStats {
   double model_error = 0.0;  ///< Implementation-defined model quality signal.
 };
 
+/// What the driver may assume about a SUT's thread-safety. The default is
+/// the conservative contract every pre-existing SUT already satisfies.
+enum class SutConcurrency {
+  /// Execute may only be called from one thread at a time. Under a
+  /// multi-worker run the driver serializes access with an external lock
+  /// (see SerializingSut) — correctness is preserved, throughput won't
+  /// scale.
+  kSerial,
+  /// Execute is safe to call concurrently from many threads. Load, Train,
+  /// and OnPhaseStart are still invoked by a single thread at quiescent
+  /// points (before execution / at phase barriers), but may be called from
+  /// *different* threads across phases, so implementations must not rely
+  /// on thread identity. See docs/ARCHITECTURE.md for the full contract.
+  kThreadSafe,
+};
+
 /// The system-under-test interface. Deliberately minimal (the paper requires
 /// the benchmark to avoid imposing architectural or runtime constraints):
 /// load data, optionally train, execute operations, and receive phase-change
@@ -53,6 +69,10 @@ class SystemUnderTest {
   virtual ~SystemUnderTest() = default;
 
   virtual std::string name() const = 0;
+
+  /// Concurrency capability. Serial by default; thread-safe SUTs opt in to
+  /// let the multi-worker driver fan Execute out without an external lock.
+  virtual SutConcurrency concurrency() const { return SutConcurrency::kSerial; }
 
   /// Replaces the stored data with `sorted_pairs` (ascending unique keys).
   virtual Status Load(const std::vector<KeyValue>& sorted_pairs) = 0;

@@ -3,6 +3,7 @@
 
 #include <chrono>
 #include <cstdint>
+#include <thread>
 
 #include "util/assert.h"
 
@@ -55,6 +56,25 @@ class VirtualClock final : public Clock {
  private:
   int64_t now_nanos_ = 0;
 };
+
+/// Blocks until `clock.NowNanos() >= target_abs_nanos` without burning a
+/// full core: while more than `spin_tail_nanos` remain the thread sleeps
+/// (undershooting by the spin tail so scheduler wake-up jitter lands inside
+/// the spin window), then busy-waits the tail for sub-microsecond accuracy.
+/// This is the only sanctioned blocking-wait primitive — raw sleep_for
+/// outside util/ is banned by lsbench-lint (no-raw-sleep).
+inline void SleepSpinUntil(const Clock& clock, int64_t target_abs_nanos,
+                           int64_t spin_tail_nanos = 100000) {
+  for (;;) {
+    const int64_t remaining = target_abs_nanos - clock.NowNanos();
+    if (remaining <= spin_tail_nanos) break;
+    std::this_thread::sleep_for(
+        std::chrono::nanoseconds(remaining - spin_tail_nanos));
+  }
+  while (clock.NowNanos() < target_abs_nanos) {
+    // Spin the tail: pacing needs sub-microsecond resolution.
+  }
+}
 
 /// Measures elapsed time against a Clock. Restartable.
 class Stopwatch {

@@ -1,0 +1,319 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "core/driver.h"
+#include "core/event_sink.h"
+#include "core/metrics.h"
+#include "core/run_spec.h"
+#include "data/dataset.h"
+#include "sut/concurrent_kv.h"
+#include "sut/serializing.h"
+#include "sut/systems.h"
+
+namespace lsbench {
+namespace {
+
+/// Deterministic two-phase spec for simulated multi-worker runs.
+RunSpec MakeSpec(uint64_t seed, uint32_t workers) {
+  RunSpec spec;
+  spec.name = "conc_" + std::to_string(seed) + "_w" + std::to_string(workers);
+  spec.seed = seed;
+  DatasetOptions options;
+  options.num_keys = 4000;
+  options.seed = seed;
+  spec.datasets.push_back(GenerateDataset(UniformUnit(), options));
+  options.seed = seed + 1;
+  spec.datasets.push_back(GenerateDataset(GaussianUnit(0.4, 0.1), options));
+
+  PhaseSpec p0;
+  p0.name = "reads";
+  p0.dataset_index = 0;
+  p0.mix = OperationMix::ReadMostly();
+  p0.num_operations = 1500;
+  spec.phases.push_back(p0);
+
+  PhaseSpec p1;
+  p1.name = "mixed";
+  p1.dataset_index = 1;
+  p1.mix = OperationMix::ReadWrite();
+  p1.num_operations = 1500;
+  p1.transition_in = TransitionKind::kLinear;
+  p1.transition_operations = 400;
+  spec.phases.push_back(p1);
+
+  spec.interval_nanos = 100000000;
+  spec.boxplot_sample_nanos = 10000000;
+  spec.execution.workers = workers;
+  return spec;
+}
+
+RunResult RunSimulated(const RunSpec& spec, SystemUnderTest* sut) {
+  VirtualClock clock;
+  DriverOptions options;
+  options.virtual_clock = &clock;
+  BenchmarkDriver driver(&clock, options);
+  const Result<RunResult> result = driver.Run(spec, sut);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  return result.value();
+}
+
+void ExpectIdenticalStreams(const EventStream& a, const EventStream& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].timestamp_nanos, b[i].timestamp_nanos) << "event " << i;
+    EXPECT_EQ(a[i].latency_nanos, b[i].latency_nanos) << "event " << i;
+    EXPECT_EQ(a[i].phase, b[i].phase) << "event " << i;
+    EXPECT_EQ(a[i].type, b[i].type) << "event " << i;
+    EXPECT_EQ(a[i].ok, b[i].ok) << "event " << i;
+    EXPECT_EQ(a[i].rows, b[i].rows) << "event " << i;
+    EXPECT_EQ(a[i].retries, b[i].retries) << "event " << i;
+    EXPECT_EQ(a[i].failed, b[i].failed) << "event " << i;
+    EXPECT_EQ(a[i].worker, b[i].worker) << "event " << i;
+    EXPECT_EQ(a[i].seq, b[i].seq) << "event " << i;
+  }
+}
+
+class ConcurrencyTest : public ::testing::Test {
+ protected:
+  void SetUp() override { BenchmarkDriver::ResetHoldoutRegistryForTesting(); }
+};
+
+TEST_F(ConcurrencyTest, WorkerShareSplitsExactly) {
+  for (uint64_t total : {0ull, 1ull, 7ull, 100ull, 4097ull}) {
+    for (uint32_t workers : {1u, 2u, 3u, 4u, 16u}) {
+      uint64_t sum = 0;
+      for (uint32_t w = 0; w < workers; ++w) {
+        const uint64_t share = WorkerShare(total, workers, w);
+        EXPECT_LE(share, total / workers + 1);
+        sum += share;
+      }
+      EXPECT_EQ(sum, total) << total << "/" << workers;
+    }
+  }
+  // The full total lands on the single worker of a serial run.
+  EXPECT_EQ(WorkerShare(123, 1, 0), 123u);
+}
+
+TEST_F(ConcurrencyTest, MergeOrdersByTimestampWorkerSeq) {
+  EventSink sink0(0);
+  EventSink sink1(1);
+  OpEvent e;
+  e.timestamp_nanos = 200;
+  sink0.Record(e);
+  e.timestamp_nanos = 100;
+  sink1.Record(e);
+  e.timestamp_nanos = 200;  // Ties with sink0's event; worker 1 sorts after.
+  sink1.Record(e);
+
+  std::vector<EventStream> shards;
+  shards.push_back(sink0.TakeEvents());
+  shards.push_back(sink1.TakeEvents());
+  const EventStream merged = MergeEventShards(std::move(shards));
+  ASSERT_EQ(merged.size(), 3u);
+  EXPECT_EQ(merged[0].timestamp_nanos, 100);
+  EXPECT_EQ(merged[0].worker, 1u);
+  EXPECT_EQ(merged[1].worker, 0u);  // Tie at t=200: worker 0 first.
+  EXPECT_EQ(merged[2].worker, 1u);
+  // Seq numbers are per-shard issue order.
+  EXPECT_EQ(merged[0].seq, 0u);
+  EXPECT_EQ(merged[2].seq, 1u);
+}
+
+TEST_F(ConcurrencyTest, SingleShardMergePreservesOrder) {
+  EventSink sink(0);
+  OpEvent e;
+  e.timestamp_nanos = 50;
+  sink.Record(e);
+  e.timestamp_nanos = 10;  // Out of timestamp order on purpose.
+  sink.Record(e);
+  std::vector<EventStream> shards;
+  shards.push_back(sink.TakeEvents());
+  const EventStream merged = MergeEventShards(std::move(shards));
+  ASSERT_EQ(merged.size(), 2u);
+  // A single shard passes through untouched — the serial driver's stream is
+  // never reordered, which is what makes workers=1 bit-identical.
+  EXPECT_EQ(merged[0].timestamp_nanos, 50);
+  EXPECT_EQ(merged[1].timestamp_nanos, 10);
+}
+
+TEST_F(ConcurrencyTest, SerialRunIsDeterministic) {
+  const RunSpec spec = MakeSpec(11, 1);
+  BTreeSystem sut_a;
+  BTreeSystem sut_b;
+  const RunResult a = RunSimulated(spec, &sut_a);
+  const RunResult b = RunSimulated(spec, &sut_b);
+  ExpectIdenticalStreams(a.events, b.events);
+  for (const OpEvent& e : a.events) EXPECT_EQ(e.worker, 0u);
+}
+
+TEST_F(ConcurrencyTest, SimulatedFanOutIsDeterministic) {
+  const RunSpec spec = MakeSpec(12, 4);
+  PartitionedKvSystem sut_a(8);
+  PartitionedKvSystem sut_b(8);
+  const RunResult a = RunSimulated(spec, &sut_a);
+  const RunResult b = RunSimulated(spec, &sut_b);
+  ExpectIdenticalStreams(a.events, b.events);
+
+  // Identical merged metrics, not just identical events.
+  EXPECT_EQ(a.metrics.total_operations, b.metrics.total_operations);
+  EXPECT_EQ(a.metrics.total_sla_violations, b.metrics.total_sla_violations);
+  EXPECT_EQ(a.metrics.overall_latency.count(),
+            b.metrics.overall_latency.count());
+  EXPECT_EQ(a.metrics.overall_latency.sum(), b.metrics.overall_latency.sum());
+  EXPECT_EQ(a.metrics.resilience.failed_operations,
+            b.metrics.resilience.failed_operations);
+
+  // All four workers produced events; merge is globally time-ordered with
+  // contiguous phases.
+  uint32_t seen_workers = 0;
+  for (const OpEvent& e : a.events) seen_workers |= 1u << e.worker;
+  EXPECT_EQ(seen_workers, 0b1111u);
+  for (size_t i = 1; i < a.events.size(); ++i) {
+    EXPECT_GE(a.events[i].timestamp_nanos, a.events[i - 1].timestamp_nanos);
+    EXPECT_GE(a.events[i].phase, a.events[i - 1].phase);
+  }
+  EXPECT_EQ(a.events.size(), 3000u);
+}
+
+TEST_F(ConcurrencyTest, SerialSutIsStripedUnderFanOut) {
+  // A serial SUT (BTreeSystem) under workers > 1 runs behind the driver's
+  // SerializingSut wrapper: the run must complete with every operation
+  // accounted for and per-shard shares matching WorkerShare.
+  const RunSpec spec = MakeSpec(13, 3);
+  BTreeSystem sut;
+  EXPECT_EQ(sut.concurrency(), SutConcurrency::kSerial);
+  const RunResult run = RunSimulated(spec, &sut);
+  ASSERT_EQ(run.events.size(), 3000u);
+
+  std::vector<uint64_t> per_worker(3, 0);
+  for (const OpEvent& e : run.events) {
+    ASSERT_LT(e.worker, 3u);
+    ++per_worker[e.worker];
+  }
+  uint64_t total_ops = 0;
+  for (const PhaseSpec& phase : spec.phases) {
+    total_ops += phase.num_operations;
+  }
+  for (uint32_t w = 0; w < 3; ++w) {
+    uint64_t expect = 0;
+    for (const PhaseSpec& phase : spec.phases) {
+      expect += WorkerShare(phase.num_operations, 3, w);
+    }
+    EXPECT_EQ(per_worker[w], expect) << "worker " << w;
+  }
+  EXPECT_EQ(per_worker[0] + per_worker[1] + per_worker[2], total_ops);
+}
+
+TEST_F(ConcurrencyTest, FanOutWithFaultLanesIsDeterministic) {
+  RunSpec spec = MakeSpec(14, 4);
+  FaultWindow window;
+  window.execute_fail_rate = 0.05;
+  spec.faults.windows.push_back(window);
+  spec.faults.seed = 99;
+  spec.resilience.max_retries = 2;
+
+  PartitionedKvSystem sut_a(8);
+  PartitionedKvSystem sut_b(8);
+  const RunResult a = RunSimulated(spec, &sut_a);
+  const RunResult b = RunSimulated(spec, &sut_b);
+  ExpectIdenticalStreams(a.events, b.events);
+  EXPECT_EQ(a.fault_stats.injected_failures, b.fault_stats.injected_failures);
+  EXPECT_GT(a.fault_stats.injected_failures, 0u);
+  EXPECT_EQ(a.metrics.resilience.total_retries,
+            b.metrics.resilience.total_retries);
+}
+
+TEST_F(ConcurrencyTest, RealClockFanOutRunsToCompletion) {
+  // Actual std::thread fan-out (no virtual clock): small closed-loop run.
+  // This is the path the TSan CI job exercises.
+  RunSpec spec = MakeSpec(15, 4);
+  spec.phases[0].num_operations = 400;
+  spec.phases[1].num_operations = 400;
+  spec.phases[1].transition_operations = 100;
+  PartitionedKvSystem sut(8);
+  EXPECT_EQ(sut.concurrency(), SutConcurrency::kThreadSafe);
+  BenchmarkDriver driver;
+  const Result<RunResult> result = driver.Run(spec, &sut);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const RunResult& run = result.value();
+  EXPECT_EQ(run.events.size(), 800u);
+  for (size_t i = 1; i < run.events.size(); ++i) {
+    EXPECT_GE(run.events[i].timestamp_nanos,
+              run.events[i - 1].timestamp_nanos);
+    EXPECT_GE(run.events[i].phase, run.events[i - 1].phase);
+  }
+}
+
+TEST_F(ConcurrencyTest, SerializingSutReportsThreadSafe) {
+  BTreeSystem inner;
+  SerializingSut wrapped(&inner);
+  EXPECT_EQ(wrapped.concurrency(), SutConcurrency::kThreadSafe);
+  EXPECT_EQ(wrapped.name(), inner.name());
+}
+
+TEST_F(ConcurrencyTest, PartitionedKvMatchesBTreeResults) {
+  // Same spec, same seed, workers=1: the partitioned store must return the
+  // same per-operation results as the reference BTree (it is a pure
+  // sharding of the same ordered map).
+  const RunSpec spec = MakeSpec(16, 1);
+  BTreeSystem btree;
+  PartitionedKvSystem partitioned(8);
+  const RunResult a = RunSimulated(spec, &btree);
+  const RunResult b = RunSimulated(spec, &partitioned);
+  ASSERT_EQ(a.events.size(), b.events.size());
+  for (size_t i = 0; i < a.events.size(); ++i) {
+    EXPECT_EQ(a.events[i].type, b.events[i].type) << "event " << i;
+    EXPECT_EQ(a.events[i].ok, b.events[i].ok) << "event " << i;
+    EXPECT_EQ(a.events[i].rows, b.events[i].rows) << "event " << i;
+  }
+}
+
+TEST_F(ConcurrencyTest, ShardAccumulationCommutesWithMerge) {
+  const RunSpec spec = MakeSpec(17, 4);
+  PartitionedKvSystem sut(8);
+  const RunResult run = RunSimulated(spec, &sut);
+  const int64_t sla = run.metrics.sla_nanos;
+
+  // Whole-stream accumulation...
+  ShardAccumulation whole;
+  for (const OpEvent& e : run.events) whole.Accumulate(e, sla);
+
+  // ...equals per-worker accumulation merged in any order.
+  std::vector<ShardAccumulation> shards(4);
+  for (const OpEvent& e : run.events) shards[e.worker].Accumulate(e, sla);
+  ShardAccumulation merged;
+  for (size_t w = shards.size(); w-- > 0;) merged.Merge(shards[w]);
+
+  EXPECT_EQ(whole.operations, merged.operations);
+  EXPECT_EQ(whole.ok_operations, merged.ok_operations);
+  EXPECT_EQ(whole.sla_violations, merged.sla_violations);
+  EXPECT_EQ(whole.failed_operations, merged.failed_operations);
+  EXPECT_EQ(whole.timeouts, merged.timeouts);
+  EXPECT_EQ(whole.shed_operations, merged.shed_operations);
+  EXPECT_EQ(whole.total_retries, merged.total_retries);
+  EXPECT_EQ(whole.latency.count(), merged.latency.count());
+  EXPECT_EQ(whole.latency.sum(), merged.latency.sum());
+  // And both match the driver's reported totals.
+  EXPECT_EQ(whole.operations, run.metrics.total_operations);
+  EXPECT_EQ(whole.sla_violations, run.metrics.total_sla_violations);
+}
+
+TEST_F(ConcurrencyTest, ExecutionSpecValidation) {
+  RunSpec spec = MakeSpec(18, 1);
+  spec.execution.workers = 0;
+  EXPECT_TRUE(spec.Validate().IsInvalidArgument());
+  spec.execution.workers = 2000;
+  EXPECT_TRUE(spec.Validate().IsInvalidArgument());
+  spec.execution.workers = 4;
+  EXPECT_TRUE(spec.Validate().ok());
+
+  // Worker count is part of the structural identity of a run.
+  const RunSpec one = MakeSpec(18, 1);
+  const RunSpec four = MakeSpec(18, 4);
+  EXPECT_NE(one.StructuralHash(), four.StructuralHash());
+}
+
+}  // namespace
+}  // namespace lsbench

@@ -28,7 +28,8 @@ TEST_P(SpecFilesTest, ShippedSpecParsesAndValidates) {
 }
 
 INSTANTIATE_TEST_SUITE_P(ShippedSpecs, SpecFilesTest,
-                         ::testing::Values("demo_shift.lsb",
+                         ::testing::Values("concurrent_demo.lsb",
+                                           "demo_shift.lsb",
                                            "holdout_eval.lsb",
                                            "resilience_demo.lsb"),
                          [](const ::testing::TestParamInfo<const char*>& param_info) {

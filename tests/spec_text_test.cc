@@ -292,5 +292,30 @@ TEST(SpecTextTest, RejectsBadFaultValues) {
   EXPECT_FALSE(ParseRunSpecText(base + "[faults]\nphase = 9\n").ok());
 }
 
+TEST(SpecTextTest, ParsesExecutionSection) {
+  const std::string base =
+      "[dataset]\nnum_keys = 100\n[phase]\nops = 10\nmix = get:1\n";
+  const Result<RunSpec> parsed =
+      ParseRunSpecText(base + "[execution]\nworkers = 4\n");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed.value().execution.workers, 4u);
+
+  // Absent section -> the serial default.
+  EXPECT_EQ(ParseRunSpecText(base).value().execution.workers, 1u);
+}
+
+TEST(SpecTextTest, RejectsBadExecutionValues) {
+  const std::string base =
+      "[dataset]\nnum_keys = 100\n[phase]\nops = 10\nmix = get:1\n";
+  EXPECT_TRUE(ParseRunSpecText(base + "[execution]\nthreads = 4\n")
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(ParseRunSpecText(base + "[execution]\nworkers = banana\n")
+                  .status()
+                  .IsInvalidArgument());
+  // Validate() rejects a zero worker count.
+  EXPECT_FALSE(ParseRunSpecText(base + "[execution]\nworkers = 0\n").ok());
+}
+
 }  // namespace
 }  // namespace lsbench

@@ -22,6 +22,8 @@ EXPECTED_FAILURES = {
     "fail/unseeded_mt19937.cc": ("no-unseeded-mt19937", 2),
     "fail/report/hash_order.cc": ("unordered-iteration", 1),
     "fail/discarded_status.cc": ("discarded-status", 2),
+    "fail/detached_thread.cc": ("no-detached-thread", 1),
+    "fail/raw_sleep.cc": ("no-raw-sleep", 2),
 }
 
 

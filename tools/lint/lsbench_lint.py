@@ -22,6 +22,11 @@ Rules:
                         code emits hash-order-dependent output.
   discarded-status      a Status/Result-returning call used as a bare
                         expression statement drops the error.
+  no-detached-thread    std::thread::detach() leaks a thread past the
+                        driver's phase barrier; every thread must be joined.
+  no-raw-sleep          this_thread::sleep_for/sleep_until outside util/
+                        bypass the Clock abstraction and burn accuracy;
+                        use SleepSpinUntil (util/clock.h) or a Pacer.
 
 Suppress a finding with an inline comment on the offending line or the line
 directly above it:
@@ -44,6 +49,8 @@ ALL_RULES = (
     "no-unseeded-mt19937",
     "unordered-iteration",
     "discarded-status",
+    "no-detached-thread",
+    "no-raw-sleep",
 )
 
 SOURCE_EXTENSIONS = (".cc", ".cpp", ".cxx", ".h", ".hpp")
@@ -176,6 +183,8 @@ UNSEEDED_MT_RE = re.compile(
     r"\bstd\s*::\s*mt19937(?:_64)?\b"
     r"(?:\s+\w+\s*(?:;|\{\s*\})|\s*(?:\(\s*\)|\{\s*\}))"
 )
+DETACH_RE = re.compile(r"\.\s*detach\s*\(\s*\)")
+RAW_SLEEP_RE = re.compile(r"\bsleep_(?:for|until)\s*\(")
 
 
 def in_util_dir(relpath):
@@ -217,6 +226,16 @@ def check_line_rules(relpath, code_lines):
                 relpath, idx, "no-unseeded-mt19937",
                 "std::mt19937 without an explicit seed is not reproducible; "
                 "pass a seed or use lsbench::Rng"))
+        if DETACH_RE.search(line):
+            findings.append(Finding(
+                relpath, idx, "no-detached-thread",
+                "detached threads outlive the driver's phase barrier and "
+                "race teardown; join every thread"))
+        if RAW_SLEEP_RE.search(line) and not in_util_dir(relpath):
+            findings.append(Finding(
+                relpath, idx, "no-raw-sleep",
+                "raw sleep_for/sleep_until outside util/ bypasses the Clock "
+                "abstraction; use SleepSpinUntil (util/clock.h) or a Pacer"))
     return findings
 
 

@@ -1,0 +1,7 @@
+// Must fire: no-detached-thread (a detached worker outlives the barrier).
+#include <thread>
+
+void FireAndForget() {
+  std::thread worker([] {});
+  worker.detach();
+}

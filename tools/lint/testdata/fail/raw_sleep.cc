@@ -1,0 +1,11 @@
+// Must fire: no-raw-sleep (sleep_for and sleep_until outside util/).
+#include <chrono>
+#include <thread>
+
+void Nap() {
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+}
+
+void NapUntil(std::chrono::steady_clock::time_point deadline) {
+  std::this_thread::sleep_until(deadline);
+}

@@ -1,0 +1,7 @@
+// Same violation as fail/detached_thread.cc, silenced by a suppression.
+#include <thread>
+
+void FireAndForget() {
+  std::thread worker([] {});
+  worker.detach();  // lsbench-lint: allow(no-detached-thread)
+}

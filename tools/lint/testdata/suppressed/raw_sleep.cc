@@ -1,0 +1,12 @@
+// Same violations as fail/raw_sleep.cc, silenced by suppressions.
+#include <chrono>
+#include <thread>
+
+void Nap() {
+  // lsbench-lint: allow(no-raw-sleep)
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+}
+
+void NapUntil(std::chrono::steady_clock::time_point deadline) {
+  std::this_thread::sleep_until(deadline);  // lsbench-lint: allow(no-raw-sleep)
+}

@@ -5,7 +5,7 @@
 //   lsbench_cli <spec-file> [--sut=btree|lsm|rmi|pgm|adaptive|stdcmp]
 //               [--no-holdout-enforcement] [--csv] [--html=PATH]
 //               [--faults=RATE] [--no-faults] [--op-timeout-us=N]
-//               [--retries=N]
+//               [--retries=N] [--workers=N]
 //
 //   --sut               system under test (default btree). "stdcmp" runs
 //                       btree + rmi + adaptive through the comparison
@@ -22,6 +22,8 @@
 //                       healthy baseline of a faulted spec)
 //   --op-timeout-us=N   override the per-op timeout budget (0 disables)
 //   --retries=N         override the max retry count for transient errors
+//   --workers=N         override the execution fan-out ([execution] workers;
+//                       1 reproduces the historical serial driver exactly)
 //
 // See src/core/spec_text.h for the spec file format; sample specs live in
 // specs/.
@@ -67,6 +69,7 @@ int Run(int argc, char** argv) {
   double fault_rate = -1.0;
   int64_t op_timeout_us = -1;
   int retries = -1;
+  int workers = -1;
   std::string html_path;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -86,6 +89,8 @@ int Run(int argc, char** argv) {
       op_timeout_us = std::atoll(arg.c_str() + 16);
     } else if (arg.rfind("--retries=", 0) == 0) {
       retries = std::atoi(arg.c_str() + 10);
+    } else if (arg.rfind("--workers=", 0) == 0) {
+      workers = std::atoi(arg.c_str() + 10);
     } else if (!arg.empty() && arg[0] != '-') {
       spec_path = arg;
     } else {
@@ -127,6 +132,7 @@ int Run(int argc, char** argv) {
   }
   if (op_timeout_us >= 0) spec.resilience.op_timeout_nanos = op_timeout_us * 1000;
   if (retries >= 0) spec.resilience.max_retries = static_cast<uint32_t>(retries);
+  if (workers >= 0) spec.execution.workers = static_cast<uint32_t>(workers);
   if (const Status st = spec.Validate(); !st.ok()) {
     std::fprintf(stderr, "spec error: %s\n", st.ToString().c_str());
     return 1;
