@@ -12,7 +12,7 @@
 #include <cstdio>
 
 #include "bench/bench_common.h"
-#include "report/ascii_chart.h"
+#include "stats/ascii_chart.h"
 #include "report/report.h"
 
 namespace lsbench {

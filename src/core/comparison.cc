@@ -2,7 +2,7 @@
 
 #include <sstream>
 
-#include "report/ascii_chart.h"
+#include "stats/ascii_chart.h"
 #include "util/assert.h"
 #include "util/string_util.h"
 

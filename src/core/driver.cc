@@ -12,6 +12,7 @@
 #include "sut/fault_injection.h"
 #include "sut/serializing.h"
 #include "util/assert.h"
+#include "util/sync.h"
 
 namespace lsbench {
 
@@ -19,10 +20,27 @@ namespace {
 
 /// Process-wide registry of spec hashes whose hold-out phases have already
 /// executed (§V-A: hold-out distributions may only run once). Heap-allocated
-/// and never destroyed (trivial-destruction rule for statics).
-std::unordered_set<uint64_t>& HoldoutRegistry() {
-  static auto* registry = new std::unordered_set<uint64_t>();
+/// and never destroyed (trivial-destruction rule for statics). The set is
+/// process-global mutable state, so it carries its own mutex: two drivers
+/// running concurrently on different threads must not race the check-insert
+/// (the unguarded set was a latent data race the thread-safety pass
+/// surfaced).
+struct HoldoutRegistry {
+  Mutex mu;
+  std::unordered_set<uint64_t> executed LSBENCH_GUARDED_BY(mu);
+};
+
+HoldoutRegistry& Holdouts() {
+  static auto* registry = new HoldoutRegistry();
   return *registry;
+}
+
+/// Atomically records `hash` as executed; returns false if it already was
+/// (the spec must be rejected).
+bool TryClaimHoldout(uint64_t hash) {
+  HoldoutRegistry& registry = Holdouts();
+  MutexLock lock(registry.mu);
+  return registry.executed.insert(hash).second;
 }
 
 /// Stream tag for per-worker RNG roots. Worker 0's root is the master
@@ -149,7 +167,9 @@ BenchmarkDriver::BenchmarkDriver(const Clock* clock, DriverOptions options)
 }
 
 void BenchmarkDriver::ResetHoldoutRegistryForTesting() {
-  HoldoutRegistry().clear();
+  HoldoutRegistry& registry = Holdouts();
+  MutexLock lock(registry.mu);
+  registry.executed.clear();
 }
 
 Result<RunResult> BenchmarkDriver::Run(const RunSpec& spec,
@@ -161,13 +181,11 @@ Result<RunResult> BenchmarkDriver::Run(const RunSpec& spec,
       std::any_of(spec.phases.begin(), spec.phases.end(),
                   [](const PhaseSpec& p) { return p.holdout; });
   if (has_holdout && options_.enforce_holdout_once) {
-    const uint64_t hash = spec.StructuralHash();
-    if (HoldoutRegistry().count(hash) > 0) {
+    if (!TryClaimHoldout(spec.StructuralHash())) {
       return Status::FailedPrecondition(
           "spec '" + spec.name +
           "' contains hold-out phases and has already executed once");
     }
-    HoldoutRegistry().insert(hash);
   }
 
   RunResult result;

@@ -39,7 +39,7 @@ CircuitBreaker::CircuitBreaker(const ResilienceSpec& spec) : spec_(spec) {
 }
 
 bool CircuitBreaker::AllowRequest(int64_t now_nanos) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (state_ == State::kOpen) {
     if (now_nanos < open_until_nanos_) return false;
     state_ = State::kHalfOpen;
@@ -49,7 +49,7 @@ bool CircuitBreaker::AllowRequest(int64_t now_nanos) {
 }
 
 void CircuitBreaker::RecordOutcome(int64_t now_nanos, bool failed) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (state_ == State::kHalfOpen) {
     if (failed) {
       Open(now_nanos);  // A probe failed: back to open, fresh cooldown.
@@ -98,7 +98,7 @@ void CircuitBreaker::Close(int64_t now_nanos) {
 }
 
 int64_t CircuitBreaker::DegradedNanos(int64_t now_nanos) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   int64_t total = degraded_accum_nanos_;
   if (state_ != State::kClosed) total += now_nanos - degraded_since_nanos_;
   return total;

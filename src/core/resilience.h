@@ -2,10 +2,10 @@
 #define LSBENCH_CORE_RESILIENCE_H_
 
 #include <cstdint>
-#include <mutex>
 #include <vector>
 
 #include "util/random.h"
+#include "util/sync.h"
 
 namespace lsbench {
 
@@ -69,8 +69,10 @@ class RetryBackoff {
 /// mutex so a breaker may be shared between workers (the multi-worker
 /// driver normally gives each worker its own instance — that keeps fan-out
 /// deterministic — but the class itself must not be the reason a shared
-/// configuration races). Time comes in through the call sites so it works
-/// identically under VirtualClock.
+/// configuration races). The lock discipline is compiler-proven: every
+/// mutable field is GUARDED_BY(mu_) and Clang Thread Safety Analysis
+/// rejects any unlocked access (util/sync.h). Time comes in through the
+/// call sites so it works identically under VirtualClock.
 class CircuitBreaker {
  public:
   enum class State { kClosed, kOpen, kHalfOpen };
@@ -80,43 +82,43 @@ class CircuitBreaker {
   /// Whether a request may proceed at `now_nanos`. May transition
   /// kOpen -> kHalfOpen when the cooldown has elapsed. Returns false only
   /// while open (the caller sheds the operation).
-  bool AllowRequest(int64_t now_nanos);
+  bool AllowRequest(int64_t now_nanos) LSBENCH_EXCLUDES(mu_);
 
-  void RecordSuccess(int64_t now_nanos);
-  void RecordFailure(int64_t now_nanos);
+  void RecordSuccess(int64_t now_nanos) LSBENCH_EXCLUDES(mu_);
+  void RecordFailure(int64_t now_nanos) LSBENCH_EXCLUDES(mu_);
 
-  State state() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  State state() const LSBENCH_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     return state_;
   }
 
   /// Times the breaker left the closed state (degraded-mode entries).
-  uint64_t open_count() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  uint64_t open_count() const LSBENCH_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     return open_count_;
   }
 
   /// Total nanoseconds spent outside the closed state up to `now_nanos`.
-  int64_t DegradedNanos(int64_t now_nanos) const;
+  int64_t DegradedNanos(int64_t now_nanos) const LSBENCH_EXCLUDES(mu_);
 
  private:
-  void RecordOutcome(int64_t now_nanos, bool failed);
-  void Open(int64_t now_nanos);
-  void Close(int64_t now_nanos);
+  void RecordOutcome(int64_t now_nanos, bool failed) LSBENCH_EXCLUDES(mu_);
+  void Open(int64_t now_nanos) LSBENCH_REQUIRES(mu_);
+  void Close(int64_t now_nanos) LSBENCH_REQUIRES(mu_);
 
-  mutable std::mutex mu_;
-  ResilienceSpec spec_;
-  State state_ = State::kClosed;
+  mutable Mutex mu_;
+  const ResilienceSpec spec_;  ///< Immutable after construction; unguarded.
+  State state_ LSBENCH_GUARDED_BY(mu_) = State::kClosed;
   /// Ring buffer of the last `breaker_window_ops` outcomes (1 = failure).
-  std::vector<uint8_t> window_;
-  size_t window_head_ = 0;
-  size_t window_count_ = 0;
-  uint64_t window_failures_ = 0;
-  int64_t open_until_nanos_ = 0;
-  uint64_t half_open_successes_ = 0;
-  uint64_t open_count_ = 0;
-  int64_t degraded_accum_nanos_ = 0;
-  int64_t degraded_since_nanos_ = 0;
+  std::vector<uint8_t> window_ LSBENCH_GUARDED_BY(mu_);
+  size_t window_head_ LSBENCH_GUARDED_BY(mu_) = 0;
+  size_t window_count_ LSBENCH_GUARDED_BY(mu_) = 0;
+  uint64_t window_failures_ LSBENCH_GUARDED_BY(mu_) = 0;
+  int64_t open_until_nanos_ LSBENCH_GUARDED_BY(mu_) = 0;
+  uint64_t half_open_successes_ LSBENCH_GUARDED_BY(mu_) = 0;
+  uint64_t open_count_ LSBENCH_GUARDED_BY(mu_) = 0;
+  int64_t degraded_accum_nanos_ LSBENCH_GUARDED_BY(mu_) = 0;
+  int64_t degraded_since_nanos_ LSBENCH_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace lsbench

@@ -4,7 +4,7 @@
 #include <string>
 
 #include "data/dataset.h"
-#include "index/kv_index.h"
+#include "util/key_value.h"
 #include "util/status.h"
 
 namespace lsbench {

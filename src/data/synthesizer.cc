@@ -5,7 +5,7 @@
 #include <unordered_set>
 #include <vector>
 
-#include "learned/model.h"
+#include "stats/model.h"
 #include "util/assert.h"
 #include "util/random.h"
 

@@ -1,17 +1,13 @@
 #ifndef LSBENCH_INDEX_KV_INDEX_H_
 #define LSBENCH_INDEX_KV_INDEX_H_
 
-#include <cstdint>
 #include <optional>
 #include <string>
-#include <utility>
 #include <vector>
 
-namespace lsbench {
+#include "util/key_value.h"
 
-using Key = uint64_t;
-using Value = uint64_t;
-using KeyValue = std::pair<Key, Value>;
+namespace lsbench {
 
 /// Ordered key-value index abstraction shared by the traditional (B+-tree,
 /// sorted array, skip list) and learned (RMI, PGM, adaptive) data-access

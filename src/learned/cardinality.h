@@ -6,7 +6,7 @@
 #include <vector>
 
 #include "index/kv_index.h"
-#include "learned/model.h"
+#include "stats/model.h"
 
 namespace lsbench {
 

@@ -2,7 +2,7 @@
 
 #include <algorithm>
 
-#include "learned/model.h"
+#include "stats/model.h"
 #include "util/assert.h"
 #include "util/random.h"
 

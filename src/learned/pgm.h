@@ -6,7 +6,7 @@
 
 #include "index/kv_index.h"
 #include "learned/delta_buffer.h"
-#include "learned/model.h"
+#include "stats/model.h"
 
 namespace lsbench {
 

@@ -1,4 +1,4 @@
-#include "report/ascii_chart.h"
+#include "stats/ascii_chart.h"
 
 #include <algorithm>
 #include <cmath>

@@ -1,5 +1,5 @@
-#ifndef LSBENCH_REPORT_ASCII_CHART_H_
-#define LSBENCH_REPORT_ASCII_CHART_H_
+#ifndef LSBENCH_STATS_ASCII_CHART_H_
+#define LSBENCH_STATS_ASCII_CHART_H_
 
 #include <string>
 #include <vector>
@@ -62,4 +62,4 @@ std::string RenderTable(const std::vector<std::string>& headers,
 
 }  // namespace lsbench
 
-#endif  // LSBENCH_REPORT_ASCII_CHART_H_
+#endif  // LSBENCH_STATS_ASCII_CHART_H_

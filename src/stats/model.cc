@@ -1,4 +1,4 @@
-#include "learned/model.h"
+#include "stats/model.h"
 
 #include <algorithm>
 #include <cmath>

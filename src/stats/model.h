@@ -1,11 +1,11 @@
-#ifndef LSBENCH_LEARNED_MODEL_H_
-#define LSBENCH_LEARNED_MODEL_H_
+#ifndef LSBENCH_STATS_MODEL_H_
+#define LSBENCH_STATS_MODEL_H_
 
 #include <cstddef>
 #include <cstdint>
 #include <vector>
 
-#include "index/kv_index.h"
+#include "util/key_value.h"
 
 namespace lsbench {
 
@@ -58,4 +58,4 @@ class CdfModel {
 
 }  // namespace lsbench
 
-#endif  // LSBENCH_LEARNED_MODEL_H_
+#endif  // LSBENCH_STATS_MODEL_H_

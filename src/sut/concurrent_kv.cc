@@ -58,8 +58,9 @@ Status PartitionedKvSystem::Load(const std::vector<KeyValue>& sorted_pairs) {
     }
     slice.assign(sorted_pairs.begin() + static_cast<ptrdiff_t>(begin),
                  sorted_pairs.begin() + static_cast<ptrdiff_t>(end));
-    std::lock_guard<std::mutex> lock(shards_[i]->mu);
-    shards_[i]->tree.BulkLoad(slice);
+    Shard& shard = *shards_[i];
+    MutexLock lock(shard.mu);
+    shard.tree.BulkLoad(slice);
     begin = end;
   }
   return Status::OK();
@@ -70,7 +71,7 @@ OpResult PartitionedKvSystem::Execute(const Operation& op) {
   switch (op.type) {
     case OpType::kGet: {
       Shard& shard = *shards_[ShardFor(op.key)];
-      std::lock_guard<std::mutex> lock(shard.mu);
+      MutexLock lock(shard.mu);
       const auto v = shard.tree.Get(op.key);
       result.ok = v.has_value();
       result.rows = result.ok ? 1 : 0;
@@ -79,7 +80,7 @@ OpResult PartitionedKvSystem::Execute(const Operation& op) {
     case OpType::kInsert:
     case OpType::kUpdate: {
       Shard& shard = *shards_[ShardFor(op.key)];
-      std::lock_guard<std::mutex> lock(shard.mu);
+      MutexLock lock(shard.mu);
       shard.tree.Insert(op.key, op.value);
       result.ok = true;
       result.rows = 1;
@@ -87,7 +88,7 @@ OpResult PartitionedKvSystem::Execute(const Operation& op) {
     }
     case OpType::kDelete: {
       Shard& shard = *shards_[ShardFor(op.key)];
-      std::lock_guard<std::mutex> lock(shard.mu);
+      MutexLock lock(shard.mu);
       result.ok = shard.tree.Erase(op.key);
       result.rows = result.ok ? 1 : 0;
       break;
@@ -101,7 +102,7 @@ OpResult PartitionedKvSystem::Execute(const Operation& op) {
       for (size_t i = ShardFor(op.key);
            i < shards_.size() && out.size() < op.scan_length; ++i) {
         Shard& shard = *shards_[i];
-        std::lock_guard<std::mutex> lock(shard.mu);
+        MutexLock lock(shard.mu);
         shard.tree.Scan(cursor, op.scan_length - out.size(), &out);
       }
       result.ok = true;
@@ -114,7 +115,7 @@ OpResult PartitionedKvSystem::Execute(const Operation& op) {
       bool done = false;
       for (size_t i = ShardFor(op.key); i < shards_.size() && !done; ++i) {
         Shard& shard = *shards_[i];
-        std::lock_guard<std::mutex> lock(shard.mu);
+        MutexLock lock(shard.mu);
         Key cursor = std::max(op.key, shard_lower_[i]);
         while (!done) {
           chunk.clear();
@@ -144,9 +145,10 @@ OpResult PartitionedKvSystem::Execute(const Operation& op) {
 
 SutStats PartitionedKvSystem::GetStats() const {
   SutStats stats;
-  for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
-    stats.memory_bytes += shard->tree.MemoryBytes();
+  for (const auto& shard_ptr : shards_) {
+    Shard& shard = *shard_ptr;
+    MutexLock lock(shard.mu);
+    stats.memory_bytes += shard.tree.MemoryBytes();
   }
   return stats;
 }

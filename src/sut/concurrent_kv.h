@@ -2,12 +2,12 @@
 #define LSBENCH_SUT_CONCURRENT_KV_H_
 
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "index/btree.h"
 #include "sut/sut.h"
+#include "util/sync.h"
 
 namespace lsbench {
 
@@ -38,8 +38,8 @@ class PartitionedKvSystem final : public SystemUnderTest {
 
  private:
   struct Shard {
-    std::mutex mu;
-    BTree tree;
+    Mutex mu;
+    BTree tree LSBENCH_GUARDED_BY(mu);
     explicit Shard(int fanout) : tree(fanout) {}
   };
 

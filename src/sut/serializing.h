@@ -1,12 +1,12 @@
 #ifndef LSBENCH_SUT_SERIALIZING_H_
 #define LSBENCH_SUT_SERIALIZING_H_
 
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "sut/sut.h"
 #include "util/assert.h"
+#include "util/sync.h"
 
 namespace lsbench {
 
@@ -15,7 +15,9 @@ namespace lsbench {
 /// driver-side "external lock" fallback of the SUT concurrency contract.
 /// Every pre-existing (serial) SUT keeps running under `workers > 1`
 /// unchanged; it just cannot scale, which is itself a faithful measurement
-/// of a serial system under concurrent offered load.
+/// of a serial system under concurrent offered load. The inner pointer is
+/// GUARDED_BY the mutex, so Thread Safety Analysis proves no entry point
+/// can reach the serial system without holding the lock.
 class SerializingSut final : public SystemUnderTest {
  public:
   /// `inner` must outlive the wrapper.
@@ -24,7 +26,7 @@ class SerializingSut final : public SystemUnderTest {
   }
 
   std::string name() const override {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return inner_->name();
   }
 
@@ -33,33 +35,33 @@ class SerializingSut final : public SystemUnderTest {
   }
 
   Status Load(const std::vector<KeyValue>& sorted_pairs) override {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return inner_->Load(sorted_pairs);
   }
 
   TrainReport Train() override {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return inner_->Train();
   }
 
   OpResult Execute(const Operation& op) override {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return inner_->Execute(op);
   }
 
   void OnPhaseStart(int phase_index, bool holdout) override {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     inner_->OnPhaseStart(phase_index, holdout);
   }
 
   SutStats GetStats() const override {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return inner_->GetStats();
   }
 
  private:
-  mutable std::mutex mu_;
-  SystemUnderTest* inner_;
+  mutable Mutex mu_;
+  SystemUnderTest* const inner_ LSBENCH_PT_GUARDED_BY(mu_);
 };
 
 }  // namespace lsbench

@@ -1,0 +1,21 @@
+#ifndef LSBENCH_UTIL_KEY_VALUE_H_
+#define LSBENCH_UTIL_KEY_VALUE_H_
+
+#include <cstdint>
+#include <utility>
+
+namespace lsbench {
+
+/// The key/value vocabulary of the whole benchmark. These live in util/ —
+/// the bottom of the layer DAG — because every layer speaks them: datasets
+/// hold sorted Keys, workloads generate Operations over Keys, indexes and
+/// SUTs store KeyValue pairs. The index *interface* (KvIndex) stays in
+/// index/; only the plain types sit here so that data/ and workload/ never
+/// need an upward include to name a key.
+using Key = uint64_t;
+using Value = uint64_t;
+using KeyValue = std::pair<Key, Value>;
+
+}  // namespace lsbench
+
+#endif  // LSBENCH_UTIL_KEY_VALUE_H_

@@ -1,0 +1,154 @@
+#ifndef LSBENCH_UTIL_SYNC_H_
+#define LSBENCH_UTIL_SYNC_H_
+
+// Capability-annotated synchronization primitives.
+//
+// LSBench's concurrency claims (deterministic multi-worker fan-out, shared
+// circuit breakers, serialized SUT fallback) rest on lock discipline that
+// TSan can only spot-check on the interleavings a test happens to execute.
+// Clang Thread Safety Analysis proves the discipline at compile time: every
+// shared field is declared GUARDED_BY its mutex, every internal helper
+// declares the lock it REQUIRES, and an access outside the lock is a build
+// error under -Wthread-safety (promoted to -Werror by -DLSBENCH_WERROR=ON).
+//
+// Usage:
+//   class Counter {
+//    public:
+//     void Add(int n) {
+//       MutexLock lock(mu_);
+//       total_ += n;
+//     }
+//    private:
+//     mutable Mutex mu_;
+//     int total_ LSBENCH_GUARDED_BY(mu_) = 0;
+//   };
+//
+// The annotations compile to nothing off-Clang (GCC builds are unaffected),
+// and the wrappers are zero-cost: Mutex is exactly a std::mutex, MutexLock
+// exactly a std::lock_guard. Raw std::mutex / std::lock_guard outside this
+// header are banned by lsbench-lint (no-raw-mutex / no-raw-lock) so new
+// concurrent state cannot silently opt out of the proof.
+//
+// See docs/STATIC_ANALYSIS.md for the annotation how-to.
+
+#include <condition_variable>
+#include <mutex>
+
+#if defined(__clang__)
+#define LSBENCH_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define LSBENCH_THREAD_ANNOTATION(x)  // No-op: GCC/MSVC have no TSA.
+#endif
+
+/// Marks a type as a lockable capability ("mutex" names the capability kind
+/// in diagnostics).
+#define LSBENCH_CAPABILITY(x) LSBENCH_THREAD_ANNOTATION(capability(x))
+
+/// Marks an RAII type that acquires in its constructor and releases in its
+/// destructor.
+#define LSBENCH_SCOPED_CAPABILITY LSBENCH_THREAD_ANNOTATION(scoped_lockable)
+
+/// Declares that a field/variable may only be accessed while holding `x`.
+#define LSBENCH_GUARDED_BY(x) LSBENCH_THREAD_ANNOTATION(guarded_by(x))
+
+/// As GUARDED_BY, but for the pointee of a pointer/smart-pointer field.
+#define LSBENCH_PT_GUARDED_BY(x) LSBENCH_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Declares that a function acquires / releases the given capabilities.
+#define LSBENCH_ACQUIRE(...) \
+  LSBENCH_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define LSBENCH_RELEASE(...) \
+  LSBENCH_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define LSBENCH_TRY_ACQUIRE(...) \
+  LSBENCH_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+/// Declares that the caller must already hold the given capabilities.
+#define LSBENCH_REQUIRES(...) \
+  LSBENCH_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Declares that the caller must NOT hold the given capabilities (the
+/// function acquires them itself; catches self-deadlock).
+#define LSBENCH_EXCLUDES(...) \
+  LSBENCH_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Declares a static lock-acquisition order between mutexes.
+#define LSBENCH_ACQUIRED_BEFORE(...) \
+  LSBENCH_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define LSBENCH_ACQUIRED_AFTER(...) \
+  LSBENCH_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+
+/// Declares that a function returns a reference to the given capability.
+#define LSBENCH_RETURN_CAPABILITY(x) \
+  LSBENCH_THREAD_ANNOTATION(lock_returned(x))
+
+/// Escape hatch: disables the analysis for one function. Every use needs a
+/// comment explaining why the proof cannot be expressed.
+#define LSBENCH_NO_THREAD_SAFETY_ANALYSIS \
+  LSBENCH_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace lsbench {
+
+/// Exclusive mutex: a std::mutex the analysis can see. Prefer MutexLock
+/// over manual Lock/Unlock pairs.
+class LSBENCH_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() LSBENCH_ACQUIRE() { mu_.lock(); }
+  void Unlock() LSBENCH_RELEASE() { mu_.unlock(); }
+  bool TryLock() LSBENCH_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+/// RAII lock; the only sanctioned way to hold a Mutex across a scope.
+class LSBENCH_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) LSBENCH_ACQUIRE(mu) : mu_(mu) { mu_.Lock(); }
+  ~MutexLock() LSBENCH_RELEASE() { mu_.Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// Condition variable paired with lsbench::Mutex. Wait atomically releases
+/// the mutex and reacquires it before returning, so the caller's capability
+/// set is unchanged across the call — which is exactly what REQUIRES
+/// expresses.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Blocks until notified. Spurious wakeups happen; callers loop on their
+  /// predicate (or use the predicate overload).
+  void Wait(Mutex& mu) LSBENCH_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
+    cv_.wait(lock);
+    lock.release();
+  }
+
+  /// Blocks until `pred()` holds (evaluated with the mutex held).
+  template <typename Predicate>
+  void Wait(Mutex& mu, Predicate pred) LSBENCH_REQUIRES(mu) {
+    while (!pred()) Wait(mu);
+  }
+
+  void Signal() { cv_.notify_one(); }
+  void SignalAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace lsbench
+
+#endif  // LSBENCH_UTIL_SYNC_H_

@@ -8,7 +8,7 @@
 #include "index/sorted_array.h"
 #include "learned/adaptive.h"
 #include "learned/delta_buffer.h"
-#include "learned/model.h"
+#include "stats/model.h"
 #include "learned/pgm.h"
 #include "learned/rmi.h"
 #include "util/random.h"

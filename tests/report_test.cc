@@ -3,7 +3,7 @@
 #include "core/driver.h"
 #include "core/specialization.h"
 #include "data/dataset.h"
-#include "report/ascii_chart.h"
+#include "stats/ascii_chart.h"
 #include "report/report.h"
 #include "sut/systems.h"
 #include "util/csv.h"

@@ -1,6 +1,6 @@
 #include <gtest/gtest.h>
 
-#include "report/ascii_chart.h"
+#include "stats/ascii_chart.h"
 #include "sut/tco.h"
 
 namespace lsbench {

@@ -8,9 +8,12 @@ import unittest
 
 sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
 
+import layering  # noqa: E402
 import lsbench_lint as lint  # noqa: E402
 
 TESTDATA = os.path.join(os.path.dirname(os.path.abspath(__file__)), "testdata")
+LAYERING_DATA = os.path.join(TESTDATA, "layering")
+LAYERS = layering.Layers.load(layering.DEFAULT_LAYERS)
 
 # fail/ fixture (relative to testdata/) -> rule that must fire in it, with
 # the number of distinct findings expected.
@@ -24,6 +27,8 @@ EXPECTED_FAILURES = {
     "fail/discarded_status.cc": ("discarded-status", 2),
     "fail/detached_thread.cc": ("no-detached-thread", 1),
     "fail/raw_sleep.cc": ("no-raw-sleep", 2),
+    "fail/raw_mutex.cc": ("no-raw-mutex", 2),
+    "fail/raw_lock.cc": ("no-raw-lock", 2),
 }
 
 
@@ -120,6 +125,21 @@ class EngineUnitTests(unittest.TestCase):
         self.assertEqual(
             [], lint.lint_files(files, rules=("no-getenv",)))
 
+    def test_raw_mutex_allowed_in_sync_header(self):
+        body = "#include <mutex>\nstruct S { std::mutex mu; };\n"
+        flagged = lint.lint_files([("src/core/pool.h", body)])
+        allowed = lint.lint_files([("src/util/sync.h", body)])
+        self.assertEqual(["no-raw-mutex"], [f.rule for f in flagged])
+        self.assertEqual([], allowed)
+
+    def test_raw_lock_allowed_in_sync_header(self):
+        body = "void F(std::mutex& m) { std::lock_guard<std::mutex> l(m); }\n"
+        flagged = lint.lint_files([("src/core/pool.cc", body)])
+        allowed = lint.lint_files([("src/util/sync.h", body)])
+        self.assertEqual(["no-raw-lock", "no-raw-mutex"],
+                         sorted(f.rule for f in flagged))
+        self.assertEqual([], allowed)
+
     def test_getenv_allowed_under_util(self):
         body = "#include <cstdlib>\nconst char* v = std::getenv(\"X\");\n"
         flagged = lint.lint_files([("src/core/a.cc", body)])
@@ -157,6 +177,106 @@ class EngineUnitTests(unittest.TestCase):
         findings = lint.lint_files(
             [("src/a.h", header), ("src/b.cc", impl)])
         self.assertEqual(["discarded-status"], [f.rule for f in findings])
+
+
+def analyze_fixture(name):
+    """Runs the structural layering analysis over one fixture tree."""
+    return layering.analyze_tree(
+        os.path.join(LAYERING_DATA, name, "src"), LAYERS)
+
+
+class LayeringFixtures(unittest.TestCase):
+    def test_pass_tree_is_clean(self):
+        self.assertEqual([], [str(f) for f in analyze_fixture("pass")])
+
+    def test_reversed_core_sut_edge_fires(self):
+        findings = analyze_fixture("cross_layer")
+        self.assertEqual(["layering"], [f.rule for f in findings])
+        finding = findings[0]
+        self.assertEqual("src/sut/bad_reversed.h", finding.path)
+        self.assertIn("'sut' (band 3) must not include 'core/driver_api.h'",
+                      finding.message)
+
+    def test_cycle_fires(self):
+        findings = analyze_fixture("cycle")
+        self.assertEqual(["include-cycle"], [f.rule for f in findings])
+        self.assertIn("core/a.h <-> core/b.h", findings[0].message)
+
+    def test_suppression_silences_layering(self):
+        self.assertEqual([], [str(f) for f in analyze_fixture("suppressed")])
+
+    def test_unknown_module_fires(self):
+        findings = analyze_fixture("unknown")
+        self.assertEqual(["unknown-module"], [f.rule for f in findings])
+
+    def test_real_tree_is_clean(self):
+        repo_root = os.path.dirname(os.path.dirname(os.path.dirname(
+            os.path.abspath(__file__))))
+        findings = layering.analyze_tree(
+            os.path.join(repo_root, "src"), LAYERS)
+        self.assertEqual([], [str(f) for f in findings])
+
+
+class LayersTomlTests(unittest.TestCase):
+    def test_bands_cover_every_src_module(self):
+        repo_root = os.path.dirname(os.path.dirname(os.path.dirname(
+            os.path.abspath(__file__))))
+        src = os.path.join(repo_root, "src")
+        modules = {name for name in os.listdir(src)
+                   if os.path.isdir(os.path.join(src, name))}
+        self.assertEqual(modules, set(LAYERS.bands))
+
+    def test_band_order_matches_architecture_doc(self):
+        ranks = LAYERS.bands
+        self.assertLess(ranks["util"], ranks["stats"])
+        self.assertLess(ranks["workload"], ranks["index"])
+        self.assertLess(ranks["learned"], ranks["sut"])
+        self.assertLess(ranks["sut"], ranks["core"])
+        self.assertLess(ranks["core"], ranks["report"])
+
+
+class UnusedEdgeReport(unittest.TestCase):
+    def test_flags_contributing_nothing(self):
+        import tempfile
+        with tempfile.TemporaryDirectory() as tmp:
+            os.makedirs(os.path.join(tmp, "util"))
+            os.makedirs(os.path.join(tmp, "core"))
+            with open(os.path.join(tmp, "util", "widget.h"), "w") as f:
+                f.write("#ifndef W\n#define W\n"
+                        "namespace x { struct WidgetFrobnicator {}; }\n"
+                        "#endif\n")
+            with open(os.path.join(tmp, "core", "user.cc"), "w") as f:
+                f.write('#include "util/widget.h"\nint main() { return 0; }\n')
+            files = layering.walk_sources(tmp)
+            includes, _ = layering.parse_includes(tmp, files)
+            report = layering.report_unused_edges(tmp, includes)
+            self.assertEqual(1, len(report))
+            self.assertEqual("core/user.cc", report[0][0])
+
+    def test_quiet_when_names_are_used(self):
+        import tempfile
+        with tempfile.TemporaryDirectory() as tmp:
+            os.makedirs(os.path.join(tmp, "util"))
+            os.makedirs(os.path.join(tmp, "core"))
+            with open(os.path.join(tmp, "util", "widget.h"), "w") as f:
+                f.write("namespace x { struct Widget {}; }\n")
+            with open(os.path.join(tmp, "core", "user.cc"), "w") as f:
+                f.write('#include "util/widget.h"\nx::Widget w;\n')
+            files = layering.walk_sources(tmp)
+            includes, _ = layering.parse_includes(tmp, files)
+            self.assertEqual([], layering.report_unused_edges(tmp, includes))
+
+
+class SelfSufficiency(unittest.TestCase):
+    COMPILER = __import__("shutil").which(os.environ.get("CXX", "c++"))
+
+    @unittest.skipIf(COMPILER is None, "no C++ compiler on PATH")
+    def test_good_passes_bad_fails(self):
+        src = os.path.join(LAYERING_DATA, "selfsuff", "src")
+        failures = layering.check_self_sufficiency(
+            src, ["util/good.h", "util/bad.h"], self.COMPILER, "c++20")
+        self.assertEqual(["util/bad.h"], [rel for rel, _ in failures])
+        self.assertTrue(failures[0][1])  # Carries the compiler diagnostic.
 
 
 if __name__ == "__main__":

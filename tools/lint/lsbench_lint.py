@@ -27,6 +27,12 @@ Rules:
   no-raw-sleep          this_thread::sleep_for/sleep_until outside util/
                         bypass the Clock abstraction and burn accuracy;
                         use SleepSpinUntil (util/clock.h) or a Pacer.
+  no-raw-mutex          std::mutex / std::condition_variable outside
+                        util/sync.h dodge the Thread Safety Analysis
+                        annotations; use lsbench::Mutex / CondVar.
+  no-raw-lock           std::lock_guard / unique_lock / scoped_lock outside
+                        util/sync.h hold locks the analysis cannot see;
+                        use lsbench::MutexLock.
 
 Suppress a finding with an inline comment on the offending line or the line
 directly above it:
@@ -51,6 +57,8 @@ ALL_RULES = (
     "discarded-status",
     "no-detached-thread",
     "no-raw-sleep",
+    "no-raw-mutex",
+    "no-raw-lock",
 )
 
 SOURCE_EXTENSIONS = (".cc", ".cpp", ".cxx", ".h", ".hpp")
@@ -185,11 +193,24 @@ UNSEEDED_MT_RE = re.compile(
 )
 DETACH_RE = re.compile(r"\.\s*detach\s*\(\s*\)")
 RAW_SLEEP_RE = re.compile(r"\bsleep_(?:for|until)\s*\(")
+RAW_MUTEX_RE = re.compile(
+    r"\bstd\s*::\s*(?:mutex|timed_mutex|recursive_mutex|"
+    r"recursive_timed_mutex|shared_mutex|shared_timed_mutex|"
+    r"condition_variable(?:_any)?)\b")
+RAW_LOCK_RE = re.compile(
+    r"\bstd\s*::\s*(?:lock_guard|unique_lock|scoped_lock|shared_lock)\b")
 
 
 def in_util_dir(relpath):
     norm = relpath.replace(os.sep, "/")
     return "src/util/" in norm or norm.startswith("util/")
+
+
+def is_sync_header(relpath):
+    """util/sync.h: the one place raw std synchronization may appear — it
+    wraps the raw types in annotated capabilities."""
+    norm = relpath.replace(os.sep, "/")
+    return norm.endswith("util/sync.h")
 
 
 def in_report_scope(relpath):
@@ -236,6 +257,17 @@ def check_line_rules(relpath, code_lines):
                 relpath, idx, "no-raw-sleep",
                 "raw sleep_for/sleep_until outside util/ bypasses the Clock "
                 "abstraction; use SleepSpinUntil (util/clock.h) or a Pacer"))
+        if RAW_MUTEX_RE.search(line) and not is_sync_header(relpath):
+            findings.append(Finding(
+                relpath, idx, "no-raw-mutex",
+                "raw std synchronization primitives outside util/sync.h "
+                "are invisible to Thread Safety Analysis; use "
+                "lsbench::Mutex / CondVar and annotate guarded fields"))
+        if RAW_LOCK_RE.search(line) and not is_sync_header(relpath):
+            findings.append(Finding(
+                relpath, idx, "no-raw-lock",
+                "raw std lock holders outside util/sync.h are invisible to "
+                "Thread Safety Analysis; use lsbench::MutexLock"))
     return findings
 
 

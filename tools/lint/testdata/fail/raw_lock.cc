@@ -1,0 +1,18 @@
+// Must fire: no-raw-lock (std::lock_guard and std::unique_lock outside
+// util/sync.h — the analysis cannot see these lock holders).
+#include <mutex>
+
+struct Mutexish {
+  void lock() {}
+  void unlock() {}
+};
+
+void Locked(Mutexish& mu) {
+  std::lock_guard<Mutexish> lock(mu);
+  (void)lock;
+}
+
+void AlsoLocked(Mutexish& mu) {
+  std::unique_lock<Mutexish> lock(mu);
+  (void)lock;
+}

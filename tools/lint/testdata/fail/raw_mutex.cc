@@ -1,0 +1,10 @@
+// Must fire: no-raw-mutex (std::mutex and std::condition_variable outside
+// util/sync.h — invisible to Thread Safety Analysis).
+#include <condition_variable>
+#include <mutex>
+
+struct Queue {
+  std::mutex mu;
+  std::condition_variable ready;
+  int depth = 0;
+};

@@ -1,0 +1,4 @@
+#ifndef CROSS_CORE_DRIVER_API_H_
+#define CROSS_CORE_DRIVER_API_H_
+namespace fixture { struct DriverApi {}; }
+#endif

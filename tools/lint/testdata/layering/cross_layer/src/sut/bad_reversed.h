@@ -1,0 +1,7 @@
+// A sut/ header reaching up into core/: the reversed core -> sut edge the
+// layer DAG forbids. Must fire: layering.
+#ifndef CROSS_SUT_BAD_REVERSED_H_
+#define CROSS_SUT_BAD_REVERSED_H_
+#include "core/driver_api.h"
+namespace fixture { struct BadSut { DriverApi api; }; }
+#endif

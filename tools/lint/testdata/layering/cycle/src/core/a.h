@@ -1,0 +1,5 @@
+// Half of a file-level include cycle. Must fire: include-cycle.
+#ifndef CYCLE_CORE_A_H_
+#define CYCLE_CORE_A_H_
+#include "core/b.h"
+#endif

@@ -1,0 +1,4 @@
+#ifndef CYCLE_CORE_B_H_
+#define CYCLE_CORE_B_H_
+#include "core/a.h"
+#endif

@@ -1,0 +1,6 @@
+// core -> util is a downward edge: allowed.
+#ifndef PASS_CORE_ENGINE_H_
+#define PASS_CORE_ENGINE_H_
+#include "util/base.h"
+namespace fixture { fixture::Tick Now(); }
+#endif

@@ -1,0 +1,5 @@
+// Bottom of the DAG: includes nothing.
+#ifndef PASS_UTIL_BASE_H_
+#define PASS_UTIL_BASE_H_
+namespace fixture { using Tick = long; }
+#endif

@@ -1,0 +1,5 @@
+// Uses std::string without including <string>: fails standalone.
+#ifndef SELFSUFF_UTIL_BAD_H_
+#define SELFSUFF_UTIL_BAD_H_
+namespace fixture { std::string Broken(); }
+#endif

@@ -1,0 +1,6 @@
+// Carries its own includes: compiles standalone.
+#ifndef SELFSUFF_UTIL_GOOD_H_
+#define SELFSUFF_UTIL_GOOD_H_
+#include <string>
+namespace fixture { std::string Hello(); }
+#endif

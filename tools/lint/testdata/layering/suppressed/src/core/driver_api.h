@@ -1,0 +1,4 @@
+#ifndef SUP_CORE_DRIVER_API_H_
+#define SUP_CORE_DRIVER_API_H_
+namespace fixture { struct DriverApi {}; }
+#endif

@@ -1,0 +1,5 @@
+// plugins/ is not a band in layers.toml. Must fire: unknown-module.
+#ifndef UNKNOWN_PLUGINS_ROGUE_H_
+#define UNKNOWN_PLUGINS_ROGUE_H_
+#include "util/base.h"
+#endif

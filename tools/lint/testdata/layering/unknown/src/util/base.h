@@ -1,0 +1,3 @@
+#ifndef UNKNOWN_UTIL_BASE_H_
+#define UNKNOWN_UTIL_BASE_H_
+#endif

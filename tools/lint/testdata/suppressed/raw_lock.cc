@@ -1,0 +1,18 @@
+// Same violations as fail/raw_lock.cc, silenced by suppressions.
+#include <mutex>
+
+struct Mutexish {
+  void lock() {}
+  void unlock() {}
+};
+
+void Locked(Mutexish& mu) {
+  std::lock_guard<Mutexish> lock(mu);  // lsbench-lint: allow(no-raw-lock)
+  (void)lock;
+}
+
+void AlsoLocked(Mutexish& mu) {
+  // lsbench-lint: allow(no-raw-lock)
+  std::unique_lock<Mutexish> lock(mu);
+  (void)lock;
+}

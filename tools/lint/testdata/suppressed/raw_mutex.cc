@@ -1,0 +1,10 @@
+// Same violations as fail/raw_mutex.cc, silenced by suppressions.
+#include <condition_variable>
+#include <mutex>
+
+struct Queue {
+  std::mutex mu;  // lsbench-lint: allow(no-raw-mutex)
+  // lsbench-lint: allow(no-raw-mutex)
+  std::condition_variable ready;
+  int depth = 0;
+};

@@ -1,0 +1,31 @@
+// Deliberately broken: reads and writes a GUARDED_BY field without holding
+// its mutex. Under Clang with -Wthread-safety -Werror this file MUST fail
+// to compile — the CTest target thread_safety_fixture_bad asserts exactly
+// that (WILL_FAIL). If this ever compiles under the thread-safety flags,
+// the proof layer is dead and the build should say so.
+#include "util/sync.h"
+
+namespace {
+
+class Counter {
+ public:
+  void Add(int n) {
+    total_ += n;  // BAD: mu_ not held.
+  }
+
+  int Total() const {
+    return total_;  // BAD: mu_ not held.
+  }
+
+ private:
+  mutable lsbench::Mutex mu_;
+  int total_ LSBENCH_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.Add(1);
+  return c.Total();
+}

@@ -1,0 +1,35 @@
+// The well-locked twin of bad_guarded_field.cc: every guarded access holds
+// the mutex via MutexLock, an internal helper declares REQUIRES, and the
+// public API declares EXCLUDES. Must compile warning-free under Clang
+// -Wthread-safety -Wthread-safety-beta -Werror (and everywhere else, where
+// the annotations are no-ops).
+#include "util/sync.h"
+
+namespace {
+
+class Counter {
+ public:
+  void Add(int n) LSBENCH_EXCLUDES(mu_) {
+    lsbench::MutexLock lock(mu_);
+    AddLocked(n);
+  }
+
+  int Total() const LSBENCH_EXCLUDES(mu_) {
+    lsbench::MutexLock lock(mu_);
+    return total_;
+  }
+
+ private:
+  void AddLocked(int n) LSBENCH_REQUIRES(mu_) { total_ += n; }
+
+  mutable lsbench::Mutex mu_;
+  int total_ LSBENCH_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.Add(1);
+  return c.Total();
+}
