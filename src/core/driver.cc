@@ -9,6 +9,7 @@
 #include "core/event_sink.h"
 #include "core/executor.h"
 #include "core/workload_stream.h"
+#include "obs/observability.h"
 #include "sut/fault_injection.h"
 #include "sut/serializing.h"
 #include "util/assert.h"
@@ -99,6 +100,10 @@ struct WorkerContext {
   std::optional<ResilientExecutor> executor;
   EventSink sink{0};
   int32_t current_phase = 0;
+  /// Armed only when the spec enables observability (and the build keeps
+  /// hooks). Heap-held: WorkerObs is immovable (it owns a Mutex) while
+  /// WorkerContext lives in a resizable vector.
+  std::unique_ptr<WorkerObs> obs;
 };
 
 /// Drains one worker's current phase: issue, pace, execute resiliently,
@@ -109,9 +114,16 @@ void RunWorkerPhase(WorkerContext* ctx, int64_t run_start_nanos) {
   WorkloadStream& stream = *ctx->stream;
   ResilientExecutor& executor = *ctx->executor;
   const Pacer pacer(ctx->clock, ctx->sim_clock);
+#if !defined(LSBENCH_NO_TRACING)
+  StageProfiler* profiler =
+      ctx->obs != nullptr ? &ctx->obs->profiler : nullptr;
+#endif
   while (stream.HasNext()) {
     const WorkloadStream::Issue issue = stream.Next();
-    pacer.PaceUntil(run_start_nanos + issue.arrival_rel_nanos);
+    {
+      LSBENCH_PROFILE_STAGE(profiler, Stage::kPace);
+      pacer.PaceUntil(run_start_nanos + issue.arrival_rel_nanos);
+    }
 
     const ExecOutcome outcome =
         executor.ExecuteOne(issue.op, issue.arrival_rel_nanos);
@@ -210,11 +222,32 @@ Result<RunResult> BenchmarkDriver::Run(const RunSpec& spec,
     sut = &*fault_wrapper;
   }
 
+  // ---- Observability arming (driver level) ----
+  // The driver's own instruments carry run-scoped work: load/train before
+  // the phases, merge/metrics after, plus the SUT's registry instruments
+  // (the SUT is shared across workers, so it binds into this registry —
+  // its instruments are thread-safe by construction). Workers get private
+  // shards below. Compiled out entirely under LSBENCH_NO_TRACING.
+  const ObservabilitySpec& obs_spec = spec.observability;
+#if !defined(LSBENCH_NO_TRACING)
+  std::unique_ptr<WorkerObs> driver_obs;
+  if (obs_spec.Enabled()) {
+    driver_obs = std::make_unique<WorkerObs>(kDriverTraceWorker);
+    if (obs_spec.profile) driver_obs->profiler.Bind(clock_);
+    if (obs_spec.metrics) sut->BindObservability(&driver_obs->registry);
+  }
+#endif
+
   // ---- Load ----
   {
     Stopwatch watch(clock_);
     LSBENCH_RETURN_IF_ERROR(sut->Load(BuildLoadImage(spec)));
     result.load_seconds = watch.ElapsedSeconds();
+#if !defined(LSBENCH_NO_TRACING)
+    if (driver_obs != nullptr) {
+      driver_obs->profiler.Add(Stage::kLoad, watch.ElapsedNanos());
+    }
+#endif
   }
 
   // ---- Offline training (timed, first-class) ----
@@ -228,10 +261,20 @@ Result<RunResult> BenchmarkDriver::Run(const RunSpec& spec,
     te.ok = report.status.ok();
     if (!te.ok) ++failed_trains;
     if (report.trained || !te.ok) result.train_events.push_back(te);
+#if !defined(LSBENCH_NO_TRACING)
+    if (driver_obs != nullptr) {
+      driver_obs->profiler.Add(Stage::kTrain, te.end_nanos - te.start_nanos);
+    }
+#endif
   }
 
   // ---- Execution ----
   const int64_t run_start = clock_->NowNanos();
+#if !defined(LSBENCH_NO_TRACING)
+  if (driver_obs != nullptr && obs_spec.trace) {
+    driver_obs->tracer.Bind(clock_, run_start);
+  }
+#endif
   const Rng master(spec.seed);
   const bool simulated = options_.virtual_clock != nullptr;
 
@@ -276,6 +319,38 @@ Result<RunResult> BenchmarkDriver::Run(const RunSpec& spec,
                          Pacer(ctx.clock, ctx.sim_clock),
                          root.Fork(kBackoffStreamTag).Next(),
                          spec.resilience.breaker_enabled, exec_options);
+
+#if !defined(LSBENCH_NO_TRACING)
+    // Per-worker observability shard. The hooks only *read* the worker's
+    // clock — they never advance it or draw randomness — so arming them
+    // cannot perturb the operation stream (pinned by test).
+    if (obs_spec.Enabled()) {
+      ctx.obs = std::make_unique<WorkerObs>(w);
+      Tracer* tracer = nullptr;
+      StageProfiler* profiler = nullptr;
+      MetricsRegistry* registry = nullptr;
+      if (obs_spec.trace) {
+        ctx.obs->tracer.Bind(ctx.clock, run_start);
+        ctx.obs->tracer.Reserve(static_cast<size_t>(std::min<uint64_t>(
+            WorkerShare(total_ops, workers, w), uint64_t{1} << 20)));
+        tracer = &ctx.obs->tracer;
+      }
+      if (obs_spec.profile) {
+        ctx.obs->profiler.Bind(ctx.clock);
+        profiler = &ctx.obs->profiler;
+      }
+      if (obs_spec.metrics) registry = &ctx.obs->registry;
+      ctx.stream->BindObservability(
+          profiler, registry != nullptr
+                        ? registry->GetCounter("stream.ops_issued")
+                        : nullptr);
+      ctx.sink.BindObservability(
+          profiler, registry != nullptr
+                        ? registry->GetCounter("sink.events_recorded")
+                        : nullptr);
+      ctx.executor->BindObservability(tracer, profiler, registry);
+    }
+#endif
   }
 
   // Under fan-out, bind one fault lane (with its clocks) per worker.
@@ -302,6 +377,12 @@ Result<RunResult> BenchmarkDriver::Run(const RunSpec& spec,
     for (uint32_t w = 0; w < workers; ++w) {
       WorkerContext& ctx = contexts[w];
       ctx.current_phase = static_cast<int32_t>(phase_idx);
+#if !defined(LSBENCH_NO_TRACING)
+      if (ctx.obs != nullptr) {
+        ctx.obs->tracer.set_phase(static_cast<int32_t>(phase_idx));
+        ctx.obs->profiler.set_phase(static_cast<int32_t>(phase_idx));
+      }
+#endif
       ctx.stream->BeginPhase(
           phase_idx, WorkerShare(phase.num_operations, workers, w),
           WorkerShare(phase.transition_operations, workers, w),
@@ -342,19 +423,42 @@ Result<RunResult> BenchmarkDriver::Run(const RunSpec& spec,
     boundary.end_nanos = clock_->NowNanos() - run_start;
     boundary.operations = phase.num_operations;
     result.boundaries.push_back(boundary);
+
+#if !defined(LSBENCH_NO_TRACING)
+    // Orchestrator-level phase span, recorded from the already-measured
+    // boundary so it costs nothing extra. No-op while the tracer is unbound.
+    if (driver_obs != nullptr) {
+      driver_obs->tracer.set_phase(static_cast<int32_t>(phase_idx));
+      driver_obs->tracer.Record("phase", boundary.start_nanos,
+                                boundary.end_nanos);
+    }
+#endif
   }
 
   // ---- Merge shards ----
+  Stopwatch merge_watch(clock_);
   std::vector<EventStream> shards;
   shards.reserve(workers);
   for (WorkerContext& ctx : contexts) {
     shards.push_back(ctx.sink.TakeEvents());
   }
   result.events = MergeEventShards(std::move(shards));
+#if !defined(LSBENCH_NO_TRACING)
+  if (driver_obs != nullptr) {
+    driver_obs->profiler.set_phase(PhaseStageBreakdown::kRunLevelPhase);
+    driver_obs->profiler.Add(Stage::kMerge, merge_watch.ElapsedNanos());
+  }
+#endif
 
   // ---- Metrics ----
+  Stopwatch metrics_watch(clock_);
   result.metrics = ComputeRunMetrics(result.events, result.boundaries,
                                      MetricsOptions::FromSpec(spec));
+#if !defined(LSBENCH_NO_TRACING)
+  if (driver_obs != nullptr) {
+    driver_obs->profiler.Add(Stage::kMetrics, metrics_watch.ElapsedNanos());
+  }
+#endif
   // Driver-owned resilience state the metric layer cannot derive from the
   // event stream alone.
   result.metrics.resilience.failed_trains = failed_trains;
@@ -368,6 +472,37 @@ Result<RunResult> BenchmarkDriver::Run(const RunSpec& spec,
   }
   result.final_sut_stats = sut->GetStats();
   if (fault_wrapper) result.fault_stats = fault_wrapper->fault_stats();
+
+  // ---- Observability collection ----
+  // Worker shards plus the driver's own shard merge exactly like event
+  // shards: the result is a pure function of shard contents.
+  result.observability.spec = obs_spec;
+#if !defined(LSBENCH_NO_TRACING)
+  if (obs_spec.Enabled()) {
+    std::vector<TraceStream> trace_shards;
+    std::vector<MetricsSnapshot> metric_shards;
+    for (WorkerContext& ctx : contexts) {
+      if (ctx.obs == nullptr) continue;
+      trace_shards.push_back(ctx.obs->tracer.TakeSpans());
+      MergeStageBreakdown(&result.observability.stages,
+                          ctx.obs->profiler.Breakdown());
+      metric_shards.push_back(ctx.obs->registry.Snapshot());
+    }
+    if (driver_obs != nullptr) {
+      trace_shards.push_back(driver_obs->tracer.TakeSpans());
+      MergeStageBreakdown(&result.observability.stages,
+                          driver_obs->profiler.Breakdown());
+      metric_shards.push_back(driver_obs->registry.Snapshot());
+    }
+    if (obs_spec.trace) {
+      result.observability.trace = MergeTraceShards(std::move(trace_shards));
+    }
+    if (obs_spec.metrics) {
+      LSBENCH_ASSIGN_OR_RETURN(result.observability.metrics,
+                               MergeMetricsShards(metric_shards));
+    }
+  }
+#endif
   return result;
 }
 

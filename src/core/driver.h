@@ -9,6 +9,7 @@
 #include "core/metrics.h"
 #include "core/resilience.h"
 #include "core/run_spec.h"
+#include "obs/observability.h"
 #include "sut/fault_plan.h"
 #include "sut/sut.h"
 #include "util/clock.h"
@@ -29,6 +30,10 @@ struct RunResult {
   SutStats final_sut_stats;
   /// What the fault injector did (all zero when the spec has no faults).
   FaultStats fault_stats;
+  /// Merged observability output (trace, metrics snapshot, stage times);
+  /// empty apart from the echoed spec when observability is off or the
+  /// build compiled hooks out (LSBENCH_NO_TRACING).
+  ObsReport observability;
 
   /// Total offline training wall time across train_events, seconds.
   double OfflineTrainSeconds() const;

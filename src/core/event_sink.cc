@@ -1,6 +1,7 @@
 #include "core/event_sink.h"
 
 #include <algorithm>
+#include <sstream>
 #include <utility>
 
 namespace lsbench {
@@ -26,6 +27,19 @@ EventStream MergeEventShards(std::vector<EventStream> shards) {
               return a.seq < b.seq;
             });
   return merged;
+}
+
+std::string SerializeEventStream(const EventStream& events) {
+  std::ostringstream out;
+  out << "# lsbench-events v1 events=" << events.size() << "\n";
+  for (const OpEvent& e : events) {
+    out << e.timestamp_nanos << ' ' << e.latency_nanos << ' ' << e.phase
+        << ' ' << static_cast<int>(e.type) << ' ' << (e.ok ? 1 : 0) << ' '
+        << e.rows << ' ' << e.retries << ' ' << (e.failed ? 1 : 0) << ' '
+        << (e.timed_out ? 1 : 0) << ' ' << (e.shed ? 1 : 0) << ' ' << e.worker
+        << ' ' << e.seq << '\n';
+  }
+  return out.str();
 }
 
 }  // namespace lsbench

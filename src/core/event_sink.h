@@ -2,9 +2,12 @@
 #define LSBENCH_CORE_EVENT_SINK_H_
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "core/events.h"
+#include "obs/metrics_registry.h"
+#include "obs/profile.h"
 
 namespace lsbench {
 
@@ -20,9 +23,19 @@ class EventSink {
 
   /// Records one completed operation, stamping provenance.
   void Record(OpEvent event) {
+    LSBENCH_PROFILE_STAGE(profiler_, Stage::kRecord);
+    if (events_recorded_ != nullptr) events_recorded_->Increment();
     event.worker = worker_;
     event.seq = next_seq_++;
     events_.push_back(event);
+  }
+
+  /// Arms the append profiling hook (Stage::kRecord) and the record
+  /// counter. Either pointer may be null; observing the sink never changes
+  /// what it records.
+  void BindObservability(StageProfiler* profiler, Counter* events_recorded) {
+    profiler_ = profiler;
+    events_recorded_ = events_recorded;
   }
 
   uint32_t worker() const { return worker_; }
@@ -36,6 +49,10 @@ class EventSink {
   uint32_t worker_;
   uint64_t next_seq_ = 0;
   EventStream events_;
+
+  // Observability hooks (null = disabled).
+  StageProfiler* profiler_ = nullptr;
+  Counter* events_recorded_ = nullptr;
 };
 
 /// Merges per-worker event shards into one stream ordered by
@@ -44,6 +61,11 @@ class EventSink {
 /// shards merge identically no matter how threads interleaved. A single
 /// already-ordered shard passes through unchanged.
 EventStream MergeEventShards(std::vector<EventStream> shards);
+
+/// Canonical one-line-per-event text form of a merged stream. Two runs
+/// produced identical event streams iff their serializations are
+/// byte-identical — the representation the determinism tests hash.
+std::string SerializeEventStream(const EventStream& events);
 
 }  // namespace lsbench
 

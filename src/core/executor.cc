@@ -19,6 +19,24 @@ ResilientExecutor::ResilientExecutor(SystemUnderTest* sut,
   if (enable_breaker && spec.breaker_enabled) breaker_.emplace(spec);
 }
 
+void ResilientExecutor::BindObservability(Tracer* tracer,
+                                          StageProfiler* profiler,
+                                          MetricsRegistry* registry) {
+  tracer_ = tracer;
+  profiler_ = profiler;
+  if (registry != nullptr) {
+    attempts_ = registry->GetCounter("executor.attempts");
+    retries_ = registry->GetCounter("executor.retries");
+    timeouts_ = registry->GetCounter("executor.timeouts");
+    shed_ = registry->GetCounter("executor.shed");
+    failures_ = registry->GetCounter("executor.failures");
+    if (breaker_) {
+      breaker_->BindObservability(registry->GetCounter("breaker.opens"),
+                                  registry->GetCounter("breaker.closes"));
+    }
+  }
+}
+
 ExecOutcome ResilientExecutor::ExecuteOne(const Operation& op,
                                           int64_t arrival_rel_nanos) {
   const Clock* clock = pacer_.clock();
@@ -35,14 +53,20 @@ ExecOutcome ResilientExecutor::ExecuteOne(const Operation& op,
       out.shed = true;
       out.failed = true;
       out.result = OpResult();
+      if (shed_ != nullptr) shed_->Increment();
       if (vclock != nullptr) {
         vclock->AdvanceNanos(options_.virtual_shed_nanos);
       }
       break;
     }
-    out.result = sut_->Execute(op);
-    if (vclock != nullptr) {
-      vclock->AdvanceNanos(options_.virtual_service_nanos);
+    {
+      LSBENCH_TRACE_SPAN(tracer_, "execute");
+      LSBENCH_PROFILE_STAGE(profiler_, Stage::kExecute);
+      if (attempts_ != nullptr) attempts_->Increment();
+      out.result = sut_->Execute(op);
+      if (vclock != nullptr) {
+        vclock->AdvanceNanos(options_.virtual_service_nanos);
+      }
     }
     const int64_t now_rel = clock->NowNanos() - options_.run_start_nanos;
     const bool past_deadline = now_rel > deadline_rel;
@@ -56,16 +80,21 @@ ExecOutcome ResilientExecutor::ExecuteOne(const Operation& op,
       // The deadline is spent; retrying cannot deliver in time.
       out.timed_out = true;
       out.failed = true;
+      if (timeouts_ != nullptr) timeouts_->Increment();
       break;
     }
     if (out.result.status.IsTransient() && out.retries < spec_.max_retries) {
       ++out.retries;
+      if (retries_ != nullptr) retries_->Increment();
+      LSBENCH_TRACE_SPAN(tracer_, "backoff");
+      LSBENCH_PROFILE_STAGE(profiler_, Stage::kBackoff);
       pacer_.PaceUntil(clock->NowNanos() + backoff_.NextDelayNanos(out.retries));
       continue;
     }
     out.failed = true;
     break;
   }
+  if (out.failed && failures_ != nullptr) failures_->Increment();
   return out;
 }
 

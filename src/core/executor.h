@@ -5,6 +5,9 @@
 #include <optional>
 
 #include "core/resilience.h"
+#include "obs/metrics_registry.h"
+#include "obs/profile.h"
+#include "obs/trace.h"
 #include "sut/sut.h"
 #include "util/clock.h"
 #include "workload/operation.h"
@@ -83,6 +86,14 @@ class ResilientExecutor {
     return breaker_ ? &*breaker_ : nullptr;
   }
 
+  /// Arms the execute/retry observability hooks: per-attempt spans on
+  /// `tracer`, Stage::kExecute / Stage::kBackoff on `profiler`, and
+  /// attempt/retry/timeout/shed/failure counters from `registry`. Any
+  /// argument may be null. Observing execution never perturbs it — no
+  /// clock writes, no extra RNG draws.
+  void BindObservability(Tracer* tracer, StageProfiler* profiler,
+                         MetricsRegistry* registry);
+
  private:
   SystemUnderTest* sut_;
   ResilienceSpec spec_;
@@ -90,6 +101,16 @@ class ResilientExecutor {
   RetryBackoff backoff_;
   std::optional<CircuitBreaker> breaker_;
   Options options_;
+
+  // Observability hooks (null = disabled). Counters are resolved once at
+  // bind time so the retry loop never touches the registry lock.
+  Tracer* tracer_ = nullptr;
+  StageProfiler* profiler_ = nullptr;
+  Counter* attempts_ = nullptr;
+  Counter* retries_ = nullptr;
+  Counter* timeouts_ = nullptr;
+  Counter* shed_ = nullptr;
+  Counter* failures_ = nullptr;
 };
 
 }  // namespace lsbench

@@ -85,11 +85,13 @@ void CircuitBreaker::Open(int64_t now_nanos) {
   state_ = State::kOpen;
   open_until_nanos_ = now_nanos + spec_.breaker_cooldown_nanos;
   ++open_count_;
+  if (opens_counter_ != nullptr) opens_counter_->Increment();
   half_open_successes_ = 0;
 }
 
 void CircuitBreaker::Close(int64_t now_nanos) {
   state_ = State::kClosed;
+  if (closes_counter_ != nullptr) closes_counter_->Increment();
   degraded_accum_nanos_ += now_nanos - degraded_since_nanos_;
   std::fill(window_.begin(), window_.end(), 0);
   window_head_ = 0;

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "obs/metrics_registry.h"
 #include "util/random.h"
 #include "util/sync.h"
 
@@ -101,6 +102,17 @@ class CircuitBreaker {
   /// Total nanoseconds spent outside the closed state up to `now_nanos`.
   int64_t DegradedNanos(int64_t now_nanos) const LSBENCH_EXCLUDES(mu_);
 
+  /// Arms the registry mirror of the breaker's own tallies: `opens`
+  /// increments on every closed -> open transition, `closes` on every
+  /// return to closed. Either may be null. Counters are lock-free, so
+  /// incrementing them under mu_ cannot deadlock.
+  void BindObservability(Counter* opens, Counter* closes)
+      LSBENCH_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    opens_counter_ = opens;
+    closes_counter_ = closes;
+  }
+
  private:
   void RecordOutcome(int64_t now_nanos, bool failed) LSBENCH_EXCLUDES(mu_);
   void Open(int64_t now_nanos) LSBENCH_REQUIRES(mu_);
@@ -119,6 +131,8 @@ class CircuitBreaker {
   uint64_t open_count_ LSBENCH_GUARDED_BY(mu_) = 0;
   int64_t degraded_accum_nanos_ LSBENCH_GUARDED_BY(mu_) = 0;
   int64_t degraded_since_nanos_ LSBENCH_GUARDED_BY(mu_) = 0;
+  Counter* opens_counter_ LSBENCH_GUARDED_BY(mu_) = nullptr;
+  Counter* closes_counter_ LSBENCH_GUARDED_BY(mu_) = nullptr;
 };
 
 }  // namespace lsbench

@@ -7,6 +7,7 @@
 
 #include "core/resilience.h"
 #include "data/dataset.h"
+#include "obs/observability.h"
 #include "sut/fault_plan.h"
 #include "util/status.h"
 #include "workload/spec.h"
@@ -31,6 +32,18 @@ struct SlaSpec {
 /// event shard, merged deterministically by (timestamp, worker, seq).
 struct ExecutionSpec {
   uint32_t workers = 1;
+};
+
+/// Provenance of one generated dataset: the `[dataset]` section that
+/// produced it. Dataset itself keeps only the generated keys, so without
+/// this record a parsed spec cannot be rendered back to text
+/// (RenderRunSpecText needs the generation parameters, not the keys).
+struct DatasetSourceSpec {
+  std::string kind = "uniform";
+  uint64_t num_keys = 100000;
+  uint64_t seed = 42;
+  double param1 = 0.0;
+  double param2 = 0.0;
 };
 
 /// The complete description of one benchmark run: datasets, the phase
@@ -58,6 +71,15 @@ struct RunSpec {
   ResilienceSpec resilience;
   /// Worker fan-out; defaults to the serial pipeline.
   ExecutionSpec execution;
+  /// Tracing / profiling / metrics export ([observability] section).
+  /// Deliberately excluded from StructuralHash: observing a run must not
+  /// change its identity, and a determinism test pins that the op stream
+  /// is byte-identical with observability on and off.
+  ObservabilitySpec observability;
+  /// Generation provenance for `datasets`, parallel by index when the spec
+  /// came from ParseRunSpecText. May be empty for programmatically built
+  /// specs — then the spec cannot be rendered back to text.
+  std::vector<DatasetSourceSpec> dataset_sources;
 
   /// Structural validation: phases reference valid datasets, lengths are
   /// nonzero, datasets are nonempty.

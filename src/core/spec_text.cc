@@ -1,13 +1,22 @@
 #include "core/spec_text.h"
 
+#include <cerrno>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <limits>
 
 #include "util/string_util.h"
 
 namespace lsbench {
 
 namespace {
+
+/// Upper bound on eagerly generated dataset sizes. Specs are untrusted
+/// input (the fuzz tests feed mutated bytes straight into the parser); a
+/// mangled num_keys must produce an error Status, not a multi-gigabyte
+/// allocation inside BuildDataset.
+constexpr uint64_t kMaxSpecDatasetKeys = uint64_t{1} << 22;
 
 std::string Trim(const std::string& s) {
   size_t begin = 0;
@@ -24,19 +33,57 @@ Result<double> ParseDouble(const std::string& value,
                            const std::string& key) {
   char* end = nullptr;
   const double v = std::strtod(value.c_str(), &end);
-  if (end == value.c_str() || *end != '\0') {
+  // strtod happily accepts "inf"/"nan" (and huge exponents overflow to
+  // inf); a spec number must be finite or every downstream computation is
+  // poisoned.
+  if (end == value.c_str() || *end != '\0' || !std::isfinite(v)) {
     return Status::InvalidArgument("bad number for '" + key + "': " + value);
   }
   return v;
 }
 
 Result<uint64_t> ParseU64(const std::string& value, const std::string& key) {
+  // strtoull silently wraps negatives ("-1" parses as 2^64-1) and saturates
+  // overflow; require pure digits and check ERANGE explicitly.
+  if (value.empty() ||
+      value.find_first_not_of("0123456789") != std::string::npos) {
+    return Status::InvalidArgument("bad integer for '" + key + "': " + value);
+  }
+  errno = 0;
   char* end = nullptr;
   const unsigned long long v = std::strtoull(value.c_str(), &end, 10);
-  if (end == value.c_str() || *end != '\0') {
+  if (end == value.c_str() || *end != '\0' || errno == ERANGE) {
     return Status::InvalidArgument("bad integer for '" + key + "': " + value);
   }
   return static_cast<uint64_t>(v);
+}
+
+/// ParseU64 plus a uint32 range check — for keys the spec structs store
+/// narrow (workers, retries, scan_length, ...), where a silent truncating
+/// cast would accept "4294967297" as 1.
+Result<uint32_t> ParseU32(const std::string& value, const std::string& key) {
+  const Result<uint64_t> v = ParseU64(value, key);
+  if (!v.ok()) return v.status();
+  if (v.value() > std::numeric_limits<uint32_t>::max()) {
+    return Status::InvalidArgument("value out of range for '" + key +
+                                   "': " + value);
+  }
+  return static_cast<uint32_t>(v.value());
+}
+
+/// Parses a duration in coarse units (ms/us) and scales it to nanoseconds,
+/// rejecting values whose scaled form overflows int64.
+Result<int64_t> ParseScaledNanos(const std::string& value,
+                                 const std::string& key, int64_t scale) {
+  const Result<uint64_t> v = ParseU64(value, key);
+  if (!v.ok()) return v.status();
+  const uint64_t limit = static_cast<uint64_t>(
+      std::numeric_limits<int64_t>::max() / scale);
+  if (v.value() > limit) {
+    return Status::InvalidArgument("duration out of range for '" + key +
+                                   "': " + value);
+  }
+  return static_cast<int64_t>(v.value()) * scale;
 }
 
 Result<bool> ParseBool(const std::string& value, const std::string& key) {
@@ -46,9 +93,16 @@ Result<bool> ParseBool(const std::string& value, const std::string& key) {
 }
 
 Result<int64_t> ParseI64(const std::string& value, const std::string& key) {
+  const bool negative = !value.empty() && value.front() == '-';
+  const std::string digits = negative ? value.substr(1) : value;
+  if (digits.empty() ||
+      digits.find_first_not_of("0123456789") != std::string::npos) {
+    return Status::InvalidArgument("bad integer for '" + key + "': " + value);
+  }
+  errno = 0;
   char* end = nullptr;
   const long long v = std::strtoll(value.c_str(), &end, 10);
-  if (end == value.c_str() || *end != '\0') {
+  if (end == value.c_str() || *end != '\0' || errno == ERANGE) {
     return Status::InvalidArgument("bad integer for '" + key + "': " + value);
   }
   return static_cast<int64_t>(v);
@@ -101,6 +155,14 @@ struct DatasetDesc {
 };
 
 Result<Dataset> BuildDataset(const DatasetDesc& desc) {
+  if (desc.num_keys == 0) {
+    return Status::InvalidArgument("dataset num_keys must be > 0");
+  }
+  if (desc.num_keys > kMaxSpecDatasetKeys) {
+    return Status::InvalidArgument(
+        "dataset num_keys too large: " + std::to_string(desc.num_keys) +
+        " (max " + std::to_string(kMaxSpecDatasetKeys) + ")");
+  }
   if (desc.kind == "emails") {
     return GenerateEmailDataset(desc.num_keys, desc.seed);
   }
@@ -118,6 +180,12 @@ Result<Dataset> BuildDataset(const DatasetDesc& desc) {
   } else if (desc.kind == "pareto") {
     dist = MakePareto(desc.param1 > 0 ? desc.param1 : 1.5);
   } else if (desc.kind == "clustered") {
+    // param1 is a cluster count; the cast to int is UB for huge doubles,
+    // so bound it before converting.
+    if (desc.param1 > 65536.0) {
+      return Status::InvalidArgument("clustered param1 (cluster count) too "
+                                     "large");
+    }
     dist = MakeClustered(desc.param1 > 0 ? static_cast<int>(desc.param1) : 8,
                          desc.param2 > 0 ? desc.param2 : 0.01, desc.seed);
   } else {
@@ -180,6 +248,64 @@ Result<TransitionKind> ParseTransition(const std::string& value) {
   return Status::InvalidArgument("unknown transition kind: " + value);
 }
 
+// Spec-token renderers, the exact inverses of the Parse* functions above
+// (ToString helpers elsewhere use display names, not spec tokens).
+
+std::string AccessToSpecString(AccessPattern access) {
+  switch (access) {
+    case AccessPattern::kUniform:
+      return "uniform";
+    case AccessPattern::kZipfian:
+      return "zipfian";
+    case AccessPattern::kHotSpot:
+      return "hotspot";
+    case AccessPattern::kLatest:
+      return "latest";
+    case AccessPattern::kSequential:
+      return "sequential";
+  }
+  return "uniform";
+}
+
+std::string ArrivalToSpecString(ArrivalPattern arrival) {
+  switch (arrival) {
+    case ArrivalPattern::kClosedLoop:
+      return "closed";
+    case ArrivalPattern::kPoisson:
+      return "poisson";
+    case ArrivalPattern::kDiurnal:
+      return "diurnal";
+    case ArrivalPattern::kBursty:
+      return "bursty";
+  }
+  return "closed";
+}
+
+std::string TransitionToSpecString(TransitionKind kind) {
+  switch (kind) {
+    case TransitionKind::kAbrupt:
+      return "abrupt";
+    case TransitionKind::kLinear:
+      return "linear";
+    case TransitionKind::kCosine:
+      return "cosine";
+  }
+  return "abrupt";
+}
+
+/// Spec names (run, phase) become comment-stripped, trimmed single lines on
+/// reparse; reject the characters the renderer cannot round-trip.
+Status CheckRenderableName(const std::string& name, const char* what) {
+  if (name.find('#') != std::string::npos ||
+      name.find('\n') != std::string::npos ||
+      name.find('\r') != std::string::npos) {
+    return Status::InvalidArgument(
+        std::string(what) + " name contains '#' or a newline and cannot be "
+        "rendered as spec text: " + name);
+  }
+  return Status::OK();
+}
+
 }  // namespace
 
 Result<RunSpec> ParseRunSpecText(const std::string& text) {
@@ -190,7 +316,8 @@ Result<RunSpec> ParseRunSpecText(const std::string& text) {
     kPhase,
     kFaults,
     kResilience,
-    kExecution
+    kExecution,
+    kObservability
   };
   Section section = Section::kTop;
   DatasetDesc dataset_desc;
@@ -205,6 +332,15 @@ Result<RunSpec> ParseRunSpecText(const std::string& text) {
     Result<Dataset> ds = BuildDataset(dataset_desc);
     if (!ds.ok()) return ds.status();
     spec.datasets.push_back(std::move(ds).value());
+    // Keep the generation parameters alongside the generated keys so the
+    // spec can be rendered back to text (RenderRunSpecText).
+    DatasetSourceSpec source;
+    source.kind = dataset_desc.kind;
+    source.num_keys = dataset_desc.num_keys;
+    source.seed = dataset_desc.seed;
+    source.param1 = dataset_desc.param1;
+    source.param2 = dataset_desc.param2;
+    spec.dataset_sources.push_back(std::move(source));
     dataset_desc = DatasetDesc();
     dataset_open = false;
     return Status::OK();
@@ -270,6 +406,11 @@ Result<RunSpec> ParseRunSpecText(const std::string& text) {
       section = Section::kExecution;
       continue;
     }
+    if (line == "[observability]") {
+      LSBENCH_RETURN_IF_ERROR(close_sections());
+      section = Section::kObservability;
+      continue;
+    }
     if (line.front() == '[') {
       return Status::InvalidArgument("unknown section at line " +
                                      std::to_string(line_no) + ": " + line);
@@ -292,22 +433,21 @@ Result<RunSpec> ParseRunSpecText(const std::string& text) {
           if (!v.ok()) return v.status();
           spec.seed = v.value();
         } else if (key == "interval_ms") {
-          const auto v = ParseU64(value, key);
+          const auto v = ParseScaledNanos(value, key, 1000000);
           if (!v.ok()) return v.status();
-          spec.interval_nanos = static_cast<int64_t>(v.value()) * 1000000;
+          spec.interval_nanos = v.value();
         } else if (key == "boxplot_sample_ms") {
-          const auto v = ParseU64(value, key);
+          const auto v = ParseScaledNanos(value, key, 1000000);
           if (!v.ok()) return v.status();
-          spec.boxplot_sample_nanos =
-              static_cast<int64_t>(v.value()) * 1000000;
+          spec.boxplot_sample_nanos = v.value();
         } else if (key == "offline_training") {
           const auto v = ParseBool(value, key);
           if (!v.ok()) return v.status();
           spec.offline_training = v.value();
         } else if (key == "sla_ms") {
-          const auto v = ParseU64(value, key);
+          const auto v = ParseScaledNanos(value, key, 1000000);
           if (!v.ok()) return v.status();
-          spec.sla.threshold_nanos = static_cast<int64_t>(v.value()) * 1000000;
+          spec.sla.threshold_nanos = v.value();
         } else if (key == "sla_auto_percentile") {
           const auto v = ParseDouble(value, key);
           if (!v.ok()) return v.status();
@@ -325,9 +465,9 @@ Result<RunSpec> ParseRunSpecText(const std::string& text) {
           if (!v.ok()) return v.status();
           spec.faults.seed = v.value();
         } else if (key == "fault_load_failures") {
-          const auto v = ParseU64(value, key);
+          const auto v = ParseU32(value, key);
           if (!v.ok()) return v.status();
-          spec.faults.load_failures = static_cast<uint32_t>(v.value());
+          spec.faults.load_failures = v.value();
         } else {
           return Status::InvalidArgument("unknown top-level key: " + key);
         }
@@ -361,8 +501,13 @@ Result<RunSpec> ParseRunSpecText(const std::string& text) {
         if (key == "name") {
           phase.name = value;
         } else if (key == "dataset") {
-          const auto v = ParseU64(value, key);
+          const auto v = ParseU32(value, key);
           if (!v.ok()) return v.status();
+          if (v.value() >
+              static_cast<uint32_t>(std::numeric_limits<int32_t>::max())) {
+            return Status::InvalidArgument("dataset index out of range: " +
+                                           value);
+          }
           phase.dataset_index = static_cast<int>(v.value());
         } else if (key == "ops") {
           const auto v = ParseU64(value, key);
@@ -399,9 +544,9 @@ Result<RunSpec> ParseRunSpecText(const std::string& text) {
           if (!v.ok()) return v.status();
           phase.holdout = v.value();
         } else if (key == "scan_length") {
-          const auto v = ParseU64(value, key);
+          const auto v = ParseU32(value, key);
           if (!v.ok()) return v.status();
-          phase.scan_length = static_cast<uint32_t>(v.value());
+          phase.scan_length = v.value();
         } else if (key == "range_selectivity") {
           const auto v = ParseDouble(value, key);
           if (!v.ok()) return v.status();
@@ -417,12 +562,17 @@ Result<RunSpec> ParseRunSpecText(const std::string& text) {
           if (!v.ok()) return v.status();
           spec.faults.seed = v.value();
         } else if (key == "load_failures") {
-          const auto v = ParseU64(value, key);
+          const auto v = ParseU32(value, key);
           if (!v.ok()) return v.status();
-          spec.faults.load_failures = static_cast<uint32_t>(v.value());
+          spec.faults.load_failures = v.value();
         } else if (key == "phase") {
           const auto v = ParseI64(value, key);
           if (!v.ok()) return v.status();
+          if (v.value() < std::numeric_limits<int32_t>::min() ||
+              v.value() > std::numeric_limits<int32_t>::max()) {
+            return Status::InvalidArgument("fault phase out of range: " +
+                                           value);
+          }
           fault_window.phase = static_cast<int32_t>(v.value());
         } else if (key == "execute_fail_rate") {
           const auto v = ParseDouble(value, key);
@@ -437,27 +587,25 @@ Result<RunSpec> ParseRunSpecText(const std::string& text) {
           if (!v.ok()) return v.status();
           fault_window.latency_spike_rate = v.value();
         } else if (key == "latency_spike_us") {
-          const auto v = ParseU64(value, key);
+          const auto v = ParseScaledNanos(value, key, 1000);
           if (!v.ok()) return v.status();
-          fault_window.latency_spike_nanos =
-              static_cast<int64_t>(v.value()) * 1000;
+          fault_window.latency_spike_nanos = v.value();
         } else if (key == "stall_rate") {
           const auto v = ParseDouble(value, key);
           if (!v.ok()) return v.status();
           fault_window.stall_rate = v.value();
         } else if (key == "stall_us") {
-          const auto v = ParseU64(value, key);
+          const auto v = ParseScaledNanos(value, key, 1000);
           if (!v.ok()) return v.status();
-          fault_window.stall_nanos = static_cast<int64_t>(v.value()) * 1000;
+          fault_window.stall_nanos = v.value();
         } else if (key == "fail_train") {
           const auto v = ParseBool(value, key);
           if (!v.ok()) return v.status();
           fault_window.fail_train = v.value();
         } else if (key == "train_hang_us") {
-          const auto v = ParseU64(value, key);
+          const auto v = ParseScaledNanos(value, key, 1000);
           if (!v.ok()) return v.status();
-          fault_window.train_hang_nanos =
-              static_cast<int64_t>(v.value()) * 1000;
+          fault_window.train_hang_nanos = v.value();
         } else {
           return Status::InvalidArgument("unknown faults key: " + key);
         }
@@ -466,25 +614,25 @@ Result<RunSpec> ParseRunSpecText(const std::string& text) {
       case Section::kResilience: {
         ResilienceSpec& r = spec.resilience;
         if (key == "op_timeout_us") {
-          const auto v = ParseU64(value, key);
+          const auto v = ParseScaledNanos(value, key, 1000);
           if (!v.ok()) return v.status();
-          r.op_timeout_nanos = static_cast<int64_t>(v.value()) * 1000;
+          r.op_timeout_nanos = v.value();
         } else if (key == "max_retries") {
-          const auto v = ParseU64(value, key);
+          const auto v = ParseU32(value, key);
           if (!v.ok()) return v.status();
-          r.max_retries = static_cast<uint32_t>(v.value());
+          r.max_retries = v.value();
         } else if (key == "backoff_initial_us") {
-          const auto v = ParseU64(value, key);
+          const auto v = ParseScaledNanos(value, key, 1000);
           if (!v.ok()) return v.status();
-          r.backoff_initial_nanos = static_cast<int64_t>(v.value()) * 1000;
+          r.backoff_initial_nanos = v.value();
         } else if (key == "backoff_multiplier") {
           const auto v = ParseDouble(value, key);
           if (!v.ok()) return v.status();
           r.backoff_multiplier = v.value();
         } else if (key == "backoff_max_us") {
-          const auto v = ParseU64(value, key);
+          const auto v = ParseScaledNanos(value, key, 1000);
           if (!v.ok()) return v.status();
-          r.backoff_max_nanos = static_cast<int64_t>(v.value()) * 1000;
+          r.backoff_max_nanos = v.value();
         } else if (key == "backoff_jitter") {
           const auto v = ParseDouble(value, key);
           if (!v.ok()) return v.status();
@@ -494,21 +642,21 @@ Result<RunSpec> ParseRunSpecText(const std::string& text) {
           if (!v.ok()) return v.status();
           r.breaker_enabled = v.value();
         } else if (key == "breaker_window_ops") {
-          const auto v = ParseU64(value, key);
+          const auto v = ParseU32(value, key);
           if (!v.ok()) return v.status();
-          r.breaker_window_ops = static_cast<uint32_t>(v.value());
+          r.breaker_window_ops = v.value();
         } else if (key == "breaker_threshold") {
           const auto v = ParseDouble(value, key);
           if (!v.ok()) return v.status();
           r.breaker_failure_threshold = v.value();
         } else if (key == "breaker_cooldown_us") {
-          const auto v = ParseU64(value, key);
+          const auto v = ParseScaledNanos(value, key, 1000);
           if (!v.ok()) return v.status();
-          r.breaker_cooldown_nanos = static_cast<int64_t>(v.value()) * 1000;
+          r.breaker_cooldown_nanos = v.value();
         } else if (key == "breaker_halfopen_probes") {
-          const auto v = ParseU64(value, key);
+          const auto v = ParseU32(value, key);
           if (!v.ok()) return v.status();
-          r.breaker_half_open_probes = static_cast<uint32_t>(v.value());
+          r.breaker_half_open_probes = v.value();
         } else {
           return Status::InvalidArgument("unknown resilience key: " + key);
         }
@@ -516,11 +664,30 @@ Result<RunSpec> ParseRunSpecText(const std::string& text) {
       }
       case Section::kExecution: {
         if (key == "workers") {
-          const auto v = ParseU64(value, key);
+          const auto v = ParseU32(value, key);
           if (!v.ok()) return v.status();
-          spec.execution.workers = static_cast<uint32_t>(v.value());
+          spec.execution.workers = v.value();
         } else {
           return Status::InvalidArgument("unknown execution key: " + key);
+        }
+        break;
+      }
+      case Section::kObservability: {
+        ObservabilitySpec& o = spec.observability;
+        if (key == "trace") {
+          const auto v = ParseBool(value, key);
+          if (!v.ok()) return v.status();
+          o.trace = v.value();
+        } else if (key == "profile") {
+          const auto v = ParseBool(value, key);
+          if (!v.ok()) return v.status();
+          o.profile = v.value();
+        } else if (key == "metrics") {
+          const auto v = ParseBool(value, key);
+          if (!v.ok()) return v.status();
+          o.metrics = v.value();
+        } else {
+          return Status::InvalidArgument("unknown observability key: " + key);
         }
         break;
       }
@@ -604,6 +771,105 @@ std::string RenderResilienceText(const RunSpec& spec) {
     emit_dbl("breaker_threshold", r.breaker_failure_threshold);
     emit_us("breaker_cooldown_us", r.breaker_cooldown_nanos);
     emit_u64("breaker_halfopen_probes", r.breaker_half_open_probes);
+  }
+  return out;
+}
+
+Result<std::string> RenderRunSpecText(const RunSpec& spec) {
+  if (spec.dataset_sources.size() != spec.datasets.size()) {
+    return Status::FailedPrecondition(
+        "spec has no dataset generation provenance (dataset_sources); only "
+        "specs parsed from text can be rendered back");
+  }
+  LSBENCH_RETURN_IF_ERROR(CheckRenderableName(spec.name, "run"));
+  for (const PhaseSpec& phase : spec.phases) {
+    LSBENCH_RETURN_IF_ERROR(CheckRenderableName(phase.name, "phase"));
+  }
+
+  std::string out;
+  auto emit = [&](const std::string& line) {
+    out += line;
+    out += '\n';
+  };
+  auto emit_u64 = [&](const char* key, uint64_t v) {
+    emit(std::string(key) + " = " + std::to_string(v));
+  };
+  auto emit_dbl = [&](const char* key, double v) {
+    emit(std::string(key) + " = " + FullDouble(v));
+  };
+  auto emit_bool = [&](const char* key, bool v) {
+    emit(std::string(key) + std::string(v ? " = true" : " = false"));
+  };
+  auto emit_str = [&](const char* key, const std::string& v) {
+    emit(std::string(key) + " = " + v);
+  };
+
+  emit_str("name", spec.name);
+  emit_u64("seed", spec.seed);
+  emit_u64("interval_ms", static_cast<uint64_t>(spec.interval_nanos /
+                                                1000000));
+  emit_u64("boxplot_sample_ms",
+           static_cast<uint64_t>(spec.boxplot_sample_nanos / 1000000));
+  emit_bool("offline_training", spec.offline_training);
+  if (spec.sla.threshold_nanos != 0) {
+    emit_u64("sla_ms",
+             static_cast<uint64_t>(spec.sla.threshold_nanos / 1000000));
+  }
+  emit_dbl("sla_auto_percentile", spec.sla.auto_percentile);
+  emit_dbl("sla_auto_margin", spec.sla.auto_margin);
+  emit_u64("adjustment_window_ops", spec.adjustment_window_ops);
+
+  for (const DatasetSourceSpec& source : spec.dataset_sources) {
+    emit("");
+    emit("[dataset]");
+    emit_str("kind", source.kind);
+    emit_u64("num_keys", source.num_keys);
+    emit_u64("seed", source.seed);
+    emit_dbl("param1", source.param1);
+    emit_dbl("param2", source.param2);
+  }
+
+  for (const PhaseSpec& phase : spec.phases) {
+    emit("");
+    emit("[phase]");
+    emit_str("name", phase.name);
+    emit_u64("dataset", static_cast<uint64_t>(phase.dataset_index));
+    emit_u64("ops", phase.num_operations);
+    emit_str("mix", "get:" + FullDouble(phase.mix.get) +
+                        ",scan:" + FullDouble(phase.mix.scan) +
+                        ",insert:" + FullDouble(phase.mix.insert) +
+                        ",update:" + FullDouble(phase.mix.update) +
+                        ",delete:" + FullDouble(phase.mix.del) +
+                        ",range_count:" + FullDouble(phase.mix.range_count));
+    emit_str("access", AccessToSpecString(phase.access));
+    emit_dbl("access_param", phase.access_param);
+    emit_str("arrival", ArrivalToSpecString(phase.arrival));
+    emit_dbl("arrival_qps", phase.arrival_rate_qps);
+    emit_str("transition", TransitionToSpecString(phase.transition_in));
+    emit_u64("transition_ops", phase.transition_operations);
+    emit_bool("holdout", phase.holdout);
+    emit_u64("scan_length", phase.scan_length);
+    emit_dbl("range_selectivity", phase.range_selectivity);
+  }
+
+  if (spec.execution.workers != ExecutionSpec().workers) {
+    emit("");
+    emit("[execution]");
+    emit_u64("workers", spec.execution.workers);
+  }
+
+  if (!(spec.observability == ObservabilitySpec())) {
+    emit("");
+    emit("[observability]");
+    emit_bool("trace", spec.observability.trace);
+    emit_bool("profile", spec.observability.profile);
+    emit_bool("metrics", spec.observability.metrics);
+  }
+
+  const std::string resilience = RenderResilienceText(spec);
+  if (!resilience.empty()) {
+    emit("");
+    out += resilience;
   }
   return out;
 }

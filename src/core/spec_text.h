@@ -78,6 +78,11 @@ namespace lsbench {
 /// [execution]                # driver fan-out (single section, optional)
 /// workers = 4                # concurrent workers, in [1, 1024]; 1 (the
 ///                            # default) reproduces the serial driver
+///
+/// [observability]            # tracing / profiling / metrics (optional)
+/// trace = false              # record LSBENCH_TRACE_SPAN shards
+/// profile = false            # per-phase stage-time breakdown
+/// metrics = true             # export the metrics registry snapshot
 /// ```
 ///
 /// Dataset kind parameters: gaussian(param1=mean, param2=stddev),
@@ -92,6 +97,15 @@ Result<RunSpec> ParseRunSpecText(const std::string& text);
 /// durations are emitted in whole microseconds, matching what the parser
 /// accepts. Returns "" when the spec has no faults and default resilience.
 std::string RenderResilienceText(const RunSpec& spec);
+
+/// Renders a complete RunSpec back into parseable spec text. Requires
+/// generation provenance (`dataset_sources`, filled by ParseRunSpecText);
+/// programmatically built specs without it get FailedPrecondition. For any
+/// spec that came from ParseRunSpecText, parse → render → parse yields a
+/// spec with the same StructuralHash and identical dataset keys, and
+/// render is a fixpoint (render(parse(render(s))) == render(s)) — the
+/// round-trip property the spec robustness tests pin.
+Result<std::string> RenderRunSpecText(const RunSpec& spec);
 
 }  // namespace lsbench
 

@@ -40,6 +40,8 @@ void WorkloadStream::BeginPhase(size_t phase_idx, uint64_t num_operations,
 }
 
 WorkloadStream::Issue WorkloadStream::Next() {
+  LSBENCH_PROFILE_STAGE(profiler_, Stage::kGenerate);
+  if (ops_issued_ != nullptr) ops_issued_->Increment();
   LSBENCH_ASSERT(HasNext());
   const PhaseSpec& phase = spec_->phases[phase_idx_];
   const uint64_t op_idx = issued_++;

@@ -5,6 +5,8 @@
 #include <memory>
 
 #include "core/run_spec.h"
+#include "obs/metrics_registry.h"
+#include "obs/profile.h"
 #include "util/random.h"
 #include "workload/arrival.h"
 #include "workload/generator.h"
@@ -64,6 +66,14 @@ class WorkloadStream {
     last_completion_rel_ = completion_rel_nanos;
   }
 
+  /// Arms the generation profiling hook (Stage::kGenerate) and the issue
+  /// counter. Either pointer may be null; observing the stream never
+  /// perturbs its draw sequence. Call before the first Next().
+  void BindObservability(StageProfiler* profiler, Counter* ops_issued) {
+    profiler_ = profiler;
+    ops_issued_ = ops_issued;
+  }
+
  private:
   const RunSpec* spec_;
   Rng root_;
@@ -83,6 +93,10 @@ class WorkloadStream {
   // Pacing state (persists across phases, like the monolith's locals).
   int64_t intended_rel_ = 0;
   int64_t last_completion_rel_ = 0;
+
+  // Observability hooks (null = disabled).
+  StageProfiler* profiler_ = nullptr;
+  Counter* ops_issued_ = nullptr;
 };
 
 }  // namespace lsbench

@@ -138,13 +138,24 @@ Dataset GenerateEmailDataset(size_t num_keys, uint64_t seed) {
   EmailGenerator gen(seed);
   std::unordered_set<uint64_t> seen;
   seen.reserve(num_keys * 2);
-  // Email prefixes collide often (8-byte prefix); bound the loop in case the
-  // requested cardinality exceeds the generator's distinct-prefix space.
+  // Email prefixes collide often (8-byte prefix), and the generator's
+  // distinct-prefix space may be smaller than num_keys. Stop once the
+  // generator stagnates — a long run of attempts with no new key — rather
+  // than burning a num_keys-proportional attempt budget: with a saturated
+  // space that budget is O(num_keys * 1000) wasted string builds, slow
+  // enough to stall spec parsing.
+  constexpr size_t kStagnationWindow = 10000;
   size_t attempts = 0;
-  const size_t max_attempts = num_keys * 1000 + 1000;
-  while (seen.size() < num_keys && attempts < max_attempts) {
+  size_t last_growth = 0;
+  while (seen.size() < num_keys) {
+    const size_t before = seen.size();
     seen.insert(EmailGenerator::ToKey(gen.Next()));
     ++attempts;
+    if (seen.size() > before) {
+      last_growth = attempts;
+    } else if (attempts - last_growth >= kStagnationWindow) {
+      break;
+    }
   }
   Dataset ds;
   ds.name = "emails";

@@ -1,0 +1,199 @@
+#include "obs/metrics_registry.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace lsbench {
+
+Status HistogramSnapshot::MergeFrom(const HistogramSnapshot& other) {
+  if (other.count == 0) return Status::OK();
+  if (count == 0 && bounds.empty()) {
+    // Uninitialized target adopts the source layout wholesale.
+    *this = other;
+    return Status::OK();
+  }
+  if (bounds != other.bounds) {
+    return Status::InvalidArgument(
+        "histogram shard merge: bucket bounds mismatch (" +
+        std::to_string(bounds.size()) + " vs " +
+        std::to_string(other.bounds.size()) + " bounds)");
+  }
+  if (counts.size() != other.counts.size()) {
+    return Status::InvalidArgument(
+        "histogram shard merge: bucket count mismatch");
+  }
+  for (size_t i = 0; i < counts.size(); ++i) counts[i] += other.counts[i];
+  if (count == 0) {
+    min = other.min;
+    max = other.max;
+  } else {
+    min = std::min(min, other.min);
+    max = std::max(max, other.max);
+  }
+  count += other.count;
+  sum += other.sum;
+  return Status::OK();
+}
+
+int64_t HistogramSnapshot::Quantile(double q) const {
+  if (count == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  if (q <= 0.0) return min;
+  if (q >= 1.0) return max;
+  const uint64_t rank =
+      static_cast<uint64_t>(std::ceil(q * static_cast<double>(count)));
+  uint64_t seen = 0;
+  for (size_t i = 0; i < counts.size(); ++i) {
+    seen += counts[i];
+    if (seen >= rank) {
+      if (i < bounds.size()) return std::min(bounds[i], max);
+      return max;  // Saturation bucket: report the observed max.
+    }
+  }
+  return max;
+}
+
+std::vector<int64_t> DefaultLatencyBoundsNanos() {
+  // 1us, 2us, 4us, ... doubling for 24 steps (~16.8s), in nanoseconds.
+  std::vector<int64_t> bounds;
+  bounds.reserve(24);
+  int64_t bound = 1000;
+  for (int i = 0; i < 24; ++i) {
+    bounds.push_back(bound);
+    bound *= 2;
+  }
+  return bounds;
+}
+
+FixedHistogram::FixedHistogram(std::vector<int64_t> bounds) {
+  MutexLock lock(mu_);
+  snap_.bounds = std::move(bounds);
+  snap_.counts.assign(snap_.bounds.size() + 1, 0);
+}
+
+void FixedHistogram::Record(int64_t value) {
+  MutexLock lock(mu_);
+  const auto it =
+      std::lower_bound(snap_.bounds.begin(), snap_.bounds.end(), value);
+  const size_t bucket =
+      static_cast<size_t>(std::distance(snap_.bounds.begin(), it));
+  snap_.counts[bucket]++;  // bounds.size() == saturation bucket.
+  if (snap_.count == 0) {
+    snap_.min = value;
+    snap_.max = value;
+  } else {
+    snap_.min = std::min(snap_.min, value);
+    snap_.max = std::max(snap_.max, value);
+  }
+  snap_.count++;
+  snap_.sum += value;
+}
+
+HistogramSnapshot FixedHistogram::Snapshot() const {
+  MutexLock lock(mu_);
+  return snap_;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  MutexLock lock(mu_);
+  std::unique_ptr<Counter>& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  MutexLock lock(mu_);
+  std::unique_ptr<Gauge>& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+FixedHistogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                              std::vector<int64_t> bounds) {
+  MutexLock lock(mu_);
+  std::unique_ptr<FixedHistogram>& slot = histograms_[name];
+  if (slot == nullptr) {
+    if (bounds.empty()) bounds = DefaultLatencyBoundsNanos();
+    slot = std::make_unique<FixedHistogram>(std::move(bounds));
+  }
+  return slot.get();
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MutexLock lock(mu_);
+  MetricsSnapshot snap;
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    snap.counters.emplace_back(name, counter->value());
+  }
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [name, gauge] : gauges_) {
+    snap.gauges.emplace_back(name, gauge->value());
+  }
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, hist] : histograms_) {
+    snap.histograms.emplace_back(name, hist->Snapshot());
+  }
+  return snap;
+}
+
+namespace {
+
+/// Merges two sorted (name, value) vectors, combining equal names with
+/// `combine` (a Status-returning callable taking (target, source)).
+template <typename T, typename Combine>
+Status MergeSortedSeries(std::vector<std::pair<std::string, T>>* target,
+                         const std::vector<std::pair<std::string, T>>& other,
+                         Combine combine) {
+  std::vector<std::pair<std::string, T>> merged;
+  merged.reserve(target->size() + other.size());
+  size_t i = 0;
+  size_t j = 0;
+  while (i < target->size() && j < other.size()) {
+    const int cmp = (*target)[i].first.compare(other[j].first);
+    if (cmp < 0) {
+      merged.push_back(std::move((*target)[i++]));
+    } else if (cmp > 0) {
+      merged.push_back(other[j++]);
+    } else {
+      std::pair<std::string, T> entry = std::move((*target)[i++]);
+      LSBENCH_RETURN_IF_ERROR(combine(&entry.second, other[j++].second));
+      merged.push_back(std::move(entry));
+    }
+  }
+  while (i < target->size()) merged.push_back(std::move((*target)[i++]));
+  while (j < other.size()) merged.push_back(other[j++]);
+  *target = std::move(merged);
+  return Status::OK();
+}
+
+}  // namespace
+
+Status MetricsSnapshot::MergeFrom(const MetricsSnapshot& other) {
+  LSBENCH_RETURN_IF_ERROR(MergeSortedSeries(
+      &counters, other.counters, [](uint64_t* target, uint64_t source) {
+        *target += source;
+        return Status::OK();
+      }));
+  LSBENCH_RETURN_IF_ERROR(MergeSortedSeries(
+      &gauges, other.gauges, [](int64_t* target, int64_t source) {
+        *target += source;
+        return Status::OK();
+      }));
+  return MergeSortedSeries(&histograms, other.histograms,
+                           [](HistogramSnapshot* target,
+                              const HistogramSnapshot& source) {
+                             return target->MergeFrom(source);
+                           });
+}
+
+Result<MetricsSnapshot> MergeMetricsShards(
+    const std::vector<MetricsSnapshot>& shards) {
+  MetricsSnapshot merged;
+  for (const MetricsSnapshot& shard : shards) {
+    LSBENCH_RETURN_IF_ERROR(merged.MergeFrom(shard));
+  }
+  return merged;
+}
+
+}  // namespace lsbench

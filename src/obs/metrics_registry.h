@@ -1,0 +1,154 @@
+#ifndef LSBENCH_OBS_METRICS_REGISTRY_H_
+#define LSBENCH_OBS_METRICS_REGISTRY_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+#include "util/sync.h"
+
+namespace lsbench {
+
+/// Monotone event tally. Increments are lock-free (relaxed atomics): a
+/// counter is a pure accumulator, never used for cross-thread ordering, and
+/// per-shard counters are merged deterministically after the run.
+class Counter {
+ public:
+  void Increment(uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Last-written signed level (queue depth, resident bytes, breaker state).
+/// Shard merge sums gauges, which is the right semantics for per-worker
+/// levels (total in-flight = sum of per-worker in-flight).
+class Gauge {
+ public:
+  void Set(int64_t value) { value_.store(value, std::memory_order_relaxed); }
+  void Add(int64_t delta) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Plain-data snapshot of a fixed-bucket histogram. `bounds` are ascending
+/// inclusive upper bounds; `counts` has bounds.size()+1 entries, the last
+/// being the saturation bucket (samples above the largest bound). Unlike
+/// util/histogram.h's log-bucketed Histogram, bucket layout is part of the
+/// identity: shards merge only when their bounds match exactly, so a merged
+/// histogram is bit-identical to recording all samples into one.
+struct HistogramSnapshot {
+  std::vector<int64_t> bounds;
+  std::vector<uint64_t> counts;
+  uint64_t count = 0;
+  int64_t sum = 0;
+  int64_t min = 0;  ///< Meaningful only when count > 0.
+  int64_t max = 0;  ///< Meaningful only when count > 0.
+
+  /// Accumulates `other` into this snapshot. Empty shards merge into
+  /// anything (their bounds don't matter); otherwise the bucket layouts
+  /// must match or the merge is refused with InvalidArgument — silently
+  /// summing misaligned buckets is exactly the Fig. 1b-skewing bug class
+  /// the tests pin.
+  Status MergeFrom(const HistogramSnapshot& other);
+
+  /// Upper bound of the bucket holding quantile q in [0, 1]; min/max exact
+  /// at the extremes. Returns 0 when empty.
+  int64_t Quantile(double q) const;
+
+  bool empty() const { return count == 0; }
+};
+
+/// Default latency bucket layout: 1us..~16s in power-of-two microsecond
+/// steps. Shared by every registry so shards always merge.
+std::vector<int64_t> DefaultLatencyBoundsNanos();
+
+/// Thread-safe fixed-bucket histogram recorder. Record() takes a Mutex —
+/// histograms are for coarse events (retrain durations, backoff waits),
+/// not the per-op hot path, where the driver already has the log-bucketed
+/// util/histogram.h accumulators.
+class FixedHistogram {
+ public:
+  explicit FixedHistogram(std::vector<int64_t> bounds);
+
+  void Record(int64_t value);
+  HistogramSnapshot Snapshot() const;
+
+ private:
+  mutable Mutex mu_;
+  HistogramSnapshot snap_ LSBENCH_GUARDED_BY(mu_);
+};
+
+/// Plain-data export of a registry: sorted name→value vectors, so report
+/// iteration order is deterministic by construction.
+struct MetricsSnapshot {
+  std::vector<std::pair<std::string, uint64_t>> counters;
+  std::vector<std::pair<std::string, int64_t>> gauges;
+  std::vector<std::pair<std::string, HistogramSnapshot>> histograms;
+
+  /// Accumulates another shard's snapshot: counters and gauges sum,
+  /// histograms bucket-merge (refused on bound mismatch). Names present in
+  /// only one shard pass through — workers need not register identical
+  /// metric sets.
+  Status MergeFrom(const MetricsSnapshot& other);
+
+  bool empty() const {
+    return counters.empty() && gauges.empty() && histograms.empty();
+  }
+};
+
+/// Owner of named instruments. One registry per worker (plus one for the
+/// driver), merged after the run like event shards. Get* registers on first
+/// use and returns a stable pointer — instruments never move once created —
+/// so components hold raw Counter*/Gauge* across the run and increment
+/// without ever touching the registry lock again. Lookup itself is
+/// Mutex-guarded so Get* is safe from any thread, but the intended
+/// discipline is: resolve instruments at bind time, increment on the hot
+/// path.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  /// Uses DefaultLatencyBoundsNanos() when `bounds` is empty. The layout is
+  /// fixed on first registration; later calls with a different layout get
+  /// the existing instrument (layouts are identity, not configuration).
+  FixedHistogram* GetHistogram(const std::string& name,
+                               std::vector<int64_t> bounds = {});
+
+  /// Deterministic (name-sorted) export of every registered instrument.
+  MetricsSnapshot Snapshot() const;
+
+ private:
+  mutable Mutex mu_;
+  // std::map: pointer-stable values and sorted iteration for Snapshot().
+  std::map<std::string, std::unique_ptr<Counter>> counters_
+      LSBENCH_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_
+      LSBENCH_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<FixedHistogram>> histograms_
+      LSBENCH_GUARDED_BY(mu_);
+};
+
+/// Merges per-worker snapshots into one. Shards may carry disjoint metric
+/// name sets; histogram bound mismatches surface as InvalidArgument.
+Result<MetricsSnapshot> MergeMetricsShards(
+    const std::vector<MetricsSnapshot>& shards);
+
+}  // namespace lsbench
+
+#endif  // LSBENCH_OBS_METRICS_REGISTRY_H_

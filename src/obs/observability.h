@@ -1,0 +1,64 @@
+#ifndef LSBENCH_OBS_OBSERVABILITY_H_
+#define LSBENCH_OBS_OBSERVABILITY_H_
+
+#include <cstdint>
+#include <string>
+
+#include "obs/metrics_registry.h"
+#include "obs/profile.h"
+#include "obs/trace.h"
+
+namespace lsbench {
+
+/// Per-run observability configuration, settable from the [observability]
+/// spec section and forced on by --trace-out. Deliberately excluded from
+/// RunSpec::StructuralHash and pinned by test to never perturb the op
+/// stream: observing a run must not change it.
+struct ObservabilitySpec {
+  bool trace = false;    ///< Record LSBENCH_TRACE_SPAN shards.
+  bool profile = false;  ///< Record per-phase stage-time breakdown.
+  bool metrics = true;   ///< Export the metrics registry snapshot.
+
+  bool Enabled() const { return trace || profile || metrics; }
+};
+
+inline bool operator==(const ObservabilitySpec& a,
+                       const ObservabilitySpec& b) {
+  return a.trace == b.trace && a.profile == b.profile &&
+         a.metrics == b.metrics;
+}
+
+/// One worker's observability instruments, sharded exactly like its
+/// EventSink: single-writer during the run, merged deterministically after.
+/// Tracer and profiler stay disabled (no-op) unless the driver arms them.
+struct WorkerObs {
+  explicit WorkerObs(uint32_t worker) : tracer(worker) {}
+
+  Tracer tracer;
+  StageProfiler profiler;
+  MetricsRegistry registry;
+};
+
+/// Merged post-run observability output, attached to RunResult.
+struct ObsReport {
+  ObservabilitySpec spec;
+  TraceStream trace;         ///< Merged, (start, worker, seq)-ordered.
+  MetricsSnapshot metrics;   ///< Shard-merged registry export.
+  StageBreakdown stages;     ///< Shard-merged per-phase stage times.
+
+  bool empty() const {
+    return trace.empty() && metrics.empty() && stages.empty();
+  }
+};
+
+/// Canonical --trace-out payload: a header, the merged span stream, the
+/// stage breakdown, and the metrics snapshot, all in deterministic order.
+/// Byte-identical across runs whenever the underlying streams are — the
+/// file the CI trace-determinism job diffs.
+std::string RenderTraceFile(const ObsReport& report,
+                            const std::string& run_name,
+                            const std::string& sut_name, uint32_t workers);
+
+}  // namespace lsbench
+
+#endif  // LSBENCH_OBS_OBSERVABILITY_H_

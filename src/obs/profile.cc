@@ -1,0 +1,84 @@
+#include "obs/profile.h"
+
+#include <algorithm>
+
+namespace lsbench {
+
+std::string_view StageName(Stage stage) {
+  switch (stage) {
+    case Stage::kLoad:
+      return "load";
+    case Stage::kTrain:
+      return "train";
+    case Stage::kGenerate:
+      return "generate";
+    case Stage::kPace:
+      return "pace";
+    case Stage::kExecute:
+      return "execute";
+    case Stage::kBackoff:
+      return "backoff";
+    case Stage::kRecord:
+      return "record";
+    case Stage::kMerge:
+      return "merge";
+    case Stage::kMetrics:
+      return "metrics";
+  }
+  return "unknown";
+}
+
+void MergeStageBreakdown(StageBreakdown* target, const StageBreakdown& shard) {
+  for (const PhaseStageBreakdown& phase : shard) {
+    auto it = std::lower_bound(
+        target->begin(), target->end(), phase.phase,
+        [](const PhaseStageBreakdown& entry, int32_t key) {
+          return entry.phase < key;
+        });
+    if (it == target->end() || it->phase != phase.phase) {
+      it = target->insert(it, PhaseStageBreakdown{});
+      it->phase = phase.phase;
+    }
+    for (size_t i = 0; i < kNumStages; ++i) {
+      it->stages[i].total_nanos += phase.stages[i].total_nanos;
+      it->stages[i].samples += phase.stages[i].samples;
+    }
+  }
+}
+
+PhaseStageBreakdown& StageProfiler::AccumFor(int32_t phase) {
+  // Phases arrive monotonically (run-level, then 0, 1, ...), so the match
+  // is almost always the last entry.
+  if (!phases_.empty() && phases_.back().phase == phase) {
+    return phases_.back();
+  }
+  for (PhaseStageBreakdown& entry : phases_) {
+    if (entry.phase == phase) return entry;
+  }
+  phases_.emplace_back();
+  phases_.back().phase = phase;
+  return phases_.back();
+}
+
+StageBreakdown StageProfiler::Breakdown() const {
+  StageBreakdown sorted = phases_;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const PhaseStageBreakdown& a, const PhaseStageBreakdown& b) {
+              return a.phase < b.phase;
+            });
+  // Drop phases where nothing was charged — keeps exports stable across
+  // set_phase calls that saw no instrumented work. Samples, not nanos: a
+  // virtual-clock stage can legitimately charge zero time to real samples.
+  sorted.erase(std::remove_if(sorted.begin(), sorted.end(),
+                              [](const PhaseStageBreakdown& entry) {
+                                uint64_t samples = 0;
+                                for (const StageAccum& accum : entry.stages) {
+                                  samples += accum.samples;
+                                }
+                                return samples == 0;
+                              }),
+               sorted.end());
+  return sorted;
+}
+
+}  // namespace lsbench

@@ -1,0 +1,145 @@
+#ifndef LSBENCH_OBS_PROFILE_H_
+#define LSBENCH_OBS_PROFILE_H_
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "util/clock.h"
+
+namespace lsbench {
+
+/// The instrumented pipeline stages. Per-phase stage-time totals are the
+/// report's "where did the time go" breakdown — the paper's Lesson-1 point
+/// that a single throughput number hides generation vs execution vs
+/// retraining time.
+enum class Stage : uint8_t {
+  kLoad = 0,      ///< Dataset load into the SUT (run-level).
+  kTrain,         ///< Offline training before phase 0 (run-level).
+  kGenerate,      ///< WorkloadStream::Next — operation generation.
+  kPace,          ///< Arrival pacing (virtual jump or spin-wait).
+  kExecute,       ///< SUT execute attempts inside ResilientExecutor.
+  kBackoff,       ///< Retry backoff waits.
+  kRecord,        ///< EventSink::Record append.
+  kMerge,         ///< Post-run shard merge (run-level).
+  kMetrics,       ///< Post-run metrics computation (run-level).
+};
+
+inline constexpr size_t kNumStages = 9;
+
+std::string_view StageName(Stage stage);
+
+/// Accumulated wall (or virtual) time for one stage within one phase.
+struct StageAccum {
+  int64_t total_nanos = 0;
+  uint64_t samples = 0;
+};
+
+/// One phase's stage-time totals. Phase kRunLevelPhase holds run-scoped
+/// stages (load/train/merge/metrics) that precede or follow all phases.
+struct PhaseStageBreakdown {
+  static constexpr int32_t kRunLevelPhase = -1;
+
+  int32_t phase = kRunLevelPhase;
+  std::array<StageAccum, kNumStages> stages{};
+
+  int64_t TotalNanos() const {
+    int64_t total = 0;
+    for (const StageAccum& accum : stages) total += accum.total_nanos;
+    return total;
+  }
+};
+
+/// Per-phase breakdowns sorted by phase (run-level entry first).
+using StageBreakdown = std::vector<PhaseStageBreakdown>;
+
+/// Accumulates `shard` into `target`, summing stage totals phase-by-phase.
+/// Both inputs and the output are sorted by phase.
+void MergeStageBreakdown(StageBreakdown* target, const StageBreakdown& shard);
+
+/// One worker's (or the driver's) stage-time accumulator. Single-writer,
+/// no synchronization — same sharding discipline as EventSink/Tracer.
+/// Disabled until Bind(); when disabled, Add() and timers are no-ops, and
+/// under LSBENCH_NO_TRACING the LSBENCH_PROFILE_STAGE macro removes the
+/// hook entirely.
+class StageProfiler {
+ public:
+  StageProfiler() = default;
+
+  /// Arms the profiler against `clock` (the worker's private virtual clock
+  /// in simulation mode). `clock` must outlive the profiler.
+  void Bind(const Clock* clock) { clock_ = clock; }
+
+  bool enabled() const { return clock_ != nullptr; }
+  int64_t NowNanos() const { return clock_->NowNanos(); }
+
+  /// Phase charged by subsequent Add() calls; kRunLevelPhase for run-scoped
+  /// work outside any phase.
+  void set_phase(int32_t phase) { phase_ = phase; }
+  int32_t phase() const { return phase_; }
+
+  /// Charges `nanos` to `stage` in the current phase. No-op while disabled.
+  void Add(Stage stage, int64_t nanos) {
+    if (!enabled()) return;
+    StageAccum& accum = AccumFor(phase_).stages[static_cast<size_t>(stage)];
+    accum.total_nanos += nanos;
+    accum.samples++;
+  }
+
+  /// Sorted-by-phase export (run-level entry first when present).
+  StageBreakdown Breakdown() const;
+
+ private:
+  PhaseStageBreakdown& AccumFor(int32_t phase);
+
+  const Clock* clock_ = nullptr;
+  int32_t phase_ = PhaseStageBreakdown::kRunLevelPhase;
+  // Unsorted accumulation order (phases arrive monotonically anyway);
+  // Breakdown() sorts on export.
+  std::vector<PhaseStageBreakdown> phases_;
+};
+
+/// RAII stage timer: charges the elapsed time between construction and
+/// destruction to (profiler's current phase, stage). Null or unbound
+/// profiler → both ends are a branch and nothing else.
+class StageTimer {
+ public:
+  StageTimer(StageProfiler* profiler, Stage stage)
+      : profiler_(profiler != nullptr && profiler->enabled() ? profiler
+                                                             : nullptr),
+        stage_(stage),
+        start_nanos_(profiler_ != nullptr ? profiler_->NowNanos() : 0) {}
+
+  ~StageTimer() {
+    if (profiler_ != nullptr) {
+      profiler_->Add(stage_, profiler_->NowNanos() - start_nanos_);
+    }
+  }
+
+  StageTimer(const StageTimer&) = delete;
+  StageTimer& operator=(const StageTimer&) = delete;
+
+ private:
+  StageProfiler* profiler_;
+  Stage stage_;
+  int64_t start_nanos_;
+};
+
+}  // namespace lsbench
+
+// Scoped profiling hook. `profiler` is a `StageProfiler*` (may be null).
+// Compiled out entirely under LSBENCH_NO_TRACING.
+#if defined(LSBENCH_NO_TRACING)
+#define LSBENCH_PROFILE_STAGE(profiler, stage) \
+  do {                                         \
+  } while (false)
+#else
+#define LSBENCH_PROFILE_STAGE_CONCAT2(a, b) a##b
+#define LSBENCH_PROFILE_STAGE_CONCAT(a, b) LSBENCH_PROFILE_STAGE_CONCAT2(a, b)
+#define LSBENCH_PROFILE_STAGE(profiler, stage)         \
+  ::lsbench::StageTimer LSBENCH_PROFILE_STAGE_CONCAT(  \
+      lsbench_stage_, __LINE__)((profiler), (stage))
+#endif
+
+#endif  // LSBENCH_OBS_PROFILE_H_

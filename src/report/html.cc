@@ -239,6 +239,59 @@ std::string RenderHtmlReport(const RunResult& result,
   CumulativeSvg(&os, m.cumulative);
   BandsSvg(&os, m.bands);
 
+  const ObsReport& obs = result.observability;
+  if (!obs.stages.empty()) {
+    os << "<h2>Stage time breakdown</h2>\n"
+          "<table><tr><th>phase</th><th>stage</th><th>time</th>"
+          "<th>samples</th><th>share of phase</th></tr>\n";
+    for (const PhaseStageBreakdown& pb : obs.stages) {
+      const int64_t phase_total = pb.TotalNanos();
+      for (size_t s = 0; s < kNumStages; ++s) {
+        const StageAccum& accum = pb.stages[s];
+        if (accum.samples == 0) continue;
+        os << "<tr><td>"
+           << (pb.phase == PhaseStageBreakdown::kRunLevelPhase
+                   ? std::string("run")
+                   : std::to_string(pb.phase))
+           << "</td><td>" << StageName(static_cast<Stage>(s)) << "</td><td>"
+           << HumanDuration(static_cast<double>(accum.total_nanos))
+           << "</td><td>" << accum.samples << "</td><td>"
+           << FormatDouble(
+                  phase_total > 0
+                      ? 100.0 * static_cast<double>(accum.total_nanos) /
+                            static_cast<double>(phase_total)
+                      : 0.0,
+                  1)
+           << "%</td></tr>\n";
+      }
+    }
+    os << "</table>\n";
+  }
+  if (!obs.metrics.empty()) {
+    os << "<h2>Metrics</h2>\n"
+          "<table><tr><th>metric</th><th>value</th></tr>\n";
+    for (const auto& [name, value] : obs.metrics.counters) {
+      os << "<tr><td>" << HtmlEscape(name) << "</td><td>" << value
+         << "</td></tr>\n";
+    }
+    for (const auto& [name, value] : obs.metrics.gauges) {
+      os << "<tr><td>" << HtmlEscape(name) << "</td><td>" << value
+         << "</td></tr>\n";
+    }
+    for (const auto& [name, hist] : obs.metrics.histograms) {
+      os << "<tr><td>" << HtmlEscape(name) << "</td><td>count=" << hist.count
+         << " p50="
+         << HumanDuration(static_cast<double>(hist.Quantile(0.5)))
+         << " p99="
+         << HumanDuration(static_cast<double>(hist.Quantile(0.99)))
+         << "</td></tr>\n";
+    }
+    os << "</table>\n";
+  }
+  if (!obs.trace.empty()) {
+    os << "<p>trace: " << obs.trace.size() << " spans recorded</p>\n";
+  }
+
   os << "</body></html>\n";
   return os.str();
 }

@@ -194,6 +194,72 @@ std::string RenderCostReport(
   return os.str();
 }
 
+namespace {
+
+std::string PhaseLabel(int32_t phase) {
+  return phase == PhaseStageBreakdown::kRunLevelPhase ? "run"
+                                                      : std::to_string(phase);
+}
+
+}  // namespace
+
+std::string RenderObservability(const ObsReport& report) {
+  if (report.empty()) return "";
+  std::ostringstream os;
+  os << "=== Observability ===\n";
+  if (!report.stages.empty()) {
+    os << "--- stage time breakdown (per phase; 'run' = load/train/merge) "
+          "---\n";
+    std::vector<std::vector<std::string>> rows;
+    for (const PhaseStageBreakdown& pb : report.stages) {
+      const int64_t phase_total = pb.TotalNanos();
+      for (size_t s = 0; s < kNumStages; ++s) {
+        const StageAccum& accum = pb.stages[s];
+        if (accum.samples == 0) continue;
+        rows.push_back(
+            {PhaseLabel(pb.phase),
+             std::string(StageName(static_cast<Stage>(s))),
+             HumanDuration(static_cast<double>(accum.total_nanos)),
+             std::to_string(accum.samples),
+             FormatDouble(phase_total > 0
+                              ? 100.0 * static_cast<double>(accum.total_nanos) /
+                                    static_cast<double>(phase_total)
+                              : 0.0,
+                          1)});
+      }
+    }
+    os << RenderTable({"phase", "stage", "time", "samples", "phase%"}, rows);
+  }
+  if (!report.metrics.counters.empty() || !report.metrics.gauges.empty()) {
+    os << "--- counters & gauges ---\n";
+    std::vector<std::vector<std::string>> rows;
+    for (const auto& [name, value] : report.metrics.counters) {
+      rows.push_back({name, std::to_string(value)});
+    }
+    for (const auto& [name, value] : report.metrics.gauges) {
+      rows.push_back({name, std::to_string(value)});
+    }
+    os << RenderTable({"metric", "value"}, rows);
+  }
+  if (!report.metrics.histograms.empty()) {
+    os << "--- latency histograms ---\n";
+    std::vector<std::vector<std::string>> rows;
+    for (const auto& [name, hist] : report.metrics.histograms) {
+      rows.push_back({name, std::to_string(hist.count),
+                      HumanDuration(static_cast<double>(hist.Quantile(0.5))),
+                      HumanDuration(static_cast<double>(hist.Quantile(0.99))),
+                      HumanDuration(static_cast<double>(
+                          hist.count > 0 ? hist.max : 0))});
+    }
+    os << RenderTable({"histogram", "count", "p50", "p99", "max"}, rows);
+  }
+  if (!report.trace.empty()) {
+    os << "trace: " << report.trace.size()
+       << " spans recorded (--trace-out writes the full stream)\n";
+  }
+  return os.str();
+}
+
 std::string SpecializationCsv(const SpecializationReport& report) {
   std::ostringstream out;
   CsvWriter csv(&out);
@@ -252,6 +318,23 @@ std::string PhaseMetricsCsv(const RunMetrics& metrics) {
                   CsvWriter::Field(pm.latency.P99()),
                   CsvWriter::Field(pm.sla_violations),
                   CsvWriter::Field(pm.adjustment_excess_seconds)});
+  }
+  return out.str();
+}
+
+std::string StageBreakdownCsv(const StageBreakdown& stages) {
+  std::ostringstream out;
+  CsvWriter csv(&out);
+  csv.WriteRow({"phase", "stage", "total_nanos", "samples"});
+  for (const PhaseStageBreakdown& pb : stages) {
+    for (size_t s = 0; s < kNumStages; ++s) {
+      const StageAccum& accum = pb.stages[s];
+      if (accum.samples == 0) continue;
+      csv.WriteRow({CsvWriter::Field(static_cast<int64_t>(pb.phase)),
+                    std::string(StageName(static_cast<Stage>(s))),
+                    CsvWriter::Field(accum.total_nanos),
+                    CsvWriter::Field(accum.samples)});
+    }
   }
   return out.str();
 }

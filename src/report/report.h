@@ -8,6 +8,7 @@
 #include "core/driver.h"
 #include "core/metrics.h"
 #include "core/specialization.h"
+#include "obs/observability.h"
 #include "sut/cost_model.h"
 
 namespace lsbench {
@@ -40,11 +41,17 @@ std::string RenderCostReport(
     const std::vector<std::pair<std::string, std::vector<CostPoint>>>& curves,
     double traditional_base_throughput, const DbaCostModel& dba);
 
+/// Observability: the per-phase stage-time breakdown ("where did the time
+/// go"), the merged metrics-registry snapshot (counters, gauges, latency
+/// histograms), and the trace span count. Empty report renders nothing.
+std::string RenderObservability(const ObsReport& report);
+
 /// CSV emitters (one header row + data rows) for downstream plotting.
 std::string SpecializationCsv(const SpecializationReport& report);
 std::string CumulativeCsv(const std::vector<CumulativePoint>& curve);
 std::string SlaBandsCsv(const std::vector<LatencyBand>& bands);
 std::string PhaseMetricsCsv(const RunMetrics& metrics);
+std::string StageBreakdownCsv(const StageBreakdown& stages);
 std::string CostCurveCsv(
     const std::vector<std::pair<std::string, std::vector<CostPoint>>>& curves);
 

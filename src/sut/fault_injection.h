@@ -74,6 +74,9 @@ class FaultInjectingSut final : public SystemUnderTest {
   OpResult ExecuteLane(size_t lane, const Operation& op);
   void OnPhaseStart(int phase_index, bool holdout) override;
   SutStats GetStats() const override { return inner_->GetStats(); }
+  void BindObservability(MetricsRegistry* registry) override {
+    inner_->BindObservability(registry);
+  }
 
   /// Snapshot of what the injector did so far.
   FaultStats fault_stats() const;

@@ -59,6 +59,11 @@ class SerializingSut final : public SystemUnderTest {
     return inner_->GetStats();
   }
 
+  void BindObservability(MetricsRegistry* registry) override {
+    MutexLock lock(mu_);
+    inner_->BindObservability(registry);
+  }
+
  private:
   mutable Mutex mu_;
   SystemUnderTest* const inner_ LSBENCH_PT_GUARDED_BY(mu_);

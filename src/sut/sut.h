@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "index/kv_index.h"
+#include "obs/metrics_registry.h"
 #include "util/status.h"
 #include "workload/operation.h"
 
@@ -94,6 +95,15 @@ class SystemUnderTest {
   }
 
   virtual SutStats GetStats() const = 0;
+
+  /// Offers the SUT a metrics registry to publish internal instruments
+  /// into (retrain counters, model-rebuild latency histograms, ...). Called
+  /// once per run, before Load, only when metrics export is enabled.
+  /// Default: the SUT publishes nothing. `registry` outlives the run;
+  /// wrapper SUTs must forward the call to the system they wrap.
+  virtual void BindObservability(MetricsRegistry* registry) {
+    (void)registry;
+  }
 };
 
 }  // namespace lsbench

@@ -266,6 +266,7 @@ TrainReport LearnedKvSystem::Train() {
       rmi_ != nullptr ? rmi_->last_fit_points() : trained_keys;
   report.work_items = fitted;
   offline_train_items_ += fitted;
+  if (train_items_counter_ != nullptr) train_items_counter_->Increment(fitted);
 
   const std::vector<Key> keys = CurrentKeysSnapshot();
   estimator_ = std::make_unique<LearnedCardinalityEstimator>(
@@ -293,6 +294,16 @@ void LearnedKvSystem::RetrainNow() {
   ++retrain_events_;
   offline_train_items_ += fitted;
   online_train_seconds_ += watch.ElapsedSeconds();
+  if (retrains_counter_ != nullptr) retrains_counter_->Increment();
+  if (train_items_counter_ != nullptr) train_items_counter_->Increment(fitted);
+  if (retrain_nanos_ != nullptr) retrain_nanos_->Record(watch.ElapsedNanos());
+}
+
+void LearnedKvSystem::BindObservability(MetricsRegistry* registry) {
+  if (registry == nullptr) return;
+  retrains_counter_ = registry->GetCounter("sut.retrains");
+  train_items_counter_ = registry->GetCounter("sut.train_items");
+  retrain_nanos_ = registry->GetHistogram("sut.retrain_nanos");
 }
 
 void LearnedKvSystem::MaybeRetrain() {

@@ -130,6 +130,10 @@ class LearnedKvSystem final : public KvSystemBase {
   TrainReport Train() override;
   void OnPhaseStart(int phase_index, bool holdout) override;
   SutStats GetStats() const override;
+  /// Publishes the ad-hoc training tallies as registry instruments:
+  /// "sut.retrains" / "sut.train_items" counters and a "sut.retrain_nanos"
+  /// latency histogram over synchronous retrain stalls.
+  void BindObservability(MetricsRegistry* registry) override;
 
   uint64_t retrain_events() const { return retrain_events_; }
   size_t delta_size() const;
@@ -156,6 +160,9 @@ class LearnedKvSystem final : public KvSystemBase {
   double online_train_seconds_ = 0.0;
   uint64_t offline_train_items_ = 0;
   uint64_t ops_since_drift_check_ = 0;
+  Counter* retrains_counter_ = nullptr;
+  Counter* train_items_counter_ = nullptr;
+  FixedHistogram* retrain_nanos_ = nullptr;
 };
 
 /// Continuously adaptive learned system: the ALEX-style index adapts inside

@@ -1,0 +1,367 @@
+// Unit tests for the observability layer: tracer shard merging, the metrics
+// registry, fixed-bucket histogram merge edge cases (empty shards,
+// single-sample shards, saturated buckets, mismatched layouts), and the
+// per-phase stage-time breakdown merge.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "obs/metrics_registry.h"
+#include "obs/observability.h"
+#include "obs/profile.h"
+#include "obs/trace.h"
+#include "util/clock.h"
+
+namespace lsbench {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Tracer + trace merge
+// ---------------------------------------------------------------------------
+
+TEST(TracerTest, DisabledTracerRecordsNothing) {
+  Tracer tracer(0);
+  EXPECT_FALSE(tracer.enabled());
+  tracer.Record("x", 0, 1);
+  { ScopedSpan span(&tracer, "y"); }
+  { ScopedSpan span(nullptr, "z"); }
+  EXPECT_TRUE(tracer.spans().empty());
+}
+
+TEST(TracerTest, BoundTracerStampsProvenance) {
+  VirtualClock clock;
+  clock.SetNanos(1000);
+  Tracer tracer(3);
+  tracer.Bind(&clock, 1000);
+  tracer.set_phase(2);
+  {
+    ScopedSpan span(&tracer, "work");
+    clock.AdvanceNanos(500);
+  }
+  ASSERT_EQ(tracer.spans().size(), 1u);
+  const TraceSpan& span = tracer.spans()[0];
+  EXPECT_STREQ(span.name, "work");
+  EXPECT_EQ(span.start_nanos, 0);
+  EXPECT_EQ(span.end_nanos, 500);
+  EXPECT_EQ(span.phase, 2);
+  EXPECT_EQ(span.worker, 3u);
+  EXPECT_EQ(span.seq, 0u);
+}
+
+TraceSpan MakeSpan(int64_t start, uint32_t worker, uint64_t seq) {
+  TraceSpan span;
+  span.name = "s";
+  span.start_nanos = start;
+  span.end_nanos = start + 1;
+  span.worker = worker;
+  span.seq = seq;
+  return span;
+}
+
+TEST(TraceMergeTest, OrdersByStartWorkerSeq) {
+  TraceStream shard0 = {MakeSpan(10, 0, 0), MakeSpan(30, 0, 1)};
+  TraceStream shard1 = {MakeSpan(10, 1, 0), MakeSpan(20, 1, 1)};
+  const TraceStream merged = MergeTraceShards({shard0, shard1});
+  ASSERT_EQ(merged.size(), 4u);
+  EXPECT_EQ(merged[0].worker, 0u);  // (10, 0, 0)
+  EXPECT_EQ(merged[1].worker, 1u);  // (10, 1, 0)
+  EXPECT_EQ(merged[2].start_nanos, 20);
+  EXPECT_EQ(merged[3].start_nanos, 30);
+}
+
+TEST(TraceMergeTest, ShardOrderDoesNotMatter) {
+  TraceStream shard0 = {MakeSpan(10, 0, 0), MakeSpan(15, 0, 1)};
+  TraceStream shard1 = {MakeSpan(5, 1, 0), MakeSpan(15, 1, 1)};
+  TraceStream driver = {MakeSpan(15, kDriverTraceWorker, 0)};
+  const TraceStream a = MergeTraceShards({shard0, shard1, driver});
+  const TraceStream b = MergeTraceShards({driver, shard1, shard0});
+  EXPECT_EQ(SerializeTrace(a), SerializeTrace(b));
+  EXPECT_EQ(HashTrace(a), HashTrace(b));
+  // Driver spans sort after every real worker at equal timestamps.
+  EXPECT_EQ(a.back().worker, kDriverTraceWorker);
+}
+
+TEST(TraceMergeTest, SerializationIsStableAndHashable) {
+  const TraceStream trace = {MakeSpan(1, 0, 0), MakeSpan(2, 1, 0)};
+  const std::string text = SerializeTrace(trace);
+  EXPECT_NE(text.find("lsbench-trace v1"), std::string::npos);
+  EXPECT_EQ(HashTrace(trace), HashTrace(trace));
+  EXPECT_NE(HashTrace(trace), HashTrace({MakeSpan(1, 0, 0)}));
+}
+
+// ---------------------------------------------------------------------------
+// Counters, gauges, registry
+// ---------------------------------------------------------------------------
+
+TEST(MetricsRegistryTest, CountersAndGauges) {
+  MetricsRegistry registry;
+  Counter* counter = registry.GetCounter("ops");
+  counter->Increment();
+  counter->Increment(41);
+  EXPECT_EQ(counter->value(), 42u);
+  // Same name -> same instrument (pointer-stable).
+  EXPECT_EQ(registry.GetCounter("ops"), counter);
+
+  Gauge* gauge = registry.GetGauge("depth");
+  gauge->Set(7);
+  gauge->Add(-2);
+  EXPECT_EQ(gauge->value(), 5);
+
+  const MetricsSnapshot snap = registry.Snapshot();
+  ASSERT_EQ(snap.counters.size(), 1u);
+  EXPECT_EQ(snap.counters[0].first, "ops");
+  EXPECT_EQ(snap.counters[0].second, 42u);
+  ASSERT_EQ(snap.gauges.size(), 1u);
+  EXPECT_EQ(snap.gauges[0].second, 5);
+}
+
+TEST(MetricsRegistryTest, SnapshotIsNameSorted) {
+  MetricsRegistry registry;
+  registry.GetCounter("zebra")->Increment();
+  registry.GetCounter("alpha")->Increment();
+  registry.GetCounter("mid")->Increment();
+  const MetricsSnapshot snap = registry.Snapshot();
+  ASSERT_EQ(snap.counters.size(), 3u);
+  EXPECT_EQ(snap.counters[0].first, "alpha");
+  EXPECT_EQ(snap.counters[1].first, "mid");
+  EXPECT_EQ(snap.counters[2].first, "zebra");
+}
+
+// ---------------------------------------------------------------------------
+// Histogram + merge edge cases
+// ---------------------------------------------------------------------------
+
+TEST(HistogramTest, RecordsIntoCorrectBuckets) {
+  FixedHistogram hist({10, 100, 1000});
+  hist.Record(5);     // bucket 0 (<= 10)
+  hist.Record(10);    // bucket 0 (inclusive upper)
+  hist.Record(11);    // bucket 1
+  hist.Record(5000);  // saturation bucket
+  const HistogramSnapshot snap = hist.Snapshot();
+  ASSERT_EQ(snap.counts.size(), 4u);
+  EXPECT_EQ(snap.counts[0], 2u);
+  EXPECT_EQ(snap.counts[1], 1u);
+  EXPECT_EQ(snap.counts[2], 0u);
+  EXPECT_EQ(snap.counts[3], 1u);
+  EXPECT_EQ(snap.count, 4u);
+  EXPECT_EQ(snap.min, 5);
+  EXPECT_EQ(snap.max, 5000);
+  EXPECT_EQ(snap.sum, 5 + 10 + 11 + 5000);
+}
+
+TEST(HistogramTest, QuantileWalksBucketsAndSaturation) {
+  FixedHistogram hist({10, 100, 1000});
+  for (int i = 0; i < 90; ++i) hist.Record(5);
+  for (int i = 0; i < 9; ++i) hist.Record(50);
+  hist.Record(777777);  // One outlier in the saturation bucket.
+  const HistogramSnapshot snap = hist.Snapshot();
+  EXPECT_EQ(snap.Quantile(0.5), 10);    // Bucket upper bound.
+  EXPECT_EQ(snap.Quantile(0.95), 100);
+  EXPECT_EQ(snap.Quantile(1.0), 777777);  // Saturation reports max.
+  EXPECT_EQ(snap.Quantile(0.0), 5);       // q=0 reports min.
+}
+
+TEST(HistogramMergeTest, EmptyShardIsANoOp) {
+  FixedHistogram hist({10, 100});
+  hist.Record(7);
+  HistogramSnapshot target = hist.Snapshot();
+  const HistogramSnapshot empty;
+  ASSERT_TRUE(target.MergeFrom(empty).ok());
+  EXPECT_EQ(target.count, 1u);
+  EXPECT_EQ(target.min, 7);
+  EXPECT_EQ(target.max, 7);
+}
+
+TEST(HistogramMergeTest, UninitializedTargetAdoptsSourceLayout) {
+  HistogramSnapshot target;  // Never recorded into, no bounds.
+  FixedHistogram hist({10, 100});
+  hist.Record(50);
+  ASSERT_TRUE(target.MergeFrom(hist.Snapshot()).ok());
+  EXPECT_EQ(target.count, 1u);
+  ASSERT_EQ(target.bounds.size(), 2u);
+  EXPECT_EQ(target.counts[1], 1u);
+}
+
+TEST(HistogramMergeTest, SingleSampleShardsAccumulateMinMax) {
+  FixedHistogram a({10, 100});
+  a.Record(3);
+  FixedHistogram b({10, 100});
+  b.Record(99);
+  HistogramSnapshot target = a.Snapshot();
+  ASSERT_TRUE(target.MergeFrom(b.Snapshot()).ok());
+  EXPECT_EQ(target.count, 2u);
+  EXPECT_EQ(target.min, 3);
+  EXPECT_EQ(target.max, 99);
+  EXPECT_EQ(target.sum, 102);
+}
+
+TEST(HistogramMergeTest, SaturatedBucketsSum) {
+  FixedHistogram a({10});
+  a.Record(1000000);
+  a.Record(2000000);
+  FixedHistogram b({10});
+  b.Record(3000000);
+  HistogramSnapshot target = a.Snapshot();
+  ASSERT_TRUE(target.MergeFrom(b.Snapshot()).ok());
+  ASSERT_EQ(target.counts.size(), 2u);
+  EXPECT_EQ(target.counts[1], 3u);  // All three in the saturation bucket.
+  EXPECT_EQ(target.max, 3000000);
+  EXPECT_EQ(target.Quantile(0.99), 3000000);
+}
+
+TEST(HistogramMergeTest, MismatchedBoundsIsAnError) {
+  FixedHistogram a({10, 100});
+  a.Record(1);
+  FixedHistogram b({10, 100, 1000});
+  b.Record(1);
+  HistogramSnapshot target = a.Snapshot();
+  const Status status = target.MergeFrom(b.Snapshot());
+  EXPECT_TRUE(status.IsInvalidArgument()) << status.ToString();
+  // Target is structurally unchanged after a refused merge.
+  EXPECT_EQ(target.count, 1u);
+  EXPECT_EQ(target.bounds.size(), 2u);
+}
+
+TEST(MetricsMergeTest, ShardsSumByName) {
+  MetricsRegistry worker0;
+  MetricsRegistry worker1;
+  worker0.GetCounter("executor.attempts")->Increment(10);
+  worker1.GetCounter("executor.attempts")->Increment(5);
+  worker1.GetCounter("executor.retries")->Increment(2);
+  worker0.GetHistogram("latency", {100, 200})->Record(150);
+  worker1.GetHistogram("latency", {100, 200})->Record(50);
+
+  const Result<MetricsSnapshot> merged =
+      MergeMetricsShards({worker0.Snapshot(), worker1.Snapshot()});
+  ASSERT_TRUE(merged.ok()) << merged.status().ToString();
+  ASSERT_EQ(merged.value().counters.size(), 2u);
+  EXPECT_EQ(merged.value().counters[0].first, "executor.attempts");
+  EXPECT_EQ(merged.value().counters[0].second, 15u);
+  EXPECT_EQ(merged.value().counters[1].second, 2u);
+  ASSERT_EQ(merged.value().histograms.size(), 1u);
+  EXPECT_EQ(merged.value().histograms[0].second.count, 2u);
+}
+
+TEST(MetricsMergeTest, MismatchedHistogramLayoutsSurfaceAnError) {
+  MetricsRegistry worker0;
+  MetricsRegistry worker1;
+  worker0.GetHistogram("latency", {100})->Record(1);
+  worker1.GetHistogram("latency", {100, 200})->Record(1);
+  const Result<MetricsSnapshot> merged =
+      MergeMetricsShards({worker0.Snapshot(), worker1.Snapshot()});
+  EXPECT_FALSE(merged.ok());
+  EXPECT_TRUE(merged.status().IsInvalidArgument());
+}
+
+// ---------------------------------------------------------------------------
+// Stage profiler + breakdown merge
+// ---------------------------------------------------------------------------
+
+TEST(StageProfilerTest, DisabledProfilerIsANoOp) {
+  StageProfiler profiler;
+  EXPECT_FALSE(profiler.enabled());
+  profiler.Add(Stage::kExecute, 100);
+  { StageTimer timer(&profiler, Stage::kExecute); }
+  { StageTimer timer(nullptr, Stage::kExecute); }
+  EXPECT_TRUE(profiler.Breakdown().empty());
+}
+
+TEST(StageProfilerTest, ChargesTheCurrentPhase) {
+  VirtualClock clock;
+  StageProfiler profiler;
+  profiler.Bind(&clock);
+  profiler.set_phase(0);
+  {
+    StageTimer timer(&profiler, Stage::kExecute);
+    clock.AdvanceNanos(100);
+  }
+  profiler.set_phase(1);
+  {
+    StageTimer timer(&profiler, Stage::kExecute);
+    clock.AdvanceNanos(50);
+  }
+  profiler.Add(Stage::kGenerate, 7);
+
+  const StageBreakdown breakdown = profiler.Breakdown();
+  ASSERT_EQ(breakdown.size(), 2u);
+  EXPECT_EQ(breakdown[0].phase, 0);
+  EXPECT_EQ(
+      breakdown[0].stages[static_cast<size_t>(Stage::kExecute)].total_nanos,
+      100);
+  EXPECT_EQ(breakdown[1].phase, 1);
+  EXPECT_EQ(
+      breakdown[1].stages[static_cast<size_t>(Stage::kExecute)].total_nanos,
+      50);
+  EXPECT_EQ(
+      breakdown[1].stages[static_cast<size_t>(Stage::kGenerate)].samples, 1u);
+}
+
+TEST(StageBreakdownMergeTest, SumsPhaseByPhase) {
+  PhaseStageBreakdown run_level;
+  run_level.phase = PhaseStageBreakdown::kRunLevelPhase;
+  run_level.stages[static_cast<size_t>(Stage::kLoad)] = {1000, 1};
+
+  PhaseStageBreakdown phase0_a;
+  phase0_a.phase = 0;
+  phase0_a.stages[static_cast<size_t>(Stage::kExecute)] = {100, 10};
+  PhaseStageBreakdown phase0_b;
+  phase0_b.phase = 0;
+  phase0_b.stages[static_cast<size_t>(Stage::kExecute)] = {50, 5};
+  PhaseStageBreakdown phase1;
+  phase1.phase = 1;
+  phase1.stages[static_cast<size_t>(Stage::kPace)] = {30, 3};
+
+  StageBreakdown target = {run_level, phase0_a};
+  MergeStageBreakdown(&target, {phase0_b, phase1});
+  ASSERT_EQ(target.size(), 3u);
+  EXPECT_EQ(target[0].phase, PhaseStageBreakdown::kRunLevelPhase);
+  EXPECT_EQ(target[1].phase, 0);
+  EXPECT_EQ(
+      target[1].stages[static_cast<size_t>(Stage::kExecute)].total_nanos,
+      150);
+  EXPECT_EQ(target[1].stages[static_cast<size_t>(Stage::kExecute)].samples,
+            15u);
+  EXPECT_EQ(target[2].phase, 1);
+  EXPECT_EQ(target[2].stages[static_cast<size_t>(Stage::kPace)].samples, 3u);
+}
+
+TEST(StageBreakdownMergeTest, MergeIntoEmptyTargetCopies) {
+  PhaseStageBreakdown phase0;
+  phase0.phase = 0;
+  phase0.stages[static_cast<size_t>(Stage::kRecord)] = {42, 6};
+  StageBreakdown target;
+  MergeStageBreakdown(&target, {phase0});
+  ASSERT_EQ(target.size(), 1u);
+  EXPECT_EQ(target[0].stages[static_cast<size_t>(Stage::kRecord)].total_nanos,
+            42);
+}
+
+TEST(StageNameTest, EveryStageHasAName) {
+  for (size_t s = 0; s < kNumStages; ++s) {
+    EXPECT_FALSE(StageName(static_cast<Stage>(s)).empty());
+  }
+}
+
+TEST(ObservabilitySpecTest, EnabledAndEquality) {
+  ObservabilitySpec all_off;
+  all_off.metrics = false;
+  EXPECT_FALSE(all_off.Enabled());
+  ObservabilitySpec defaults;
+  EXPECT_TRUE(defaults.Enabled());  // metrics defaults on.
+  EXPECT_FALSE(defaults == all_off);
+}
+
+TEST(RenderTraceFileTest, HeaderCarriesRunIdentity) {
+  ObsReport report;
+  report.trace.push_back(MakeSpan(1, 0, 0));
+  const std::string payload = RenderTraceFile(report, "myrun", "mysut", 4);
+  EXPECT_NE(payload.find("lsbench-trace v1"), std::string::npos);
+  EXPECT_NE(payload.find("run=myrun"), std::string::npos);
+  EXPECT_NE(payload.find("sut=mysut"), std::string::npos);
+  EXPECT_NE(payload.find("workers=4"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace lsbench

@@ -5,7 +5,7 @@
 //   lsbench_cli <spec-file> [--sut=btree|lsm|rmi|pgm|adaptive|stdcmp]
 //               [--no-holdout-enforcement] [--csv] [--html=PATH]
 //               [--faults=RATE] [--no-faults] [--op-timeout-us=N]
-//               [--retries=N] [--workers=N]
+//               [--retries=N] [--workers=N] [--trace-out=PATH] [--sim]
 //
 //   --sut               system under test (default btree). "stdcmp" runs
 //                       btree + rmi + adaptive through the comparison
@@ -24,6 +24,12 @@
 //   --retries=N         override the max retry count for transient errors
 //   --workers=N         override the execution fan-out ([execution] workers;
 //                       1 reproduces the historical serial driver exactly)
+//   --trace-out=PATH    write the merged observability trace (spans, stage
+//                       breakdown, metrics snapshot) to PATH; forces the
+//                       spec's [observability] trace/profile/metrics on
+//   --sim               run on a virtual clock (simulation mode): fully
+//                       deterministic timestamps, so two identical --sim
+//                       runs produce byte-identical --trace-out files
 //
 // See src/core/spec_text.h for the spec file format; sample specs live in
 // specs/.
@@ -47,14 +53,20 @@
 namespace lsbench {
 namespace {
 
-std::unique_ptr<SystemUnderTest> MakeSut(const std::string& kind) {
+/// `clock` (may be null → RealClock) times SUT-internal retraining; passing
+/// the simulation clock keeps every exported duration virtual, so --sim
+/// --trace-out files stay byte-identical run to run.
+std::unique_ptr<SystemUnderTest> MakeSut(const std::string& kind,
+                                         const Clock* clock) {
   if (kind == "btree") return std::make_unique<BTreeSystem>();
   if (kind == "lsm") return std::make_unique<LsmKvSystem>();
-  if (kind == "rmi") return std::make_unique<LearnedKvSystem>();
+  if (kind == "rmi") {
+    return std::make_unique<LearnedKvSystem>(LearnedSystemOptions(), clock);
+  }
   if (kind == "pgm") {
     LearnedSystemOptions options;
     options.index_kind = LearnedSystemOptions::IndexKind::kPgm;
-    return std::make_unique<LearnedKvSystem>(options);
+    return std::make_unique<LearnedKvSystem>(options, clock);
   }
   if (kind == "adaptive") return std::make_unique<AdaptiveKvSystem>();
   return nullptr;
@@ -71,6 +83,8 @@ int Run(int argc, char** argv) {
   int retries = -1;
   int workers = -1;
   std::string html_path;
+  std::string trace_path;
+  bool simulate = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--sut=", 0) == 0) {
@@ -91,6 +105,10 @@ int Run(int argc, char** argv) {
       retries = std::atoi(arg.c_str() + 10);
     } else if (arg.rfind("--workers=", 0) == 0) {
       workers = std::atoi(arg.c_str() + 10);
+    } else if (arg.rfind("--trace-out=", 0) == 0) {
+      trace_path = arg.substr(12);
+    } else if (arg == "--sim") {
+      simulate = true;
     } else if (!arg.empty() && arg[0] != '-') {
       spec_path = arg;
     } else {
@@ -133,6 +151,11 @@ int Run(int argc, char** argv) {
   if (op_timeout_us >= 0) spec.resilience.op_timeout_nanos = op_timeout_us * 1000;
   if (retries >= 0) spec.resilience.max_retries = static_cast<uint32_t>(retries);
   if (workers >= 0) spec.execution.workers = static_cast<uint32_t>(workers);
+  if (!trace_path.empty()) {
+    spec.observability.trace = true;
+    spec.observability.profile = true;
+    spec.observability.metrics = true;
+  }
   if (const Status st = spec.Validate(); !st.ok()) {
     std::fprintf(stderr, "spec error: %s\n", st.ToString().c_str());
     return 1;
@@ -145,13 +168,20 @@ int Run(int argc, char** argv) {
 
   DriverOptions driver_options;
   driver_options.enforce_holdout_once = enforce_holdout;
+  VirtualClock virtual_clock;
+  const Clock* clock = nullptr;
+  if (simulate) {
+    driver_options.virtual_clock = &virtual_clock;
+    clock = &virtual_clock;
+    std::printf("simulation mode: virtual clock, deterministic timestamps\n");
+  }
 
   if (sut_kind == "stdcmp") {
     BTreeSystem btree;
     LearnedKvSystem rmi;
     AdaptiveKvSystem adaptive;
     const Result<ComparisonReport> report = CompareSystems(
-        spec, {&btree, &rmi, &adaptive}, nullptr, driver_options);
+        spec, {&btree, &rmi, &adaptive}, clock, driver_options);
     if (!report.ok()) {
       std::fprintf(stderr, "run error: %s\n",
                    report.status().ToString().c_str());
@@ -161,12 +191,12 @@ int Run(int argc, char** argv) {
     return 0;
   }
 
-  const std::unique_ptr<SystemUnderTest> sut = MakeSut(sut_kind);
+  const std::unique_ptr<SystemUnderTest> sut = MakeSut(sut_kind, clock);
   if (sut == nullptr) {
     std::fprintf(stderr, "unknown --sut: %s\n", sut_kind.c_str());
     return 2;
   }
-  BenchmarkDriver driver(nullptr, driver_options);
+  BenchmarkDriver driver(clock, driver_options);
   const Result<RunResult> result = driver.Run(spec, sut.get());
   if (!result.ok()) {
     std::fprintf(stderr, "run error: %s\n",
@@ -175,6 +205,20 @@ int Run(int argc, char** argv) {
   }
   const RunResult& run = result.value();
   std::printf("%s\n", RenderRunSummary(run).c_str());
+  if (!run.observability.empty()) {
+    std::printf("%s\n", RenderObservability(run.observability).c_str());
+  }
+  if (!trace_path.empty()) {
+    const std::string payload = RenderTraceFile(
+        run.observability, run.run_name, run.sut_name, spec.execution.workers);
+    std::ofstream trace_out(trace_path, std::ios::binary | std::ios::trunc);
+    if (!trace_out || !(trace_out << payload)) {
+      std::fprintf(stderr, "cannot write trace to %s\n", trace_path.c_str());
+      return 1;
+    }
+    trace_out.close();
+    std::printf("wrote trace to %s\n", trace_path.c_str());
+  }
   const SpecializationReport specialization =
       BuildSpecializationReport(spec, run);
   std::printf("%s\n", RenderSpecializationReport(specialization).c_str());
@@ -197,6 +241,10 @@ int Run(int argc, char** argv) {
     std::printf("## bands.csv\n%s\n",
                 SlaBandsCsv(run.metrics.bands).c_str());
     std::printf("## phases.csv\n%s\n", PhaseMetricsCsv(run.metrics).c_str());
+    if (!run.observability.stages.empty()) {
+      std::printf("## stages.csv\n%s\n",
+                  StageBreakdownCsv(run.observability.stages).c_str());
+    }
   }
   return 0;
 }
