@@ -1,0 +1,161 @@
+// Open-loop overload sweep: the same workload offered at 0.5x, 1x, 2x and
+// 4x the sustainable service rate, through the [service] admission queue
+// with the SLO-aware shedder. Reports offered vs achieved QPS, the
+// coordinated-omission-correct intended-arrival p99 next to the
+// measured-issue (service-time) p99, and the realized shed fraction.
+//
+// Expected shape: below saturation the two p99 columns agree and nothing
+// sheds; past saturation the intended p99 grows with the queue while the
+// service p99 stays flat, and the shedder holds goodput near the
+// sustainable rate by dropping the excess.
+//
+// Runs entirely on a virtual clock (simulation mode), so the emitted JSON
+// is byte-identical run to run and machine to machine — CI regenerates
+// BENCH_service_mode.json and diffs it against the committed copy.
+//
+// Usage: service_overload [output.json]   (default BENCH_service_mode.json)
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+
+namespace lsbench {
+namespace {
+
+// The simulated executor serves one operation per 100 us of virtual time,
+// so one worker sustains exactly 10k qps.
+constexpr double kSustainableQps = 10000.0;
+constexpr uint64_t kOpsPerPoint = 20000;
+
+RunSpec BuildSpec(const Dataset& dataset, double multiplier) {
+  RunSpec spec;
+  spec.name = "service_overload_x" + std::to_string(multiplier);
+  spec.seed = 4242;
+  spec.datasets.push_back(dataset);
+  spec.interval_nanos = 100000000;  // 100 ms.
+  spec.boxplot_sample_nanos = 10000000;
+
+  PhaseSpec phase;
+  phase.name = "offered";
+  phase.dataset_index = 0;
+  phase.mix.get = 0.9;
+  phase.mix.update = 0.1;
+  phase.access = AccessPattern::kZipfian;
+  phase.access_param = 0.99;
+  phase.arrival = ArrivalPattern::kConstant;
+  phase.arrival_rate_qps = kSustainableQps * multiplier;
+  phase.num_operations = kOpsPerPoint;
+  spec.phases.push_back(phase);
+
+  spec.service.enabled = true;
+  spec.service.queue_capacity = 64;
+  spec.service.policy = OverloadPolicy::kSloShed;
+  spec.service.slo_p99_nanos = 2000000;  // 2 ms response target.
+  spec.service.max_shed_fraction = 0.9;
+  return spec;
+}
+
+struct SweepPoint {
+  double multiplier = 0.0;
+  double offered_qps = 0.0;
+  double achieved_qps = 0.0;
+  double intended_p99_us = 0.0;  ///< Response time from the intended arrival.
+  double service_p99_us = 0.0;   ///< Service time from the actual issue.
+  double shed_fraction = 0.0;
+};
+
+SweepPoint RunPoint(const Dataset& dataset, double multiplier) {
+  VirtualClock clock;
+  DriverOptions options;
+  options.virtual_clock = &clock;
+  options.enforce_holdout_once = false;
+  BenchmarkDriver driver(&clock, options);
+  BTreeSystem sut;
+  const RunSpec spec = BuildSpec(dataset, multiplier);
+  Result<RunResult> result = driver.Run(spec, &sut);
+  if (!result.ok()) {
+    std::fprintf(stderr, "benchmark run failed: %s\n",
+                 result.status().ToString().c_str());
+    std::abort();
+  }
+  const ServiceMetrics& sm = result.value().metrics.service;
+  SweepPoint point;
+  point.multiplier = multiplier;
+  point.offered_qps = sm.offered_qps;
+  point.achieved_qps = sm.achieved_qps;
+  point.intended_p99_us = sm.response_latency.P99() / 1000.0;
+  point.service_p99_us = sm.service_latency.P99() / 1000.0;
+  point.shed_fraction = sm.shed_fraction;
+  return point;
+}
+
+int Main(int argc, char** argv) {
+  const std::string out_path =
+      argc > 1 ? argv[1] : "BENCH_service_mode.json";
+  bench::Header("Open-loop service mode: offered load vs goodput");
+  std::printf("virtual service time 100 us => sustainable %.0f qps; "
+              "slo_shed, queue 64, SLO 2 ms, shed budget 0.9\n",
+              kSustainableQps);
+
+  DatasetOptions dataset_options;
+  dataset_options.num_keys = 20000;
+  dataset_options.seed = 7;
+  const Dataset dataset = GenerateDataset(UniformUnit(), dataset_options);
+
+  std::vector<SweepPoint> points;
+  for (const double multiplier : {0.5, 1.0, 2.0, 4.0}) {
+    points.push_back(RunPoint(dataset, multiplier));
+  }
+
+  std::printf(
+      "\n| offered | offered qps | goodput qps | intended p99 (us) | "
+      "service p99 (us) | shed %% |\n");
+  std::printf(
+      "|---------|-------------|-------------|-------------------|"
+      "------------------|--------|\n");
+  for (const SweepPoint& p : points) {
+    std::printf("| %6.1fx | %11.0f | %11.0f | %17.1f | %16.1f | %5.1f%% |\n",
+                p.multiplier, p.offered_qps, p.achieved_qps,
+                p.intended_p99_us, p.service_p99_us,
+                p.shed_fraction * 100.0);
+  }
+  std::printf("\ncsv: multiplier,offered_qps,achieved_qps,intended_p99_us,"
+              "service_p99_us,shed_fraction\n");
+  for (const SweepPoint& p : points) {
+    std::printf("csv: %.1f,%.1f,%.1f,%.1f,%.1f,%.4f\n", p.multiplier,
+                p.offered_qps, p.achieved_qps, p.intended_p99_us,
+                p.service_p99_us, p.shed_fraction);
+  }
+
+  std::FILE* out = std::fopen(out_path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(out, "{\n  \"bench\": \"service_overload\",\n");
+  std::fprintf(out, "  \"sustainable_qps\": %.1f,\n", kSustainableQps);
+  std::fprintf(out, "  \"ops_per_point\": %llu,\n",
+               static_cast<unsigned long long>(kOpsPerPoint));
+  std::fprintf(out, "  \"points\": [\n");
+  for (size_t i = 0; i < points.size(); ++i) {
+    const SweepPoint& p = points[i];
+    std::fprintf(out,
+                 "    {\"multiplier\": %.1f, \"offered_qps\": %.1f, "
+                 "\"achieved_qps\": %.1f, \"intended_p99_us\": %.1f, "
+                 "\"service_p99_us\": %.1f, \"shed_fraction\": %.4f}%s\n",
+                 p.multiplier, p.offered_qps, p.achieved_qps,
+                 p.intended_p99_us, p.service_p99_us, p.shed_fraction,
+                 i + 1 < points.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+  std::printf("\nwrote %s\n", out_path.c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace lsbench
+
+int main(int argc, char** argv) { return lsbench::Main(argc, argv); }

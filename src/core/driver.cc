@@ -8,6 +8,7 @@
 
 #include "core/event_sink.h"
 #include "core/executor.h"
+#include "core/service.h"
 #include "core/workload_stream.h"
 #include "obs/observability.h"
 #include "sut/fault_injection.h"
@@ -98,6 +99,9 @@ struct WorkerContext {
   std::optional<LaneSut> lane;
   std::optional<WorkloadStream> stream;
   std::optional<ResilientExecutor> executor;
+  /// Armed only in [service] mode; persists across phases (the shed budget
+  /// and the smoothed service time are run-scoped, like the breaker).
+  std::optional<AdmissionQueue> admission;
   EventSink sink{0};
   int32_t current_phase = 0;
   /// Armed only when the spec enables observability (and the build keeps
@@ -133,6 +137,9 @@ void RunWorkerPhase(WorkerContext* ctx, int64_t run_start_nanos) {
     event.timestamp_nanos = completion_rel;
     event.latency_nanos =
         std::max<int64_t>(0, completion_rel - issue.arrival_rel_nanos);
+    // Inline pacing issues the op the moment its arrival is due, so the
+    // issue time IS the (clamped) intended arrival — no queueing here.
+    event.issue_nanos = completion_rel - event.latency_nanos;
     event.phase = ctx->current_phase;
     event.type = issue.op.type;
     event.ok = !outcome.failed && outcome.result.ok;
@@ -141,6 +148,95 @@ void RunWorkerPhase(WorkerContext* ctx, int64_t run_start_nanos) {
     event.failed = outcome.failed;
     event.timed_out = outcome.timed_out;
     event.shed = outcome.shed;
+    event.open_loop = issue.open_loop;
+    ctx->sink.Record(event);
+    stream.RecordCompletion(completion_rel);
+  }
+}
+
+/// Drains one worker's current phase in [service] mode: arrivals fire at
+/// their intended times into the bounded admission queue, the executor
+/// drains the queue as fast as the SUT allows, and the overload policy
+/// sheds what cannot be served. Unlike RunWorkerPhase, an operation's issue
+/// time can lag its intended arrival — that gap (queue wait) is exactly
+/// what coordinated-omission-correct latency must include.
+void RunWorkerServicePhase(WorkerContext* ctx, int64_t run_start_nanos) {
+  WorkloadStream& stream = *ctx->stream;
+  ResilientExecutor& executor = *ctx->executor;
+  AdmissionQueue& queue = *ctx->admission;
+  const Pacer pacer(ctx->clock, ctx->sim_clock);
+#if !defined(LSBENCH_NO_TRACING)
+  StageProfiler* profiler =
+      ctx->obs != nullptr ? &ctx->obs->profiler : nullptr;
+#endif
+
+  // Sheds complete instantly at the decision point: no SUT work happens,
+  // and the virtual clock does not advance (that keeps overload schedules
+  // hand-computable). Their response time still counts from the intended
+  // arrival — a dropped request is a served-badly request, not a missing
+  // sample.
+  const auto record_shed = [ctx](const WorkloadStream::Issue& issue,
+                                 int64_t now_rel) {
+    OpEvent event;
+    event.timestamp_nanos = now_rel;
+    event.latency_nanos =
+        std::max<int64_t>(0, now_rel - issue.arrival_rel_nanos);
+    event.issue_nanos = now_rel;
+    event.phase = ctx->current_phase;
+    event.type = issue.op.type;
+    event.ok = false;
+    event.failed = true;
+    event.queue_shed = true;
+    event.open_loop = issue.open_loop;
+    ctx->sink.Record(event);
+  };
+
+  while (stream.HasNext() || !queue.empty()) {
+    const int64_t now_rel = ctx->clock->NowNanos() - run_start_nanos;
+
+    // Fire every arrival that is due. Admission consults the breaker: a
+    // non-closed state means the SUT is degraded and the SLO-aware policy
+    // sheds more eagerly.
+    while (stream.HasNext() &&
+           stream.Peek().arrival_rel_nanos <= now_rel) {
+      const CircuitBreaker* breaker = executor.breaker();
+      const bool degraded = breaker != nullptr &&
+                            breaker->state() != CircuitBreaker::State::kClosed;
+      const WorkloadStream::Issue arrival = stream.Next();
+      const AdmissionQueue::Admission admission =
+          queue.Offer(arrival, now_rel, degraded);
+      if (admission.shed.has_value()) record_shed(*admission.shed, now_rel);
+    }
+
+    if (queue.empty()) {
+      if (!stream.HasNext()) break;
+      {
+        LSBENCH_PROFILE_STAGE(profiler, Stage::kPace);
+        pacer.PaceUntil(run_start_nanos + stream.Peek().arrival_rel_nanos);
+      }
+      continue;
+    }
+
+    const WorkloadStream::Issue issue = queue.PopFront(now_rel);
+    const ExecOutcome outcome =
+        executor.ExecuteOne(issue.op, issue.arrival_rel_nanos);
+    const int64_t completion_rel = ctx->clock->NowNanos() - run_start_nanos;
+    queue.RecordServiceTime(completion_rel - now_rel);
+
+    OpEvent event;
+    event.timestamp_nanos = completion_rel;
+    event.latency_nanos =
+        std::max<int64_t>(0, completion_rel - issue.arrival_rel_nanos);
+    event.issue_nanos = now_rel;
+    event.phase = ctx->current_phase;
+    event.type = issue.op.type;
+    event.ok = !outcome.failed && outcome.result.ok;
+    event.rows = outcome.result.rows;
+    event.retries = outcome.retries;
+    event.failed = outcome.failed;
+    event.timed_out = outcome.timed_out;
+    event.shed = outcome.shed;
+    event.open_loop = issue.open_loop;
     ctx->sink.Record(event);
     stream.RecordCompletion(completion_rel);
   }
@@ -319,6 +415,7 @@ Result<RunResult> BenchmarkDriver::Run(const RunSpec& spec,
                          Pacer(ctx.clock, ctx.sim_clock),
                          root.Fork(kBackoffStreamTag).Next(),
                          spec.resilience.breaker_enabled, exec_options);
+    if (spec.service.enabled) ctx.admission.emplace(spec.service);
 
 #if !defined(LSBENCH_NO_TRACING)
     // Per-worker observability shard. The hooks only *read* the worker's
@@ -349,6 +446,14 @@ Result<RunResult> BenchmarkDriver::Run(const RunSpec& spec,
                         ? registry->GetCounter("sink.events_recorded")
                         : nullptr);
       ctx.executor->BindObservability(tracer, profiler, registry);
+      if (ctx.admission.has_value() && registry != nullptr) {
+        ctx.admission->BindObservability(
+            registry->GetGauge("service.queue_depth"),
+            registry->GetGauge("service.queue_peak_depth"),
+            registry->GetCounter("service.admitted"),
+            registry->GetCounter("service.shed"),
+            registry->GetHistogram("service.queue_wait"));
+      }
     }
 #endif
   }
@@ -389,13 +494,19 @@ Result<RunResult> BenchmarkDriver::Run(const RunSpec& spec,
           ctx.clock->NowNanos() - run_start);
     }
 
+    // Service mode swaps the inner loop: arrivals fire into the admission
+    // queue instead of pacing inline. Everything around it (barriers,
+    // merge, clocks) is unchanged.
+    const auto run_worker = spec.service.enabled ? RunWorkerServicePhase
+                                                 : RunWorkerPhase;
+
     if (workers == 1) {
-      RunWorkerPhase(&contexts[0], run_start);
+      run_worker(&contexts[0], run_start);
     } else if (simulated) {
       // Deterministic simulated fan-out: workers run sequentially on
       // private virtual clocks, then a *virtual barrier* advances every
       // clock to the phase's maximum. Event order is recovered at merge.
-      for (WorkerContext& ctx : contexts) RunWorkerPhase(&ctx, run_start);
+      for (WorkerContext& ctx : contexts) run_worker(&ctx, run_start);
       int64_t max_nanos = options_.virtual_clock->NowNanos();
       for (const WorkerContext& ctx : contexts) {
         max_nanos = std::max(max_nanos, ctx.clock->NowNanos());
@@ -415,7 +526,7 @@ Result<RunResult> BenchmarkDriver::Run(const RunSpec& spec,
       std::vector<std::thread> threads;
       threads.reserve(workers);
       for (WorkerContext& ctx : contexts) {
-        threads.emplace_back(RunWorkerPhase, &ctx, run_start);
+        threads.emplace_back(run_worker, &ctx, run_start);
       }
       for (std::thread& t : threads) t.join();
     }

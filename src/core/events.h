@@ -14,7 +14,16 @@ namespace lsbench {
 /// against synthetic streams.
 struct OpEvent {
   int64_t timestamp_nanos = 0;  ///< Completion time (run-relative).
-  int64_t latency_nanos = 0;    ///< Completion minus intended arrival.
+  /// Completion minus *intended arrival* — the response time. On open-loop
+  /// runs this includes any queueing delay, which is what makes the metric
+  /// coordinated-omission-correct: the intended arrival is recoverable as
+  /// `timestamp_nanos - latency_nanos` even for operations that waited.
+  int64_t latency_nanos = 0;
+  /// When the operation actually started executing (run-relative). On
+  /// closed-loop runs this equals the intended arrival; on open-loop runs
+  /// `issue_nanos - (timestamp_nanos - latency_nanos)` is the queue wait
+  /// and `timestamp_nanos - issue_nanos` the service time.
+  int64_t issue_nanos = 0;
   int32_t phase = 0;
   OpType type = OpType::kGet;
   bool ok = false;
@@ -24,6 +33,12 @@ struct OpEvent {
   bool failed = false;    ///< Operation ultimately failed (any cause).
   bool timed_out = false; ///< Exceeded its per-op timeout budget.
   bool shed = false;      ///< Dropped unexecuted by the open circuit breaker.
+  /// Dropped unexecuted by the admission queue's overload policy
+  /// ([service] mode). Distinct from `shed` (breaker) — both imply failed.
+  bool queue_shed = false;
+  /// Scheduled by an open-loop arrival process (latency is a response
+  /// time); false on closed-loop phases (latency is a service time).
+  bool open_loop = false;
   // Provenance (multi-worker runs): which worker shard produced the event
   // and its issue order within that shard. Together with the timestamp they
   // define the deterministic merge order (timestamp, worker, seq) — ties

@@ -178,6 +178,11 @@ MetricsOptions MetricsOptions::FromSpec(const RunSpec& spec) {
   options.sla_nanos = spec.sla.threshold_nanos;
   options.sla_auto_percentile = spec.sla.auto_percentile;
   options.sla_auto_margin = spec.sla.auto_margin;
+  options.service_enabled = spec.service.enabled;
+  options.service_policy = OverloadPolicyToString(spec.service.policy);
+  options.service_queue_capacity = spec.service.queue_capacity;
+  options.service_slo_p99_nanos = spec.service.slo_p99_nanos;
+  options.service_max_shed_fraction = spec.service.max_shed_fraction;
   return options;
 }
 
@@ -190,6 +195,26 @@ void ShardAccumulation::Accumulate(const OpEvent& event, int64_t sla_nanos) {
   if (event.timed_out) ++timeouts;
   if (event.shed) ++shed_operations;
   total_retries += event.retries;
+  if (event.open_loop) {
+    ++open_loop_operations;
+    const int64_t intended = event.timestamp_nanos - event.latency_nanos;
+    intended_min_nanos = std::min(intended_min_nanos, intended);
+    intended_max_nanos = std::max(intended_max_nanos, intended);
+    if (event.queue_shed) {
+      ++queue_shed_operations;
+    } else {
+      // Executed ops only: a shed's "latency" is the policy's decision
+      // delay, not a measurement of the SUT. Since issue >= intended
+      // arrival, response >= service pointwise, so the p99 gap the report
+      // prints — the coordinated-omission error — is nonnegative by
+      // construction.
+      response_latency.Record(static_cast<double>(event.latency_nanos));
+      service_latency.Record(
+          static_cast<double>(event.timestamp_nanos - event.issue_nanos));
+      queue_wait.Record(
+          static_cast<double>(event.issue_nanos - intended));
+    }
+  }
 }
 
 void ShardAccumulation::Merge(const ShardAccumulation& other) {
@@ -201,6 +226,13 @@ void ShardAccumulation::Merge(const ShardAccumulation& other) {
   shed_operations += other.shed_operations;
   total_retries += other.total_retries;
   latency.Merge(other.latency);
+  open_loop_operations += other.open_loop_operations;
+  queue_shed_operations += other.queue_shed_operations;
+  response_latency.Merge(other.response_latency);
+  service_latency.Merge(other.service_latency);
+  queue_wait.Merge(other.queue_wait);
+  intended_min_nanos = std::min(intended_min_nanos, other.intended_min_nanos);
+  intended_max_nanos = std::max(intended_max_nanos, other.intended_max_nanos);
 }
 
 RunMetrics ComputeRunMetrics(const EventStream& events,
@@ -245,6 +277,38 @@ RunMetrics ComputeRunMetrics(const EventStream& events,
                             metrics.resilience.failed_operations) /
         static_cast<double>(events.size());
   }
+
+  // Service-mode latency decomposition (populated from the same
+  // accumulation; enabled is an explicit spec echo so a run with zero
+  // open-loop events still reports the section).
+  ServiceMetrics& svc = metrics.service;
+  svc.enabled = options.service_enabled;
+  svc.policy = options.service_policy;
+  svc.queue_capacity = options.service_queue_capacity;
+  svc.slo_p99_nanos = options.service_slo_p99_nanos;
+  svc.max_shed_fraction = options.service_max_shed_fraction;
+  svc.response_latency = acc.response_latency;
+  svc.service_latency = acc.service_latency;
+  svc.queue_wait = acc.queue_wait;
+  svc.open_loop_operations = acc.open_loop_operations;
+  svc.queue_shed_operations = acc.queue_shed_operations;
+  if (acc.open_loop_operations > 0) {
+    svc.shed_fraction = static_cast<double>(acc.queue_shed_operations) /
+                        static_cast<double>(acc.open_loop_operations);
+    const int64_t span = acc.intended_max_nanos - acc.intended_min_nanos;
+    if (span > 0) {
+      svc.offered_qps = static_cast<double>(acc.open_loop_operations) /
+                        (static_cast<double>(span) * 1e-9);
+    }
+  }
+  if (metrics.wall_seconds > 0.0) {
+    svc.achieved_qps =
+        static_cast<double>(acc.ok_operations) / metrics.wall_seconds;
+  }
+  svc.shed_bound_met = svc.shed_fraction <= svc.max_shed_fraction;
+  svc.slo_met = svc.slo_p99_nanos <= 0 ||
+                svc.response_latency.P99() <=
+                    static_cast<double>(svc.slo_p99_nanos);
 
   metrics.cumulative = BuildCumulativeCurve(events, options.interval_nanos);
   metrics.area_vs_ideal = AreaVsIdeal(metrics.cumulative);

@@ -2,6 +2,7 @@
 #define LSBENCH_CORE_METRICS_H_
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "core/events.h"
@@ -110,6 +111,35 @@ struct ResilienceMetrics {
   double availability = 1.0;
 };
 
+/// Open-loop service-mode metrics ([service] section), separating the two
+/// latencies coordinated omission conflates:
+///   response time  = completion - *intended arrival*  (what a client felt)
+///   service time   = completion - actual issue        (what the SUT did)
+/// Under overload the gap between their p99s IS the coordinated-omission
+/// error a closed-loop harness silently drops. Histograms cover executed
+/// open-loop operations only; shed arrivals are tallied separately (their
+/// "latency" is a policy decision, not a measurement of the SUT).
+struct ServiceMetrics {
+  bool enabled = false;
+  std::string policy;            ///< Overload policy label from the spec.
+  uint32_t queue_capacity = 0;   ///< Per-worker admission-queue bound.
+  Histogram response_latency;    ///< Completion minus intended arrival.
+  Histogram service_latency;     ///< Completion minus actual issue.
+  Histogram queue_wait;          ///< Actual issue minus intended arrival.
+  uint64_t open_loop_operations = 0;  ///< Offered open-loop arrivals.
+  uint64_t queue_shed_operations = 0; ///< Dropped by the admission queue.
+  double shed_fraction = 0.0;    ///< queue sheds / offered arrivals.
+  /// Offered load: open-loop arrivals over their intended-arrival span.
+  double offered_qps = 0.0;
+  /// Achieved goodput: successful operations over the wall-clock span.
+  double achieved_qps = 0.0;
+  // Verdicts against the spec's targets (echoed for the report).
+  int64_t slo_p99_nanos = 0;
+  double max_shed_fraction = 1.0;
+  bool slo_met = true;        ///< response p99 <= slo (when an SLO is set).
+  bool shed_bound_met = true; ///< shed_fraction <= max_shed_fraction.
+};
+
 /// Everything the benchmark reports about one run, computed purely from the
 /// event stream and phase boundaries.
 struct RunMetrics {
@@ -124,6 +154,7 @@ struct RunMetrics {
   std::vector<LatencyBand> bands;
   double area_vs_ideal = 0.0;
   ResilienceMetrics resilience;
+  ServiceMetrics service;
 };
 
 /// Parameters mirrored from the RunSpec (kept separate so metric code does
@@ -136,6 +167,13 @@ struct MetricsOptions {
   int64_t sla_nanos = 0;
   double sla_auto_percentile = 0.99;
   double sla_auto_margin = 2.0;
+  // [service] echo (string label, not the enum, so the metric layer keeps
+  // its independence from workload specs).
+  bool service_enabled = false;
+  std::string service_policy;
+  uint32_t service_queue_capacity = 0;
+  int64_t service_slo_p99_nanos = 0;
+  double service_max_shed_fraction = 1.0;
 
   /// The one mirroring point from a RunSpec's reporting/SLA fields — every
   /// consumer (driver, per-shard accumulation, tools) goes through this so
@@ -158,6 +196,16 @@ struct ShardAccumulation {
   uint64_t shed_operations = 0;
   uint64_t total_retries = 0;
   Histogram latency;
+  // Open-loop / service-mode aggregates (untouched on closed-loop events).
+  uint64_t open_loop_operations = 0;
+  uint64_t queue_shed_operations = 0;
+  Histogram response_latency;  ///< Executed open-loop ops only.
+  Histogram service_latency;   ///< Executed open-loop ops only.
+  Histogram queue_wait;        ///< Executed open-loop ops only.
+  /// Intended-arrival span of open-loop events (recovered as
+  /// timestamp - latency); INT64_MAX/MIN sentinels while empty.
+  int64_t intended_min_nanos = INT64_MAX;
+  int64_t intended_max_nanos = INT64_MIN;
 
   /// Folds one event in. `sla_nanos` must be the run's resolved threshold.
   void Accumulate(const OpEvent& event, int64_t sla_nanos);

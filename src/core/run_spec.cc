@@ -25,6 +25,24 @@ uint64_t HashString(const std::string& s) {
 
 }  // namespace
 
+std::string OverloadPolicyToString(OverloadPolicy policy) {
+  switch (policy) {
+    case OverloadPolicy::kDropNewest:
+      return "drop_newest";
+    case OverloadPolicy::kDropOldest:
+      return "drop_oldest";
+    case OverloadPolicy::kSloShed:
+      return "slo_shed";
+  }
+  return "drop_newest";
+}
+
+bool operator==(const ServiceSpec& a, const ServiceSpec& b) {
+  return a.enabled == b.enabled && a.queue_capacity == b.queue_capacity &&
+         a.policy == b.policy && a.slo_p99_nanos == b.slo_p99_nanos &&
+         a.max_shed_fraction == b.max_shed_fraction;
+}
+
 Status RunSpec::Validate() const {
   if (datasets.empty()) {
     return Status::InvalidArgument("run spec has no datasets");
@@ -57,6 +75,38 @@ Status RunSpec::Validate() const {
       return Status::InvalidArgument(
           "phase " + std::to_string(i) +
           " transition is longer than the phase itself");
+    }
+    if (const Status st = ValidateArrivalParams(
+            p.arrival, p.arrival_rate_qps, p.arrival_amplitude,
+            p.arrival_period_seconds);
+        !st.ok()) {
+      return Status::InvalidArgument("phase " + std::to_string(i) + ": " +
+                                     st.message());
+    }
+    if (service.enabled && p.arrival == ArrivalPattern::kClosedLoop) {
+      return Status::InvalidArgument(
+          "phase " + std::to_string(i) +
+          " uses closed-loop arrivals but [service] mode is enabled; "
+          "admission control needs open-loop intended arrival times");
+    }
+  }
+  if (service.enabled) {
+    if (service.queue_capacity == 0 ||
+        service.queue_capacity > (uint32_t{1} << 20)) {
+      return Status::InvalidArgument(
+          "service queue_capacity must be in [1, 2^20]");
+    }
+    if (service.max_shed_fraction < 0.0 || service.max_shed_fraction > 1.0) {
+      return Status::InvalidArgument(
+          "service max_shed_fraction must be in [0, 1]");
+    }
+    if (service.slo_p99_nanos < 0) {
+      return Status::InvalidArgument("service slo_p99_ms must be >= 0");
+    }
+    if (service.policy == OverloadPolicy::kSloShed &&
+        service.slo_p99_nanos == 0) {
+      return Status::InvalidArgument(
+          "service policy slo_shed requires slo_p99_ms > 0");
     }
   }
   if (interval_nanos <= 0 || boxplot_sample_nanos <= 0) {
@@ -134,6 +184,8 @@ uint64_t RunSpec::StructuralHash() const {
     h = MixHash(h, HashDouble(p.access_param));
     h = MixHash(h, static_cast<uint64_t>(p.arrival));
     h = MixHash(h, HashDouble(p.arrival_rate_qps));
+    h = MixHash(h, HashDouble(p.arrival_amplitude));
+    h = MixHash(h, HashDouble(p.arrival_period_seconds));
     h = MixHash(h, p.num_operations);
     h = MixHash(h, static_cast<uint64_t>(p.transition_in));
     h = MixHash(h, p.transition_operations);
@@ -165,6 +217,11 @@ uint64_t RunSpec::StructuralHash() const {
   h = MixHash(h, HashDouble(resilience.breaker_failure_threshold));
   h = MixHash(h, static_cast<uint64_t>(resilience.breaker_cooldown_nanos));
   h = MixHash(h, resilience.breaker_half_open_probes);
+  h = MixHash(h, service.enabled ? 1 : 0);
+  h = MixHash(h, service.queue_capacity);
+  h = MixHash(h, static_cast<uint64_t>(service.policy));
+  h = MixHash(h, static_cast<uint64_t>(service.slo_p99_nanos));
+  h = MixHash(h, HashDouble(service.max_shed_fraction));
   h = MixHash(h, execution.workers);
   return h;
 }

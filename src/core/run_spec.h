@@ -25,6 +25,42 @@ struct SlaSpec {
   double auto_margin = 2.0;
 };
 
+/// What the admission queue does with an arriving operation once the queue
+/// is full (and, for the SLO-aware policy, once the response-time target is
+/// predicted to be missed).
+enum class OverloadPolicy {
+  kDropNewest,  ///< Shed the arriving operation.
+  kDropOldest,  ///< Shed the head of the queue, admit the arrival.
+  /// Shed arrivals predicted to miss `slo_p99_nanos` (queue-delay model,
+  /// tightened while the circuit breaker is degraded), within the
+  /// `max_shed_fraction` budget; falls back to drop-newest when full.
+  kSloShed,
+};
+
+std::string OverloadPolicyToString(OverloadPolicy policy);
+
+/// Open-loop service mode (`[service]` section): a bounded admission queue
+/// in front of the resilient executor, with an overload policy and per-run
+/// SLO targets. Disabled by default — the driver then paces inline exactly
+/// as before. When enabled, every phase must use an open-loop arrival
+/// process (admission decisions need intended arrival times).
+struct ServiceSpec {
+  bool enabled = false;
+  /// Bounded admission-queue capacity, per worker. Overload never queues
+  /// past this depth; the policy decides what to shed instead.
+  uint32_t queue_capacity = 256;
+  OverloadPolicy policy = OverloadPolicy::kDropNewest;
+  /// Response-time target (intended arrival -> completion). Drives the
+  /// SLO-aware shedder and the report's met/violated verdict. 0 = unset.
+  int64_t slo_p99_nanos = 0;
+  /// Budget for *predictive* sheds as a fraction of offered load, and the
+  /// bound the report checks the realized shed fraction against. Forced
+  /// full-queue sheds are exempt (the queue bound always holds).
+  double max_shed_fraction = 1.0;
+};
+
+bool operator==(const ServiceSpec& a, const ServiceSpec& b);
+
 /// How the driver fans the operation stream out (`[execution]` section).
 /// `workers = 1` is the serial staged pipeline and is bit-identical to the
 /// historical monolithic driver; `workers = N` splits every phase's
@@ -69,6 +105,9 @@ struct RunSpec {
   FaultPlan faults;
   /// Timeout / retry / circuit-breaker policy; disabled by default.
   ResilienceSpec resilience;
+  /// Open-loop service mode: admission queue + overload policy + SLO
+  /// targets. Disabled by default.
+  ServiceSpec service;
   /// Worker fan-out; defaults to the serial pipeline.
   ExecutionSpec execution;
   /// Tracing / profiling / metrics export ([observability] section).

@@ -238,7 +238,15 @@ Result<ArrivalPattern> ParseArrival(const std::string& value) {
   if (value == "poisson") return ArrivalPattern::kPoisson;
   if (value == "diurnal") return ArrivalPattern::kDiurnal;
   if (value == "bursty") return ArrivalPattern::kBursty;
+  if (value == "constant") return ArrivalPattern::kConstant;
   return Status::InvalidArgument("unknown arrival pattern: " + value);
+}
+
+Result<OverloadPolicy> ParseOverloadPolicy(const std::string& value) {
+  if (value == "drop_newest") return OverloadPolicy::kDropNewest;
+  if (value == "drop_oldest") return OverloadPolicy::kDropOldest;
+  if (value == "slo_shed") return OverloadPolicy::kSloShed;
+  return Status::InvalidArgument("unknown overload policy: " + value);
 }
 
 Result<TransitionKind> ParseTransition(const std::string& value) {
@@ -277,6 +285,8 @@ std::string ArrivalToSpecString(ArrivalPattern arrival) {
       return "diurnal";
     case ArrivalPattern::kBursty:
       return "bursty";
+    case ArrivalPattern::kConstant:
+      return "constant";
   }
   return "closed";
 }
@@ -317,13 +327,16 @@ Result<RunSpec> ParseRunSpecText(const std::string& text) {
     kFaults,
     kResilience,
     kExecution,
-    kObservability
+    kObservability,
+    kService
   };
   Section section = Section::kTop;
   DatasetDesc dataset_desc;
   bool dataset_open = false;
   PhaseSpec phase;
   bool phase_open = false;
+  size_t phase_line = 0;    // line of the open phase's [phase] header
+  size_t arrival_line = 0;  // last arrival / arrival_qps key in that phase
   FaultWindow fault_window;
   bool fault_window_open = false;
 
@@ -347,9 +360,21 @@ Result<RunSpec> ParseRunSpecText(const std::string& text) {
   };
   auto close_phase = [&]() -> Status {
     if (!phase_open) return Status::OK();
+    // Arrival parameters interact (an open-loop pattern needs a rate, but
+    // keys arrive in any order), so the combined check runs when the phase
+    // closes — pointed back at the offending line.
+    if (const Status st = ValidateArrivalParams(
+            phase.arrival, phase.arrival_rate_qps, phase.arrival_amplitude,
+            phase.arrival_period_seconds);
+        !st.ok()) {
+      const size_t at = arrival_line != 0 ? arrival_line : phase_line;
+      return Status::InvalidArgument("line " + std::to_string(at) + ": " +
+                                     st.message());
+    }
     spec.phases.push_back(phase);
     phase = PhaseSpec();
     phase_open = false;
+    arrival_line = 0;
     return Status::OK();
   };
   auto close_fault_window = [&]() -> Status {
@@ -388,6 +413,7 @@ Result<RunSpec> ParseRunSpecText(const std::string& text) {
       LSBENCH_RETURN_IF_ERROR(close_sections());
       section = Section::kPhase;
       phase_open = true;
+      phase_line = line_no;
       continue;
     }
     if (line == "[faults]") {
@@ -409,6 +435,11 @@ Result<RunSpec> ParseRunSpecText(const std::string& text) {
     if (line == "[observability]") {
       LSBENCH_RETURN_IF_ERROR(close_sections());
       section = Section::kObservability;
+      continue;
+    }
+    if (line == "[service]") {
+      LSBENCH_RETURN_IF_ERROR(close_sections());
+      section = Section::kService;
       continue;
     }
     if (line.front() == '[') {
@@ -527,10 +558,35 @@ Result<RunSpec> ParseRunSpecText(const std::string& text) {
           const auto v = ParseArrival(value);
           if (!v.ok()) return v.status();
           phase.arrival = v.value();
+          if (arrival_line == 0) arrival_line = line_no;
         } else if (key == "arrival_qps") {
           const auto v = ParseDouble(value, key);
           if (!v.ok()) return v.status();
+          if (v.value() < 0.0) {
+            return Status::InvalidArgument(
+                "line " + std::to_string(line_no) +
+                ": arrival_qps must be >= 0, got " + value);
+          }
           phase.arrival_rate_qps = v.value();
+          arrival_line = line_no;
+        } else if (key == "arrival_amplitude") {
+          const auto v = ParseDouble(value, key);
+          if (!v.ok()) return v.status();
+          if (v.value() < 0.0 || v.value() >= 1.0) {
+            return Status::InvalidArgument(
+                "line " + std::to_string(line_no) +
+                ": arrival_amplitude must be in [0, 1), got " + value);
+          }
+          phase.arrival_amplitude = v.value();
+        } else if (key == "arrival_period_s") {
+          const auto v = ParseDouble(value, key);
+          if (!v.ok()) return v.status();
+          if (v.value() <= 0.0) {
+            return Status::InvalidArgument(
+                "line " + std::to_string(line_no) +
+                ": arrival_period_s must be > 0, got " + value);
+          }
+          phase.arrival_period_seconds = v.value();
         } else if (key == "transition") {
           const auto v = ParseTransition(value);
           if (!v.ok()) return v.status();
@@ -691,6 +747,33 @@ Result<RunSpec> ParseRunSpecText(const std::string& text) {
         }
         break;
       }
+      case Section::kService: {
+        ServiceSpec& s = spec.service;
+        if (key == "enabled") {
+          const auto v = ParseBool(value, key);
+          if (!v.ok()) return v.status();
+          s.enabled = v.value();
+        } else if (key == "queue_capacity") {
+          const auto v = ParseU32(value, key);
+          if (!v.ok()) return v.status();
+          s.queue_capacity = v.value();
+        } else if (key == "policy") {
+          const auto v = ParseOverloadPolicy(value);
+          if (!v.ok()) return v.status();
+          s.policy = v.value();
+        } else if (key == "slo_p99_ms") {
+          const auto v = ParseScaledNanos(value, key, 1000000);
+          if (!v.ok()) return v.status();
+          s.slo_p99_nanos = v.value();
+        } else if (key == "max_shed_fraction") {
+          const auto v = ParseDouble(value, key);
+          if (!v.ok()) return v.status();
+          s.max_shed_fraction = v.value();
+        } else {
+          return Status::InvalidArgument("unknown service key: " + key);
+        }
+        break;
+      }
     }
   }
   LSBENCH_RETURN_IF_ERROR(close_sections());
@@ -845,11 +928,24 @@ Result<std::string> RenderRunSpecText(const RunSpec& spec) {
     emit_dbl("access_param", phase.access_param);
     emit_str("arrival", ArrivalToSpecString(phase.arrival));
     emit_dbl("arrival_qps", phase.arrival_rate_qps);
+    emit_dbl("arrival_amplitude", phase.arrival_amplitude);
+    emit_dbl("arrival_period_s", phase.arrival_period_seconds);
     emit_str("transition", TransitionToSpecString(phase.transition_in));
     emit_u64("transition_ops", phase.transition_operations);
     emit_bool("holdout", phase.holdout);
     emit_u64("scan_length", phase.scan_length);
     emit_dbl("range_selectivity", phase.range_selectivity);
+  }
+
+  if (!(spec.service == ServiceSpec())) {
+    emit("");
+    emit("[service]");
+    emit_bool("enabled", spec.service.enabled);
+    emit_u64("queue_capacity", spec.service.queue_capacity);
+    emit_str("policy", OverloadPolicyToString(spec.service.policy));
+    emit_u64("slo_p99_ms",
+             static_cast<uint64_t>(spec.service.slo_p99_nanos / 1000000));
+    emit_dbl("max_shed_fraction", spec.service.max_shed_fraction);
   }
 
   if (spec.execution.workers != ExecutionSpec().workers) {

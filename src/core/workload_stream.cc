@@ -30,7 +30,10 @@ void WorkloadStream::BeginPhase(size_t phase_idx, uint64_t num_operations,
       root_.Fork(phase_idx * 2 + 1).Next());
   mix_rng_ = root_.Fork(phase_idx * 2 + 2);
   arrival_ = MakeArrivalProcess(phase.arrival,
-                                phase.arrival_rate_qps * rate_scale_);
+                                phase.arrival_rate_qps * rate_scale_,
+                                phase.arrival_amplitude,
+                                phase.arrival_period_seconds);
+  LSBENCH_ASSERT(!pending_.has_value());
 
   blend_ = phase_idx > 0 && prev_generator_ != nullptr &&
            transition_ops_ > 0 &&
@@ -40,9 +43,24 @@ void WorkloadStream::BeginPhase(size_t phase_idx, uint64_t num_operations,
 }
 
 WorkloadStream::Issue WorkloadStream::Next() {
-  LSBENCH_PROFILE_STAGE(profiler_, Stage::kGenerate);
   if (ops_issued_ != nullptr) ops_issued_->Increment();
   LSBENCH_ASSERT(HasNext());
+  if (pending_.has_value()) {
+    Issue issue = *std::move(pending_);
+    pending_.reset();
+    return issue;
+  }
+  return Draw();
+}
+
+const WorkloadStream::Issue& WorkloadStream::Peek() {
+  LSBENCH_ASSERT(HasNext());
+  if (!pending_.has_value()) pending_ = Draw();
+  return *pending_;
+}
+
+WorkloadStream::Issue WorkloadStream::Draw() {
+  LSBENCH_PROFILE_STAGE(profiler_, Stage::kGenerate);
   const PhaseSpec& phase = spec_->phases[phase_idx_];
   const uint64_t op_idx = issued_++;
 

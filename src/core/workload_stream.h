@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 
 #include "core/run_spec.h"
 #include "obs/metrics_registry.h"
@@ -46,7 +47,7 @@ class WorkloadStream {
                   uint64_t transition_operations, int64_t now_rel_nanos);
 
   /// Whether the current phase still has operations to issue.
-  bool HasNext() const { return issued_ < phase_ops_; }
+  bool HasNext() const { return pending_.has_value() || issued_ < phase_ops_; }
 
   /// One issued operation and when it is intended to start (run-relative).
   struct Issue {
@@ -59,6 +60,13 @@ class WorkloadStream {
 
   /// Draws the next operation of the current phase. Requires HasNext().
   Issue Next();
+
+  /// The operation Next() would return, without consuming it. The service
+  /// driver uses this to decide whether the next intended arrival is due
+  /// before admitting it to the queue. Drawing eagerly does not perturb the
+  /// RNG sequence — the draws happen in the same order either way — and the
+  /// issue counter still ticks once per operation, at Next().
+  const Issue& Peek();
 
   /// Feeds back the completion time of the last issued operation —
   /// closed-loop pacing issues the next operation at this instant.
@@ -75,6 +83,10 @@ class WorkloadStream {
   }
 
  private:
+  /// Draws one issue from the generators / arrival process (shared by
+  /// Next() and Peek()); does not touch the issue counter.
+  Issue Draw();
+
   const RunSpec* spec_;
   Rng root_;
   double rate_scale_;
@@ -93,6 +105,9 @@ class WorkloadStream {
   // Pacing state (persists across phases, like the monolith's locals).
   int64_t intended_rel_ = 0;
   int64_t last_completion_rel_ = 0;
+
+  // Peek() cache: an issue drawn ahead of its Next() call.
+  std::optional<Issue> pending_;
 
   // Observability hooks (null = disabled).
   StageProfiler* profiler_ = nullptr;

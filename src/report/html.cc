@@ -221,6 +221,34 @@ std::string RenderHtmlReport(const RunResult& result,
        << "</tr></table>\n";
   }
 
+  const ServiceMetrics& sm = m.service;
+  if (sm.enabled || sm.open_loop_operations > 0) {
+    os << "<h2>Service mode (open loop)</h2>\n"
+          "<table><tr><th>policy</th><th>queue cap</th>"
+          "<th>offered qps</th><th>goodput qps</th>"
+          "<th>response p99</th><th>service p99</th><th>queue wait p99</th>"
+          "<th>shed</th><th>shed bound</th><th>SLO p99</th></tr><tr>"
+       << "<td>" << HtmlEscape(sm.policy) << "</td>"
+       << "<td>" << sm.queue_capacity << "</td>"
+       << "<td>" << HumanCount(sm.offered_qps) << "</td>"
+       << "<td>" << HumanCount(sm.achieved_qps) << "</td>"
+       << "<td>" << HumanDuration(sm.response_latency.P99()) << "</td>"
+       << "<td>" << HumanDuration(sm.service_latency.P99()) << "</td>"
+       << "<td>" << HumanDuration(sm.queue_wait.P99()) << "</td>"
+       << "<td>" << sm.queue_shed_operations << " ("
+       << FormatDouble(100.0 * sm.shed_fraction, 2) << "%)</td>"
+       << "<td>" << FormatDouble(100.0 * sm.max_shed_fraction, 0) << "% "
+       << (sm.shed_bound_met ? "met" : "EXCEEDED") << "</td>"
+       << "<td>";
+    if (sm.slo_p99_nanos > 0) {
+      os << HumanDuration(static_cast<double>(sm.slo_p99_nanos)) << " "
+         << (sm.slo_met ? "met" : "VIOLATED");
+    } else {
+      os << "—";
+    }
+    os << "</td></tr></table>\n";
+  }
+
   os << "<table><tr><th>phase</th><th>holdout</th><th>ops</th>"
         "<th>mean ops/s</th><th>p99</th><th>violations</th>"
         "<th>adjust excess (s)</th></tr>\n";

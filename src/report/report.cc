@@ -23,10 +23,18 @@ std::string RenderRunSummary(const RunResult& result) {
   os << "operations: " << m.total_operations
      << ", wall: " << FormatDouble(m.wall_seconds, 3) << "s"
      << ", mean throughput: " << HumanCount(m.mean_throughput) << " ops/s\n";
-  os << "latency: p50=" << HumanDuration(m.overall_latency.Median())
+  // On closed-loop runs this is a *service time*: each op issues only after
+  // the previous completes, so queueing delay a real client would have seen
+  // is never measured (coordinated omission). Open-loop service mode
+  // reports the response-time decomposition below.
+  os << "service time: p50=" << HumanDuration(m.overall_latency.Median())
      << " p95=" << HumanDuration(m.overall_latency.P95())
      << " p99=" << HumanDuration(m.overall_latency.P99())
      << " max=" << HumanDuration(m.overall_latency.max()) << "\n";
+  if (m.service.open_loop_operations == 0) {
+    os << "note: closed-loop run; latencies above exclude queueing delay "
+          "(coordinated omission) — use [service] mode for response times\n";
+  }
   os << "SLA threshold: " << HumanDuration(static_cast<double>(m.sla_nanos))
      << ", violations: " << m.total_sla_violations << " ("
      << FormatDouble(m.total_operations > 0
@@ -48,6 +56,34 @@ std::string RenderRunSummary(const RunResult& result) {
        << ", breaker opens=" << rm.breaker_opens
        << ", degraded=" << FormatDouble(rm.degraded_seconds, 3) << "s";
     if (rm.failed_trains > 0) os << ", failed trains=" << rm.failed_trains;
+    os << "\n";
+  }
+  const ServiceMetrics& sm = m.service;
+  if (sm.enabled || sm.open_loop_operations > 0) {
+    os << "service mode: policy=" << (sm.policy.empty() ? "-" : sm.policy)
+       << ", queue capacity=" << sm.queue_capacity
+       << ", offered=" << HumanCount(sm.offered_qps) << " qps"
+       << ", goodput=" << HumanCount(sm.achieved_qps) << " qps\n";
+    os << "  response time (from intended arrival): p50="
+       << HumanDuration(sm.response_latency.Median())
+       << " p99=" << HumanDuration(sm.response_latency.P99())
+       << " | service time (from issue): p50="
+       << HumanDuration(sm.service_latency.Median())
+       << " p99=" << HumanDuration(sm.service_latency.P99()) << "\n";
+    os << "  coordinated-omission gap (response p99 - service p99): "
+       << HumanDuration(sm.response_latency.P99() -
+                        sm.service_latency.P99())
+       << ", queue wait p99=" << HumanDuration(sm.queue_wait.P99()) << "\n";
+    os << "  shed: " << sm.queue_shed_operations << " of "
+       << sm.open_loop_operations << " offered ("
+       << FormatDouble(100.0 * sm.shed_fraction, 2) << "%), bound "
+       << FormatDouble(100.0 * sm.max_shed_fraction, 0) << "% -> "
+       << (sm.shed_bound_met ? "met" : "EXCEEDED");
+    if (sm.slo_p99_nanos > 0) {
+      os << "; SLO p99 "
+         << HumanDuration(static_cast<double>(sm.slo_p99_nanos)) << " -> "
+         << (sm.slo_met ? "met" : "VIOLATED");
+    }
     os << "\n";
   }
   os << "SUT stats: memory=" << HumanCount(static_cast<double>(
@@ -319,6 +355,34 @@ std::string PhaseMetricsCsv(const RunMetrics& metrics) {
                   CsvWriter::Field(pm.sla_violations),
                   CsvWriter::Field(pm.adjustment_excess_seconds)});
   }
+  return out.str();
+}
+
+std::string ServiceCsv(const RunMetrics& metrics) {
+  const ServiceMetrics& sm = metrics.service;
+  std::ostringstream out;
+  CsvWriter csv(&out);
+  csv.WriteRow({"policy", "queue_capacity", "offered_ops", "queue_shed",
+                "shed_fraction", "max_shed_fraction", "shed_bound_met",
+                "offered_qps", "achieved_qps", "response_p50_ns",
+                "response_p99_ns", "service_p50_ns", "service_p99_ns",
+                "queue_wait_p99_ns", "slo_p99_ns", "slo_met"});
+  csv.WriteRow({sm.policy,
+                CsvWriter::Field(static_cast<uint64_t>(sm.queue_capacity)),
+                CsvWriter::Field(sm.open_loop_operations),
+                CsvWriter::Field(sm.queue_shed_operations),
+                CsvWriter::Field(sm.shed_fraction),
+                CsvWriter::Field(sm.max_shed_fraction),
+                sm.shed_bound_met ? "1" : "0",
+                CsvWriter::Field(sm.offered_qps),
+                CsvWriter::Field(sm.achieved_qps),
+                CsvWriter::Field(sm.response_latency.Median()),
+                CsvWriter::Field(sm.response_latency.P99()),
+                CsvWriter::Field(sm.service_latency.Median()),
+                CsvWriter::Field(sm.service_latency.P99()),
+                CsvWriter::Field(sm.queue_wait.P99()),
+                CsvWriter::Field(sm.slo_p99_nanos),
+                sm.slo_met ? "1" : "0"});
   return out.str();
 }
 

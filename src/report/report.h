@@ -51,6 +51,9 @@ std::string SpecializationCsv(const SpecializationReport& report);
 std::string CumulativeCsv(const std::vector<CumulativePoint>& curve);
 std::string SlaBandsCsv(const std::vector<LatencyBand>& bands);
 std::string PhaseMetricsCsv(const RunMetrics& metrics);
+/// One-row CSV of the [service] section's verdicts and latency
+/// decomposition (response vs service time, shed accounting).
+std::string ServiceCsv(const RunMetrics& metrics);
 std::string StageBreakdownCsv(const StageBreakdown& stages);
 std::string CostCurveCsv(
     const std::vector<std::pair<std::string, std::vector<CostPoint>>>& curves);

@@ -8,6 +8,21 @@
 
 namespace lsbench {
 
+ConstantArrival::ConstantArrival(double rate_qps) : rate_qps_(rate_qps) {
+  LSBENCH_ASSERT(rate_qps_ > 0.0);
+}
+
+std::string ConstantArrival::name() const {
+  return "constant(" + FormatDouble(rate_qps_, 0) + "qps)";
+}
+
+double ConstantArrival::NextInterarrivalSeconds(Rng* rng,
+                                                double now_seconds) {
+  (void)rng;
+  (void)now_seconds;
+  return 1.0 / rate_qps_;
+}
+
 PoissonArrival::PoissonArrival(double rate_qps) : rate_qps_(rate_qps) {
   LSBENCH_ASSERT(rate_qps_ > 0.0);
 }
@@ -82,12 +97,40 @@ std::string ArrivalPatternToString(ArrivalPattern pattern) {
       return "diurnal";
     case ArrivalPattern::kBursty:
       return "bursty";
+    case ArrivalPattern::kConstant:
+      return "constant";
   }
   return "unknown";
 }
 
+Status ValidateArrivalParams(ArrivalPattern pattern, double rate_qps,
+                             double amplitude, double period_seconds) {
+  if (pattern == ArrivalPattern::kClosedLoop) return Status::OK();
+  if (!std::isfinite(rate_qps) || rate_qps <= 0.0) {
+    return Status::InvalidArgument(
+        "open-loop arrival '" + ArrivalPatternToString(pattern) +
+        "' requires a positive arrival rate (arrival_qps), got " +
+        FormatDouble(rate_qps, 6));
+  }
+  if (pattern == ArrivalPattern::kDiurnal) {
+    if (!std::isfinite(amplitude) || amplitude < 0.0 || amplitude >= 1.0) {
+      return Status::InvalidArgument(
+          "diurnal arrival amplitude must be in [0, 1), got " +
+          FormatDouble(amplitude, 6));
+    }
+    if (!std::isfinite(period_seconds) || period_seconds <= 0.0) {
+      return Status::InvalidArgument(
+          "diurnal arrival period_seconds must be > 0, got " +
+          FormatDouble(period_seconds, 6));
+    }
+  }
+  return Status::OK();
+}
+
 std::unique_ptr<ArrivalProcess> MakeArrivalProcess(ArrivalPattern pattern,
-                                                   double rate_qps) {
+                                                   double rate_qps,
+                                                   double amplitude,
+                                                   double period_seconds) {
   switch (pattern) {
     case ArrivalPattern::kClosedLoop:
       return std::make_unique<ClosedLoopArrival>();
@@ -95,12 +138,15 @@ std::unique_ptr<ArrivalProcess> MakeArrivalProcess(ArrivalPattern pattern,
       return std::make_unique<PoissonArrival>(rate_qps > 0 ? rate_qps : 1000);
     case ArrivalPattern::kDiurnal:
       return std::make_unique<DiurnalArrival>(rate_qps > 0 ? rate_qps : 1000,
-                                              0.8, 20.0);
+                                              amplitude, period_seconds);
     case ArrivalPattern::kBursty: {
       BurstyArrival::Options options;
       if (rate_qps > 0) options.base_qps = rate_qps;
       return std::make_unique<BurstyArrival>(options);
     }
+    case ArrivalPattern::kConstant:
+      return std::make_unique<ConstantArrival>(rate_qps > 0 ? rate_qps
+                                                            : 1000);
   }
   return std::make_unique<ClosedLoopArrival>();
 }

@@ -5,6 +5,7 @@
 #include <string>
 
 #include "util/random.h"
+#include "util/status.h"
 
 namespace lsbench {
 
@@ -31,6 +32,20 @@ class ClosedLoopArrival final : public ArrivalProcess {
     (void)now_seconds;
     return 0.0;
   }
+};
+
+/// Fixed-interval arrivals at exactly `rate_qps`: every interarrival is
+/// 1/rate seconds, no randomness. The deterministic open-loop process —
+/// overload schedules against it are exactly hand-computable, which the
+/// service-mode tests rely on.
+class ConstantArrival final : public ArrivalProcess {
+ public:
+  explicit ConstantArrival(double rate_qps);
+  std::string name() const override;
+  double NextInterarrivalSeconds(Rng* rng, double now_seconds) override;
+
+ private:
+  double rate_qps_;
 };
 
 /// Poisson arrivals at a constant rate (queries/second).
@@ -79,14 +94,33 @@ class BurstyArrival final : public ArrivalProcess {
   double next_burst_at_ = -1.0;
 };
 
-enum class ArrivalPattern { kClosedLoop, kPoisson, kDiurnal, kBursty };
+enum class ArrivalPattern {
+  kClosedLoop,
+  kPoisson,
+  kDiurnal,
+  kBursty,
+  kConstant
+};
 
 std::string ArrivalPatternToString(ArrivalPattern pattern);
 
-/// `rate_qps` ignored for closed loop. Diurnal uses amplitude 0.8 and a 20 s
-/// period; bursty uses 10x bursts (defaults suited to benchmark timescales).
-std::unique_ptr<ArrivalProcess> MakeArrivalProcess(ArrivalPattern pattern,
-                                                   double rate_qps = 0.0);
+/// Checks the parameters MakeArrivalProcess would run with, without
+/// constructing anything: open-loop patterns need a positive finite rate,
+/// diurnal needs amplitude in [0, 1) and a positive period. Both the spec
+/// parser (which prefixes the offending line) and RunSpec::Validate route
+/// through this, so a bad rate is an error Status at parse/validate time
+/// instead of a NaN/infinite interarrival at run time.
+Status ValidateArrivalParams(ArrivalPattern pattern, double rate_qps,
+                             double amplitude, double period_seconds);
+
+/// `rate_qps` ignored for closed loop (0 falls back to 1000 qps for the
+/// other patterns — spec-driven runs reject that case in validation).
+/// `amplitude`/`period_seconds` shape the diurnal sinusoid and are ignored
+/// by every other pattern; bursty uses 10x bursts (defaults suited to
+/// benchmark timescales).
+std::unique_ptr<ArrivalProcess> MakeArrivalProcess(
+    ArrivalPattern pattern, double rate_qps = 0.0, double amplitude = 0.8,
+    double period_seconds = 20.0);
 
 }  // namespace lsbench
 

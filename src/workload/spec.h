@@ -36,6 +36,9 @@ struct PhaseSpec {
   double access_param = 0.0;  ///< Pattern-specific (theta / hot fraction).
   ArrivalPattern arrival = ArrivalPattern::kClosedLoop;
   double arrival_rate_qps = 0.0;
+  /// Diurnal sinusoid shape (ignored by other arrival patterns).
+  double arrival_amplitude = 0.8;
+  double arrival_period_seconds = 20.0;
   uint64_t num_operations = 10000;
   /// Blend-in from the previous phase (ignored for the first phase).
   TransitionKind transition_in = TransitionKind::kAbrupt;

@@ -1,0 +1,147 @@
+// ArrivalProcess unit tests: seeded determinism of the stochastic
+// processes, mean-rate convergence, the exactness guarantees of closed-loop
+// (always 0) and constant (always 1/rate) arrivals, and parameter
+// validation — a bad rate must be an error Status at validate time, never a
+// NaN interarrival at run time.
+
+#include "workload/arrival.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/random.h"
+
+namespace lsbench {
+namespace {
+
+std::vector<double> DrawSequence(ArrivalProcess* process, uint64_t seed,
+                                 size_t n) {
+  Rng rng(seed);
+  std::vector<double> draws;
+  double now = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const double inter = process->NextInterarrivalSeconds(&rng, now);
+    draws.push_back(inter);
+    now += inter;
+  }
+  return draws;
+}
+
+TEST(ArrivalTest, ClosedLoopIsExactlyZero) {
+  ClosedLoopArrival arrival;
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(arrival.NextInterarrivalSeconds(&rng, static_cast<double>(i)),
+              0.0);
+  }
+}
+
+TEST(ArrivalTest, ConstantIsExactlyOneOverRate) {
+  ConstantArrival arrival(20000.0);
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(arrival.NextInterarrivalSeconds(&rng, static_cast<double>(i)),
+              1.0 / 20000.0);
+  }
+  EXPECT_EQ(arrival.name(), "constant(20000qps)");
+}
+
+TEST(ArrivalTest, PoissonSeededSequencesAreDeterministic) {
+  PoissonArrival a(5000.0);
+  PoissonArrival b(5000.0);
+  const std::vector<double> seq_a = DrawSequence(&a, 42, 1000);
+  const std::vector<double> seq_b = DrawSequence(&b, 42, 1000);
+  EXPECT_EQ(seq_a, seq_b);  // Bitwise: same seed, same stream.
+
+  const std::vector<double> other_seed = DrawSequence(&a, 43, 1000);
+  EXPECT_NE(seq_a, other_seed);
+}
+
+TEST(ArrivalTest, DiurnalSeededSequencesAreDeterministic) {
+  DiurnalArrival a(5000.0, 0.8, 20.0);
+  DiurnalArrival b(5000.0, 0.8, 20.0);
+  EXPECT_EQ(DrawSequence(&a, 7, 1000), DrawSequence(&b, 7, 1000));
+}
+
+TEST(ArrivalTest, PoissonMeanRateConverges) {
+  PoissonArrival arrival(10000.0);
+  const std::vector<double> draws = DrawSequence(&arrival, 42, 20000);
+  double total = 0.0;
+  for (double d : draws) total += d;
+  const double mean_rate = static_cast<double>(draws.size()) / total;
+  // 20k exponential draws: the empirical rate is within a few percent.
+  EXPECT_NEAR(mean_rate, 10000.0, 500.0);
+}
+
+TEST(ArrivalTest, DiurnalMeanRateStaysNearBaseOverFullPeriods) {
+  // Over whole periods the sinusoid averages out; the empirical rate lands
+  // near the base. Loose bounds: rate modulation skews the harmonic mean.
+  DiurnalArrival arrival(10000.0, 0.5, 1.0);
+  const std::vector<double> draws = DrawSequence(&arrival, 42, 50000);
+  double total = 0.0;
+  for (double d : draws) total += d;
+  const double mean_rate = static_cast<double>(draws.size()) / total;
+  EXPECT_GT(mean_rate, 7000.0);
+  EXPECT_LT(mean_rate, 13000.0);
+}
+
+TEST(ArrivalTest, ValidateAcceptsClosedLoopWithoutRate) {
+  EXPECT_TRUE(ValidateArrivalParams(ArrivalPattern::kClosedLoop, 0.0, 0.8,
+                                    20.0)
+                  .ok());
+}
+
+TEST(ArrivalTest, ValidateRejectsNonPositiveOpenLoopRate) {
+  for (ArrivalPattern pattern :
+       {ArrivalPattern::kPoisson, ArrivalPattern::kDiurnal,
+        ArrivalPattern::kBursty, ArrivalPattern::kConstant}) {
+    const Status zero = ValidateArrivalParams(pattern, 0.0, 0.8, 20.0);
+    EXPECT_FALSE(zero.ok()) << ArrivalPatternToString(pattern);
+    EXPECT_NE(zero.message().find("positive arrival rate"),
+              std::string::npos);
+    EXPECT_FALSE(
+        ValidateArrivalParams(pattern, -5.0, 0.8, 20.0).ok());
+  }
+}
+
+TEST(ArrivalTest, ValidateRejectsBadDiurnalShape) {
+  EXPECT_FALSE(
+      ValidateArrivalParams(ArrivalPattern::kDiurnal, 1000.0, -0.1, 20.0)
+          .ok());
+  EXPECT_FALSE(
+      ValidateArrivalParams(ArrivalPattern::kDiurnal, 1000.0, 1.0, 20.0)
+          .ok());
+  EXPECT_FALSE(
+      ValidateArrivalParams(ArrivalPattern::kDiurnal, 1000.0, 0.8, 0.0)
+          .ok());
+  EXPECT_TRUE(
+      ValidateArrivalParams(ArrivalPattern::kDiurnal, 1000.0, 0.8, 20.0)
+          .ok());
+  // Amplitude/period only constrain diurnal arrivals.
+  EXPECT_TRUE(
+      ValidateArrivalParams(ArrivalPattern::kPoisson, 1000.0, -0.1, 0.0)
+          .ok());
+}
+
+TEST(ArrivalTest, FactoryBuildsEveryPattern) {
+  EXPECT_EQ(MakeArrivalProcess(ArrivalPattern::kClosedLoop)->name(),
+            "closed_loop");
+  EXPECT_EQ(MakeArrivalProcess(ArrivalPattern::kConstant, 500.0)->name(),
+            "constant(500qps)");
+  EXPECT_NE(MakeArrivalProcess(ArrivalPattern::kPoisson, 500.0)
+                ->name()
+                .find("poisson"),
+            std::string::npos);
+  EXPECT_NE(MakeArrivalProcess(ArrivalPattern::kDiurnal, 500.0, 0.3, 5.0)
+                ->name()
+                .find("diurnal"),
+            std::string::npos);
+  EXPECT_NE(MakeArrivalProcess(ArrivalPattern::kBursty, 500.0)
+                ->name()
+                .find("bursty"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace lsbench

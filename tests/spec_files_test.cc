@@ -31,7 +31,8 @@ INSTANTIATE_TEST_SUITE_P(ShippedSpecs, SpecFilesTest,
                          ::testing::Values("concurrent_demo.lsb",
                                            "demo_shift.lsb",
                                            "holdout_eval.lsb",
-                                           "resilience_demo.lsb"),
+                                           "resilience_demo.lsb",
+                                           "service_overload_demo.lsb"),
                          [](const ::testing::TestParamInfo<const char*>& param_info) {
                            std::string name = param_info.param;
                            for (char& c : name) {

@@ -24,6 +24,7 @@ const char* const kSpecFiles[] = {
     "demo_shift.lsb",
     "holdout_eval.lsb",
     "resilience_demo.lsb",
+    "service_overload_demo.lsb",
 };
 
 std::string ReadSpecFile(const char* name) {
@@ -189,6 +190,48 @@ TEST(SpecFuzzTest, MutatedSpecsNeverCrashTheParser) {
               << reparsed.status().ToString();
         }
       }
+    }
+  }
+}
+
+TEST(SpecFuzzTest, ServiceSectionValuesNeverCrashTheParser) {
+  // Targeted fuzz of the [service] section: every key crossed with
+  // adversarial values. Each outcome must be a parsed spec or an error
+  // Status with a message — never a crash, never a silently-NaN field.
+  const char* const kKeys[] = {"enabled", "queue_capacity", "policy",
+                               "slo_p99_ms", "max_shed_fraction"};
+  const char* const kValues[] = {
+      "",     "0",    "-1",         "1",           "0.5",
+      "nan",  "inf",  "-inf",       "1e309",       "true",
+      "false", "yes", "drop_newest", "drop_oldest", "slo_shed",
+      "banana", "4294967296", "-0.25", "99999999999999999999", "=",
+  };
+  for (const char* key : kKeys) {
+    for (const char* value : kValues) {
+      const std::string text = std::string("name = service_fuzz\n") +
+                               "[dataset]\n"
+                               "kind = uniform\n"
+                               "num_keys = 100\n"
+                               "seed = 1\n"
+                               "[phase]\n"
+                               "name = p\n"
+                               "ops = 10\n"
+                               "arrival = poisson\n"
+                               "arrival_qps = 1000\n"
+                               "[service]\n" +
+                               key + " = " + value + "\n";
+      const Result<RunSpec> parsed = ParseRunSpecText(text);
+      if (!parsed.ok()) {
+        EXPECT_FALSE(parsed.status().ToString().empty())
+            << key << " = " << value;
+        continue;
+      }
+      const Status valid = parsed.value().Validate();
+      if (!valid.ok()) continue;
+      const Result<std::string> rendered = RenderRunSpecText(parsed.value());
+      if (!rendered.ok()) continue;
+      EXPECT_TRUE(ParseRunSpecText(rendered.value()).ok())
+          << key << " = " << value << ": rendered spec failed to re-parse";
     }
   }
 }

@@ -241,6 +241,10 @@ int Run(int argc, char** argv) {
     std::printf("## bands.csv\n%s\n",
                 SlaBandsCsv(run.metrics.bands).c_str());
     std::printf("## phases.csv\n%s\n", PhaseMetricsCsv(run.metrics).c_str());
+    if (run.metrics.service.enabled ||
+        run.metrics.service.open_loop_operations > 0) {
+      std::printf("## service.csv\n%s\n", ServiceCsv(run.metrics).c_str());
+    }
     if (!run.observability.stages.empty()) {
       std::printf("## stages.csv\n%s\n",
                   StageBreakdownCsv(run.observability.stages).c_str());
