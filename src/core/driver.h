@@ -7,7 +7,6 @@
 
 #include "core/events.h"
 #include "core/metrics.h"
-#include "core/resilience.h"
 #include "core/run_spec.h"
 #include "obs/observability.h"
 #include "sut/fault_plan.h"

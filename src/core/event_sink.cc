@@ -6,6 +6,15 @@
 
 namespace lsbench {
 
+// lsbench-deepcheck: allow(hot-alloc, hot-throw)
+void EventSink::RecordSlow(const OpEvent& event) {
+  // Only reached when Reserve undersized the arena (e.g. retries exceeding
+  // the per-worker headroom). Doubling keeps repeat spills amortized.
+  events_.reserve(std::max<size_t>(events_.size() * 2, 64));
+  events_.push_back(event);
+  used_ = events_.size();
+}
+
 EventStream MergeEventShards(std::vector<EventStream> shards) {
   if (shards.empty()) return {};
   if (shards.size() == 1) return std::move(shards[0]);

@@ -8,6 +8,7 @@
 #include "core/events.h"
 #include "obs/metrics_registry.h"
 #include "obs/profile.h"
+#include "util/annotate.h"
 
 namespace lsbench {
 
@@ -19,15 +20,25 @@ class EventSink {
  public:
   explicit EventSink(uint32_t worker) : worker_(worker) {}
 
-  void Reserve(size_t n) { events_.reserve(n); }
+  /// Sizes the arena for `n` more events. All allocation happens here, off
+  /// the measured loop; Record then fills slots by index.
+  void Reserve(size_t n) { events_.resize(used_ + n); }
 
-  /// Records one completed operation, stamping provenance.
+  /// Records one completed operation, stamping provenance. Allocation-free
+  /// while the arena has room (the steady state — the driver Reserves the
+  /// full phase up front); growth is delegated to the cold slow path.
+  LSBENCH_HOT_PATH
+  LSBENCH_DETERMINISTIC
   void Record(OpEvent event) {
     LSBENCH_PROFILE_STAGE(profiler_, Stage::kRecord);
     if (events_recorded_ != nullptr) events_recorded_->Increment();
     event.worker = worker_;
     event.seq = next_seq_++;
-    events_.push_back(event);
+    if (used_ < events_.size()) {
+      events_[used_++] = event;
+    } else {
+      RecordSlow(event);
+    }
   }
 
   /// Arms the append profiling hook (Stage::kRecord) and the record
@@ -39,16 +50,27 @@ class EventSink {
   }
 
   uint32_t worker() const { return worker_; }
-  EventStream& events() { return events_; }
-  const EventStream& events() const { return events_; }
+  size_t recorded() const { return used_; }
 
-  /// Moves the shard out (the sink is spent afterwards).
-  EventStream TakeEvents() { return std::move(events_); }
+  /// Moves the shard out, trimmed to what was actually recorded (the sink
+  /// is spent afterwards).
+  EventStream TakeEvents() {
+    events_.resize(used_);
+    used_ = 0;
+    return std::move(events_);
+  }
 
  private:
+  /// Cold path: the arena is full. Grows the shard (allocates); out of line
+  /// so the hot-alloc frontier is this function, not Record.
+  void RecordSlow(const OpEvent& event);
+
   uint32_t worker_;
   uint64_t next_seq_ = 0;
+  /// Arena: slots [0, used_) hold recorded events; the rest is headroom
+  /// created by Reserve.
   EventStream events_;
+  size_t used_ = 0;
 
   // Observability hooks (null = disabled).
   StageProfiler* profiler_ = nullptr;

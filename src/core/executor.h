@@ -9,6 +9,7 @@
 #include "obs/profile.h"
 #include "obs/trace.h"
 #include "sut/sut.h"
+#include "util/annotate.h"
 #include "util/clock.h"
 #include "workload/operation.h"
 
@@ -25,6 +26,8 @@ class Pacer {
   Pacer(const Clock* clock, VirtualClock* virtual_clock)
       : clock_(clock), virtual_clock_(virtual_clock) {}
 
+  LSBENCH_HOT_PATH
+  LSBENCH_DETERMINISTIC
   void PaceUntil(int64_t target_abs_nanos) const {
     if (virtual_clock_ != nullptr) {
       if (virtual_clock_->NowNanos() < target_abs_nanos) {
@@ -79,6 +82,8 @@ class ResilientExecutor {
   /// Runs one operation through the resilience policy. `arrival_rel_nanos`
   /// is the operation's intended start (run-relative) from which its
   /// deadline is measured.
+  LSBENCH_HOT_PATH
+  LSBENCH_DETERMINISTIC
   ExecOutcome ExecuteOne(const Operation& op, int64_t arrival_rel_nanos);
 
   /// Breaker state for run-level accounting (null when disabled).

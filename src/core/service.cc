@@ -13,6 +13,7 @@ AdmissionQueue::AdmissionQueue(const ServiceSpec& spec)
       slo_nanos_(spec.slo_p99_nanos),
       max_shed_fraction_(spec.max_shed_fraction) {
   LSBENCH_ASSERT(capacity_ > 0);
+  ring_.resize(capacity_);
 }
 
 void AdmissionQueue::BindObservability(Gauge* depth_gauge,
@@ -32,7 +33,7 @@ bool AdmissionQueue::SloShed(const WorkloadStream::Issue& issue,
   // Predicted response time if admitted now: everything already queued must
   // drain first, one smoothed service time each, plus this operation's own.
   const int64_t backlog =
-      static_cast<int64_t>(queue_.size() + 1) * service_ema_nanos_;
+      static_cast<int64_t>(count_ + 1) * service_ema_nanos_;
   const int64_t predicted_completion = now_rel_nanos + backlog;
   const int64_t deadline = issue.arrival_rel_nanos + slo_nanos_;
   bool miss = predicted_completion > deadline;
@@ -68,12 +69,12 @@ AdmissionQueue::Admission AdmissionQueue::Offer(
     return result;
   }
 
-  if (queue_.size() >= capacity_) {
+  if (count_ >= capacity_) {
     // Full queue: something must go, regardless of budget (the queue bound
     // is structural; max_shed_fraction only limits *predictive* sheds).
     if (policy_ == OverloadPolicy::kDropOldest) {
-      result.shed = std::move(queue_.front());
-      queue_.pop_front();
+      result.shed = Front();
+      DropFront();
       CountShed(*result.shed);
     } else {
       // kDropNewest, and kSloShed once its budget is spent.
@@ -84,13 +85,13 @@ AdmissionQueue::Admission AdmissionQueue::Offer(
     }
   }
 
-  queue_.push_back(issue);
-  peak_depth_ = std::max(peak_depth_, queue_.size());
+  PushBack(issue);
+  peak_depth_ = std::max(peak_depth_, count_);
   ++admitted_;
   result.admitted = true;
   if (admitted_counter_ != nullptr) admitted_counter_->Increment();
   if (depth_gauge_ != nullptr) {
-    depth_gauge_->Set(static_cast<int64_t>(queue_.size()));
+    depth_gauge_->Set(static_cast<int64_t>(count_));
   }
   if (peak_depth_gauge_ != nullptr) {
     peak_depth_gauge_->Set(static_cast<int64_t>(peak_depth_));
@@ -99,11 +100,11 @@ AdmissionQueue::Admission AdmissionQueue::Offer(
 }
 
 WorkloadStream::Issue AdmissionQueue::PopFront(int64_t now_rel_nanos) {
-  LSBENCH_ASSERT(!queue_.empty());
-  WorkloadStream::Issue issue = std::move(queue_.front());
-  queue_.pop_front();
+  LSBENCH_ASSERT(count_ > 0);
+  WorkloadStream::Issue issue = Front();
+  DropFront();
   if (depth_gauge_ != nullptr) {
-    depth_gauge_->Set(static_cast<int64_t>(queue_.size()));
+    depth_gauge_->Set(static_cast<int64_t>(count_));
   }
   if (queue_wait_ != nullptr) {
     queue_wait_->Record(

@@ -2,12 +2,13 @@
 #define LSBENCH_CORE_SERVICE_H_
 
 #include <cstdint>
-#include <deque>
 #include <optional>
+#include <vector>
 
 #include "core/run_spec.h"
 #include "core/workload_stream.h"
 #include "obs/metrics_registry.h"
+#include "util/annotate.h"
 
 namespace lsbench {
 
@@ -40,20 +41,26 @@ class AdmissionQueue {
   /// SLO-aware policy sheds more eagerly while the SUT is degraded, which is
   /// the coordination point between admission control and the resilience
   /// layer.
+  LSBENCH_HOT_PATH
+  LSBENCH_DETERMINISTIC
   Admission Offer(const WorkloadStream::Issue& issue, int64_t now_rel_nanos,
                   bool degraded);
 
   /// Dequeues the next admitted operation; records its queue wait relative
   /// to `now_rel_nanos`. Requires !empty().
+  LSBENCH_HOT_PATH
+  LSBENCH_DETERMINISTIC
   WorkloadStream::Issue PopFront(int64_t now_rel_nanos);
 
   /// Feeds back the observed execution time of a completed operation. The
   /// SLO-aware shedder predicts queue delay as depth x a smoothed service
   /// time (integer EMA, deterministic).
+  LSBENCH_HOT_PATH
+  LSBENCH_DETERMINISTIC
   void RecordServiceTime(int64_t service_nanos);
 
-  bool empty() const { return queue_.empty(); }
-  size_t depth() const { return queue_.size(); }
+  bool empty() const { return count_ == 0; }
+  size_t depth() const { return count_; }
   size_t peak_depth() const { return peak_depth_; }
   uint64_t offered() const { return offered_; }
   uint64_t admitted() const { return admitted_; }
@@ -75,12 +82,27 @@ class AdmissionQueue {
 
   void CountShed(const WorkloadStream::Issue& issue);
 
+  WorkloadStream::Issue& Front() { return ring_[head_]; }
+  void PushBack(const WorkloadStream::Issue& issue) {
+    ring_[(head_ + count_) % ring_.size()] = issue;
+    ++count_;
+  }
+  void DropFront() {
+    head_ = (head_ + 1) % ring_.size();
+    --count_;
+  }
+
   const uint32_t capacity_;
   const OverloadPolicy policy_;
   const int64_t slo_nanos_;
   const double max_shed_fraction_;
 
-  std::deque<WorkloadStream::Issue> queue_;
+  /// Fixed ring of `capacity_` slots, allocated once at construction —
+  /// Offer/PopFront stay allocation-free on the hot path (deepcheck rule
+  /// hot-alloc). Issue is a POD, so slot writes are plain copies.
+  std::vector<WorkloadStream::Issue> ring_;
+  size_t head_ = 0;
+  size_t count_ = 0;
   size_t peak_depth_ = 0;
   uint64_t offered_ = 0;
   uint64_t admitted_ = 0;

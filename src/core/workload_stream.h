@@ -8,6 +8,7 @@
 #include "core/run_spec.h"
 #include "obs/metrics_registry.h"
 #include "obs/profile.h"
+#include "util/annotate.h"
 #include "util/random.h"
 #include "workload/arrival.h"
 #include "workload/generator.h"
@@ -59,6 +60,8 @@ class WorkloadStream {
   };
 
   /// Draws the next operation of the current phase. Requires HasNext().
+  LSBENCH_HOT_PATH
+  LSBENCH_DETERMINISTIC
   Issue Next();
 
   /// The operation Next() would return, without consuming it. The service
@@ -66,6 +69,8 @@ class WorkloadStream {
   /// before admitting it to the queue. Drawing eagerly does not perturb the
   /// RNG sequence — the draws happen in the same order either way — and the
   /// issue counter still ticks once per operation, at Next().
+  LSBENCH_HOT_PATH
+  LSBENCH_DETERMINISTIC
   const Issue& Peek();
 
   /// Feeds back the completion time of the last issued operation —
@@ -85,6 +90,8 @@ class WorkloadStream {
  private:
   /// Draws one issue from the generators / arrival process (shared by
   /// Next() and Peek()); does not touch the issue counter.
+  LSBENCH_HOT_PATH
+  LSBENCH_DETERMINISTIC
   Issue Draw();
 
   const RunSpec* spec_;

@@ -5,6 +5,8 @@
 #include <cstring>
 #include <vector>
 
+#include "util/key_value.h"
+
 namespace lsbench {
 
 namespace {

@@ -4,7 +4,6 @@
 #include <string>
 
 #include "data/dataset.h"
-#include "util/key_value.h"
 #include "util/status.h"
 
 namespace lsbench {

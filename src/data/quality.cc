@@ -5,7 +5,6 @@
 
 #include "stats/descriptive.h"
 #include "stats/similarity.h"
-#include "util/string_util.h"
 
 namespace lsbench {
 

@@ -5,7 +5,6 @@
 #include <unordered_set>
 
 #include "learned/segment_model.h"
-#include "util/assert.h"
 
 namespace lsbench {
 

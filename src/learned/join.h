@@ -4,7 +4,7 @@
 #include <cstdint>
 #include <vector>
 
-#include "index/kv_index.h"
+#include "util/key_value.h"
 
 namespace lsbench {
 

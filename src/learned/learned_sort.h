@@ -1,10 +1,11 @@
 #ifndef LSBENCH_LEARNED_LEARNED_SORT_H_
 #define LSBENCH_LEARNED_LEARNED_SORT_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
-#include "index/kv_index.h"
+#include "util/key_value.h"
 
 namespace lsbench {
 

@@ -6,6 +6,7 @@
 #include <string_view>
 #include <vector>
 
+#include "util/annotate.h"
 #include "util/clock.h"
 
 namespace lsbench {
@@ -68,21 +69,32 @@ class StageProfiler {
   StageProfiler() = default;
 
   /// Arms the profiler against `clock` (the worker's private virtual clock
-  /// in simulation mode). `clock` must outlive the profiler.
-  void Bind(const Clock* clock) { clock_ = clock; }
+  /// in simulation mode). `clock` must outlive the profiler. Creates the
+  /// current phase's accumulator eagerly so Add never has to.
+  void Bind(const Clock* clock) {
+    clock_ = clock;
+    current_ = &AccumFor(phase_);
+  }
 
   bool enabled() const { return clock_ != nullptr; }
   int64_t NowNanos() const { return clock_->NowNanos(); }
 
   /// Phase charged by subsequent Add() calls; kRunLevelPhase for run-scoped
-  /// work outside any phase.
-  void set_phase(int32_t phase) { phase_ = phase; }
+  /// work outside any phase. Phase transitions are cold: the accumulator
+  /// entry (the only allocation in this class) is created here, keeping
+  /// Add allocation-free.
+  void set_phase(int32_t phase) {
+    phase_ = phase;
+    if (enabled()) current_ = &AccumFor(phase);
+  }
   int32_t phase() const { return phase_; }
 
   /// Charges `nanos` to `stage` in the current phase. No-op while disabled.
+  LSBENCH_HOT_PATH
+  LSBENCH_DETERMINISTIC
   void Add(Stage stage, int64_t nanos) {
-    if (!enabled()) return;
-    StageAccum& accum = AccumFor(phase_).stages[static_cast<size_t>(stage)];
+    if (current_ == nullptr) return;
+    StageAccum& accum = current_->stages[static_cast<size_t>(stage)];
     accum.total_nanos += nanos;
     accum.samples++;
   }
@@ -95,6 +107,10 @@ class StageProfiler {
 
   const Clock* clock_ = nullptr;
   int32_t phase_ = PhaseStageBreakdown::kRunLevelPhase;
+  /// Accumulator for the current phase; null until Bind. Refreshed on every
+  /// phase transition — AccumFor may reallocate phases_, so this is the
+  /// only cached pointer into it.
+  PhaseStageBreakdown* current_ = nullptr;
   // Unsorted accumulation order (phases arrive monotonically anyway);
   // Breakdown() sorts on export.
   std::vector<PhaseStageBreakdown> phases_;

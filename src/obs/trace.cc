@@ -18,6 +18,15 @@ bool SpanBefore(const TraceSpan& a, const TraceSpan& b) {
 
 }  // namespace
 
+// lsbench-deepcheck: allow(hot-alloc, hot-throw)
+void Tracer::RecordSlow(const TraceSpan& span) {
+  // Only reached when Reserve undersized the arena. Doubling keeps repeat
+  // spills amortized.
+  spans_.reserve(std::max<size_t>(spans_.size() * 2, 64));
+  spans_.push_back(span);
+  used_ = spans_.size();
+}
+
 TraceStream MergeTraceShards(std::vector<TraceStream> shards) {
   if (shards.empty()) return {};
   if (shards.size() == 1) return std::move(shards[0]);

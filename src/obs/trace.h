@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "util/annotate.h"
 #include "util/clock.h"
 
 namespace lsbench {
@@ -60,10 +61,15 @@ class Tracer {
   /// Phase stamped on subsequently recorded spans.
   void set_phase(int32_t phase) { phase_ = phase; }
 
-  void Reserve(size_t n) { spans_.reserve(n); }
+  /// Sizes the span arena for `n` more spans. All allocation happens here,
+  /// off the measured loop; Record then fills slots by index.
+  void Reserve(size_t n) { spans_.resize(used_ + n); }
 
   /// Records one completed span (run-relative endpoints), stamping
-  /// provenance. No-op while disabled.
+  /// provenance. No-op while disabled; allocation-free while the arena has
+  /// room (growth is delegated to the cold slow path).
+  LSBENCH_HOT_PATH
+  LSBENCH_DETERMINISTIC
   void Record(const char* name, int64_t start_rel_nanos,
               int64_t end_rel_nanos) {
     if (!enabled()) return;
@@ -74,21 +80,37 @@ class Tracer {
     span.phase = phase_;
     span.worker = worker_;
     span.seq = next_seq_++;
-    spans_.push_back(span);
+    if (used_ < spans_.size()) {
+      spans_[used_++] = span;
+    } else {
+      RecordSlow(span);
+    }
   }
 
-  const TraceStream& spans() const { return spans_; }
+  size_t recorded() const { return used_; }
 
-  /// Moves the shard out (the tracer is spent afterwards).
-  TraceStream TakeSpans() { return std::move(spans_); }
+  /// Moves the shard out, trimmed to what was actually recorded (the
+  /// tracer is spent afterwards).
+  TraceStream TakeSpans() {
+    spans_.resize(used_);
+    used_ = 0;
+    return std::move(spans_);
+  }
 
  private:
+  /// Cold path: the arena is full. Grows the shard (allocates); out of
+  /// line so the hot-alloc frontier is this function, not Record.
+  void RecordSlow(const TraceSpan& span);
+
   uint32_t worker_;
   const Clock* clock_ = nullptr;
   int64_t run_start_nanos_ = 0;
   int32_t phase_ = 0;
   uint64_t next_seq_ = 0;
+  /// Arena: slots [0, used_) hold recorded spans; the rest is headroom
+  /// created by Reserve.
   TraceStream spans_;
+  size_t used_ = 0;
 };
 
 /// RAII span: stamps the start on construction and records on destruction.

@@ -4,6 +4,7 @@
 
 #include "stats/descriptive.h"
 #include "util/assert.h"
+#include "util/random.h"
 
 namespace lsbench {
 

@@ -6,7 +6,6 @@
 #include <string>
 #include <vector>
 
-#include "util/random.h"
 
 namespace lsbench {
 

@@ -4,7 +4,6 @@
 #include <cmath>
 #include <sstream>
 
-#include "util/assert.h"
 
 namespace lsbench {
 

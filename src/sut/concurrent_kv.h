@@ -7,6 +7,7 @@
 
 #include "index/btree.h"
 #include "sut/sut.h"
+#include "util/annotate.h"
 #include "util/sync.h"
 
 namespace lsbench {
@@ -31,6 +32,7 @@ class PartitionedKvSystem final : public SystemUnderTest {
     return SutConcurrency::kThreadSafe;
   }
   Status Load(const std::vector<KeyValue>& sorted_pairs) override;
+  LSBENCH_DETERMINISTIC
   OpResult Execute(const Operation& op) override;
   SutStats GetStats() const override;
 

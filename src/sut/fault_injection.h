@@ -8,6 +8,7 @@
 
 #include "sut/fault_plan.h"
 #include "sut/sut.h"
+#include "util/annotate.h"
 #include "util/clock.h"
 #include "util/random.h"
 
@@ -68,9 +69,13 @@ class FaultInjectingSut final : public SystemUnderTest {
   Status Load(const std::vector<KeyValue>& sorted_pairs) override;
   TrainReport Train() override;
   /// Equivalent to ExecuteLane(0, op).
+  LSBENCH_HOT_PATH
+  LSBENCH_DETERMINISTIC
   OpResult Execute(const Operation& op) override;
   /// Executes `op` through lane `lane`'s fault stream and clocks. Safe to
   /// call concurrently from different threads iff each uses its own lane.
+  LSBENCH_HOT_PATH
+  LSBENCH_DETERMINISTIC
   OpResult ExecuteLane(size_t lane, const Operation& op);
   void OnPhaseStart(int phase_index, bool holdout) override;
   SutStats GetStats() const override { return inner_->GetStats(); }

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "sut/sut.h"
+#include "util/annotate.h"
 #include "util/assert.h"
 #include "util/sync.h"
 
@@ -44,6 +45,8 @@ class SerializingSut final : public SystemUnderTest {
     return inner_->Train();
   }
 
+  LSBENCH_HOT_PATH
+  LSBENCH_DETERMINISTIC
   OpResult Execute(const Operation& op) override {
     MutexLock lock(mu_);
     return inner_->Execute(op);

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 
-#include "util/assert.h"
 
 namespace lsbench {
 

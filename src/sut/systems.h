@@ -15,6 +15,7 @@
 #include "learned/pgm.h"
 #include "learned/rmi.h"
 #include "sut/sut.h"
+#include "util/annotate.h"
 #include "util/clock.h"
 
 namespace lsbench {
@@ -25,6 +26,7 @@ namespace lsbench {
 /// flavor.
 class KvSystemBase : public SystemUnderTest {
  public:
+  LSBENCH_DETERMINISTIC
   OpResult Execute(const Operation& op) override;
   SutStats GetStats() const override;
 

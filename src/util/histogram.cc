@@ -5,7 +5,6 @@
 #include <limits>
 #include <sstream>
 
-#include "util/assert.h"
 
 namespace lsbench {
 

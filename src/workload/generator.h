@@ -32,19 +32,36 @@ class OperationGenerator {
   const PhaseSpec& spec() const { return spec_; }
   const Dataset* dataset() const { return dataset_; }
   uint64_t generated_count() const { return generated_; }
-  size_t inserted_key_count() const { return inserted_keys_.size(); }
+  size_t inserted_key_count() const { return inserted_count_; }
 
  private:
   OpType PickType();
   Key PickExistingKey();
   Key MakeFreshKey();
 
+  /// Appends to the inserted-key arena; allocation-free while the slots
+  /// sized from the phase's expected insert count hold out.
+  void AppendInsertedKey(Key key) {
+    if (inserted_count_ < inserted_keys_.size()) {
+      inserted_keys_[inserted_count_++] = key;
+    } else {
+      AppendInsertedKeySlow(key);
+    }
+  }
+
+  /// Cold path: insert draws exceeded the arena sizing. Grows (allocates);
+  /// out of line so the hot-alloc frontier is this function, not Next.
+  void AppendInsertedKeySlow(Key key);
+
   const Dataset* dataset_;
   PhaseSpec spec_;
   Rng rng_;
   std::unique_ptr<AccessDistribution> access_;
   double cumulative_mix_[kNumOpTypes];
+  /// Arena: slots [0, inserted_count_) hold keys created by kInsert ops;
+  /// the rest is headroom sized in the constructor.
   std::vector<Key> inserted_keys_;
+  size_t inserted_count_ = 0;
   uint64_t generated_ = 0;
   uint64_t value_counter_ = 0;
 };

@@ -5,6 +5,7 @@
 
 #include "data/dataset.h"
 #include "data/io.h"
+#include "util/key_value.h"
 
 namespace lsbench {
 namespace {

@@ -1,0 +1,110 @@
+// Runtime ground truth for lsbench-deepcheck's hot-alloc claim: counts
+// every global operator new during two simulated runs that differ only in
+// operation count, and asserts the marginal allocations per additional
+// operation stay within the pinned budget (LSBENCH_PER_OP_HEAP_ALLOCS,
+// injected by CMake from tools/lint/hotpath_budget.json — the same file the
+// static checker cross-checks its baseline against).
+//
+// The workload is read-only so the SUT performs no inserts of its own: the
+// measured loop's steady state (generate -> pace -> execute -> record) is
+// exactly what the static rule audits, and with the event/trace/key arenas
+// reserved up front the marginal cost per op must be zero heap calls. The
+// absolute slack term absorbs O(log n) container regrowth in post-run
+// metrics, which scales with run size but not per operation.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+
+#include "core/driver.h"
+#include "core/run_spec.h"
+#include "data/dataset.h"
+#include "sut/systems.h"
+
+namespace {
+
+std::atomic<uint64_t> g_heap_allocs{0};
+
+void* CountedAlloc(size_t size) {
+  g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size == 0 ? 1 : size)) return p;
+  throw std::bad_alloc();
+}
+
+}  // namespace
+
+void* operator new(size_t size) { return CountedAlloc(size); }
+void* operator new[](size_t size) { return CountedAlloc(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, size_t) noexcept { std::free(p); }
+void operator delete[](void* p, size_t) noexcept { std::free(p); }
+
+namespace lsbench {
+namespace {
+
+RunSpec MakeReadOnlySpec(uint64_t num_operations) {
+  RunSpec spec;
+  spec.name = "hotpath_alloc_" + std::to_string(num_operations);
+  spec.seed = 7;
+  DatasetOptions options;
+  options.num_keys = 4000;
+  options.seed = 7;
+  spec.datasets.push_back(GenerateDataset(UniformUnit(), options));
+
+  PhaseSpec phase;
+  phase.name = "read_only";
+  phase.dataset_index = 0;
+  phase.mix = OperationMix{};  // get = 1.0, everything else 0.
+  phase.num_operations = num_operations;
+  spec.phases.push_back(phase);
+  spec.interval_nanos = 100000000;  // 100 ms.
+  return spec;
+}
+
+uint64_t HeapAllocsForRun(uint64_t num_operations) {
+  VirtualClock clock;
+  DriverOptions options;
+  options.virtual_clock = &clock;
+  options.virtual_service_nanos = 100000;  // 100 us per op.
+  BenchmarkDriver driver(&clock, options);
+  BTreeSystem sut;
+  const RunSpec spec = MakeReadOnlySpec(num_operations);
+
+  const uint64_t before = g_heap_allocs.load(std::memory_order_relaxed);
+  const Result<RunResult> result = driver.Run(spec, &sut);
+  const uint64_t used = g_heap_allocs.load(std::memory_order_relaxed) - before;
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result.value().events.size(), num_operations);
+  return used;
+}
+
+TEST(HotpathAllocTest, MarginalAllocationsPerOpWithinBudget) {
+  constexpr uint64_t kOps = 4000;
+  // First run also warms whatever process-lifetime lazy state the driver
+  // touches; the comparison below is between two equally-warm runs.
+  (void)HeapAllocsForRun(kOps);
+
+  const uint64_t base = HeapAllocsForRun(kOps);
+  const uint64_t doubled = HeapAllocsForRun(2 * kOps);
+  ASSERT_GE(doubled, base);
+  const uint64_t marginal = doubled - base;
+
+  // Container regrowth in post-run merge/metrics is O(log n) allocation
+  // calls regardless of op count; 96 absolute calls of slack covers it
+  // with room while still failing loudly on any real per-op allocation
+  // (which would cost kOps extra calls at minimum).
+  constexpr uint64_t kSlack = 96;
+  constexpr uint64_t kBudget = LSBENCH_PER_OP_HEAP_ALLOCS;
+  EXPECT_LE(marginal, kBudget * kOps + kSlack)
+      << "marginal heap allocations for " << kOps << " extra ops: "
+      << marginal << " (per-op budget " << kBudget << ", slack " << kSlack
+      << ") — the hot path regressed to allocating per operation; run "
+      << "tools/lint/deepcheck.py to find the new call path";
+}
+
+}  // namespace
+}  // namespace lsbench

@@ -23,6 +23,11 @@ Two extra modes:
   --report-unused       advisory (exit 0) heuristic report of includes
                         whose header contributes no identifier used by the
                         includer — candidates for deletion
+  --check-unused        the same heuristic, enforced: dead includes are
+                        findings (rule unused-include, exit 1). Legitimate
+                        exceptions (re-exported types, macro-only use)
+                        carry an `allow(unused-include)` suppression on the
+                        include line
   --self-sufficiency    compiles every header under src/ standalone via a
                         generated one-line TU (-fsyntax-only), proving each
                         public header carries its own includes
@@ -292,11 +297,13 @@ def provided_names(header_text):
     }
 
 
-def report_unused_edges(src_root, includes):
+def report_unused_edges(src_root, includes, suppressions=None):
     """Heuristic: an include whose header provides no identifier that
-    appears in the includer. Advisory only — riddled with legitimate
-    exceptions (re-exported types, macros used in disabled branches), so it
-    reports candidates rather than failing the build."""
+    appears in the includer. Ran advisory for long enough to tune the
+    heuristic; now also enforceable via --check-unused, with legitimate
+    exceptions (re-exported types, macros used in disabled branches)
+    carrying an allow(unused-include) suppression on the include line."""
+    suppressions = suppressions or {}
     texts = {}
 
     def text_of(rel):
@@ -314,6 +321,9 @@ def report_unused_edges(src_root, includes):
         base_src = os.path.splitext(inc.src_rel)[0]
         base_dst = os.path.splitext(inc.target_rel)[0]
         if base_src == base_dst:
+            continue
+        if "unused-include" in suppressions.get(inc.src_rel, {}).get(
+                inc.line, set()):
             continue
         names = provided_names(text_of(inc.target_rel))
         if not names:
@@ -382,6 +392,9 @@ def main(argv=None):
                              "<root>/compile_commands.json when present)")
     parser.add_argument("--report-unused", action="store_true",
                         help="also print the advisory dead-include report")
+    parser.add_argument("--check-unused", action="store_true",
+                        help="enforce the dead-include heuristic (findings, "
+                             "exit 1); suppress with allow(unused-include)")
     parser.add_argument("--self-sufficiency", action="store_true",
                         help="compile every src/ header standalone")
     parser.add_argument("--compiler", default=None,
@@ -423,12 +436,19 @@ def main(argv=None):
 
     findings = (check_layering(layers, includes, suppressions)
                 + check_cycles(includes))
+    if args.check_unused:
+        findings.extend(
+            lsbench_lint.Finding(f"src/{rel}", line, "unused-include",
+                                 message)
+            for rel, line, message in report_unused_edges(
+                src_root, includes, suppressions))
     findings.sort(key=lambda f: (f.path, f.line, f.rule))
     for finding in findings:
         print(finding)
 
-    if args.report_unused:
-        for rel, line, message in report_unused_edges(src_root, includes):
+    if args.report_unused and not args.check_unused:
+        for rel, line, message in report_unused_edges(src_root, includes,
+                                                      suppressions):
             print(f"src/{rel}:{line}: [unused-include] {message} (advisory)")
 
     exit_code = 1 if findings else 0

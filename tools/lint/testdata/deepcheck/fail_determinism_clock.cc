@@ -1,0 +1,17 @@
+// Must-flag: a wall-clock read inside the reproducibility contract.
+// Expected: (determinism, lsbench::DeterministicStamp, wall-clock)
+#include <chrono>
+#include <cstdint>
+
+#include "fixture_prelude.h"
+
+namespace lsbench {
+
+LSBENCH_DETERMINISTIC
+int64_t DeterministicStamp() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace lsbench

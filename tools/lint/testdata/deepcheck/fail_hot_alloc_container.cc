@@ -1,0 +1,15 @@
+// Must-flag: container growth on the hot path. std::vector::push_back is a
+// curated primitive (allocates and can throw length_error), so both hot
+// rules fire at the root.
+// Expected: (hot-alloc, lsbench::HotPush, operator-new)
+//           (hot-throw, lsbench::HotPush, std-throw)
+#include <vector>
+
+#include "fixture_prelude.h"
+
+namespace lsbench {
+
+LSBENCH_HOT_PATH
+void HotPush(std::vector<int>& values, int v) { values.push_back(v); }
+
+}  // namespace lsbench

@@ -1,0 +1,10 @@
+// Must-flag: a direct heap allocation in an LSBENCH_HOT_PATH function.
+// Expected: (hot-alloc, lsbench::HotAllocDirect, operator-new)
+#include "fixture_prelude.h"
+
+namespace lsbench {
+
+LSBENCH_HOT_PATH
+int* HotAllocDirect() { return new int(42); }
+
+}  // namespace lsbench

@@ -1,0 +1,20 @@
+// Must-flag: an allocation three frames below the annotated root — the
+// case the regex lint can never see. The finding's frontier is the last
+// project frame (LevelThree), not the root.
+// Expected: (hot-alloc, lsbench::LevelThree, malloc)
+#include <cstdlib>
+
+#include "fixture_prelude.h"
+
+namespace lsbench {
+
+void* LevelThree() { return std::malloc(16); }
+
+void* LevelTwo() { return LevelThree(); }
+
+void* LevelOne() { return LevelTwo(); }
+
+LSBENCH_HOT_PATH
+void* HotTransitive() { return LevelOne(); }
+
+}  // namespace lsbench

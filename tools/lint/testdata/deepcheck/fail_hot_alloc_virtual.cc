@@ -1,0 +1,27 @@
+// Must-flag: allocation behind virtual dispatch. The call site only sees
+// the abstract base; class-hierarchy analysis must resolve the slot to the
+// derived override and keep walking. The frontier is the override.
+// Expected: (hot-alloc, lsbench::VecSink::Push, operator-new)
+//           (hot-throw, lsbench::VecSink::Push, std-throw)
+#include <vector>
+
+#include "fixture_prelude.h"
+
+namespace lsbench {
+
+struct Sink {
+  virtual ~Sink() = default;
+  virtual void Push(int v) = 0;
+};
+
+struct VecSink : Sink {
+  void Push(int v) override;
+  std::vector<int> data_;
+};
+
+void VecSink::Push(int v) { data_.push_back(v); }
+
+LSBENCH_HOT_PATH
+void HotVirtual(Sink& sink) { sink.Push(7); }
+
+}  // namespace lsbench

@@ -1,0 +1,20 @@
+// Must-flag: unannotated mutex acquisition on the hot path. Only the
+// util/sync.h wrappers (lsbench::Mutex et al.) are sanctioned gates; a raw
+// std::mutex is a blocking hazard the rule must see. std::mutex::lock can
+// also throw system_error, so the hot-throw walk flags it too (mirroring
+// the reviewed lsbench::Mutex::Lock entry in the real tree's baseline).
+// Expected: (hot-block, lsbench::HotLock, mutex)
+//           (hot-throw, lsbench::HotLock, std-throw)
+#include <mutex>
+
+#include "fixture_prelude.h"
+
+namespace lsbench {
+
+LSBENCH_HOT_PATH
+void HotLock(std::mutex& mu) {
+  mu.lock();
+  mu.unlock();
+}
+
+}  // namespace lsbench

@@ -1,0 +1,15 @@
+// Must-flag: a throw expression on the hot path (lowered to __cxa_throw /
+// __cxa_allocate_exception by the front end; both map to the same finding
+// key, so exactly one finding is expected).
+// Expected: (hot-throw, lsbench::HotThrow, throw)
+#include "fixture_prelude.h"
+
+namespace lsbench {
+
+LSBENCH_HOT_PATH
+int HotThrow(int v) {
+  if (v < 0) throw 42;
+  return v;
+}
+
+}  // namespace lsbench

@@ -1,0 +1,19 @@
+#ifndef LSBENCH_DEEPCHECK_FIXTURE_PRELUDE_H_
+#define LSBENCH_DEEPCHECK_FIXTURE_PRELUDE_H_
+
+// Standalone copy of src/util/annotate.h's macros for deepcheck fixtures.
+// Fixtures are compiled in an isolated tmpdir with no view of src/, so they
+// carry their own definitions. Must stay expansion-identical to the real
+// header: the clang frontend reads the attribute strings off the AST, the
+// gcc frontend's scanner reads the macro tokens off the source text.
+
+#if defined(__clang__)
+#define LSBENCH_ANNOTATE(x) __attribute__((annotate(x)))
+#else
+#define LSBENCH_ANNOTATE(x)
+#endif
+
+#define LSBENCH_HOT_PATH LSBENCH_ANNOTATE("lsbench::hot_path")
+#define LSBENCH_DETERMINISTIC LSBENCH_ANNOTATE("lsbench::deterministic")
+
+#endif  // LSBENCH_DEEPCHECK_FIXTURE_PRELUDE_H_

@@ -1,0 +1,21 @@
+// Must-pass: pure arithmetic on the hot path — nothing reachable
+// allocates, blocks, throws, or reads ambient state.
+// Expected: no findings.
+#include <cstdint>
+
+#include "fixture_prelude.h"
+
+namespace lsbench {
+
+uint64_t Mix(uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 29;
+  return x;
+}
+
+LSBENCH_HOT_PATH
+LSBENCH_DETERMINISTIC
+uint64_t HotMix(uint64_t a, uint64_t b) { return Mix(a) ^ Mix(b); }
+
+}  // namespace lsbench

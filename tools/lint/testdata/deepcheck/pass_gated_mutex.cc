@@ -1,0 +1,30 @@
+// Must-pass: lock acquisition through the sanctioned util/sync.h wrapper
+// type. lsbench::Mutex:: is a hot-block gate, so the acquisition does not
+// flag (unlike the raw std::mutex in fail_hot_block_mutex.cc).
+// Expected: no findings.
+#include <atomic>
+
+#include "fixture_prelude.h"
+
+namespace lsbench {
+
+class Mutex {
+ public:
+  void Lock() {
+    while (flag_.test_and_set(std::memory_order_acquire)) {
+    }
+  }
+  void Unlock() { flag_.clear(std::memory_order_release); }
+
+ private:
+  std::atomic_flag flag_ = ATOMIC_FLAG_INIT;
+};
+
+LSBENCH_HOT_PATH
+int HotGated(Mutex& mu) {
+  mu.Lock();
+  mu.Unlock();
+  return 1;
+}
+
+}  // namespace lsbench

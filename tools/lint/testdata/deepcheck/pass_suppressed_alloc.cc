@@ -1,0 +1,15 @@
+// Must-pass: a reviewed one-off exemption. The helper allocates, but the
+// allow-comment on its declaration suppresses the finding at the frontier
+// (the same mechanism the arena slow paths in src/ use).
+// Expected: no findings.
+#include "fixture_prelude.h"
+
+namespace lsbench {
+
+// lsbench-deepcheck: allow(hot-alloc, hot-throw)
+int* SanctionedSpill() { return new int(7); }
+
+LSBENCH_HOT_PATH
+int* HotWithExemptHelper() { return SanctionedSpill(); }
+
+}  // namespace lsbench

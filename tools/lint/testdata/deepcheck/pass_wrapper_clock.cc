@@ -1,0 +1,26 @@
+// Must-pass: a clock read through the sanctioned wrapper. Traversal stops
+// at the lsbench::RealClock::NowNanos gate and never sees the
+// steady_clock::now() inside — the wrapper IS the approved route.
+// Expected: no findings.
+#include <chrono>
+#include <cstdint>
+
+#include "fixture_prelude.h"
+
+namespace lsbench {
+
+class RealClock {
+ public:
+  int64_t NowNanos() const;
+};
+
+int64_t RealClock::NowNanos() const {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+LSBENCH_DETERMINISTIC
+int64_t DeterministicTick(const RealClock& clock) { return clock.NowNanos(); }
+
+}  // namespace lsbench
