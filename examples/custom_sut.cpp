@@ -64,6 +64,24 @@ class StdMapSystem final : public SystemUnderTest {
         result.ok = true;
         break;
       }
+      case OpType::kBatchGet:
+      case OpType::kBatchPut: {
+        // Aggregate view of the batch classes (rows = elements
+        // found/applied). A SUT that doesn't override ExecuteBatch never
+        // receives these through the driver — the scalar fallback unrolls
+        // batches into per-element Gets/Updates — but direct callers may.
+        const bool put = op.type == OpType::kBatchPut;
+        for (uint32_t i = 0; i < op.batch_size; ++i) {
+          if (put) {
+            data_[op.batch_keys[i]] = op.batch_values[i];
+            ++result.rows;
+          } else if (data_.count(op.batch_keys[i]) > 0) {
+            ++result.rows;
+          }
+        }
+        result.ok = true;
+        break;
+      }
     }
     return result;
   }

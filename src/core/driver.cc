@@ -11,8 +11,10 @@
 #include "core/service.h"
 #include "core/workload_stream.h"
 #include "obs/observability.h"
+#include "sut/concurrent_kv.h"
 #include "sut/fault_injection.h"
 #include "sut/serializing.h"
+#include "sut/systems.h"
 #include "util/assert.h"
 #include "util/sync.h"
 
@@ -73,6 +75,9 @@ class LaneSut final : public SystemUnderTest {
   OpResult Execute(const Operation& op) override {
     return fault_->ExecuteLane(lane_, op);
   }
+  void ExecuteBatch(const Operation& op, OpResult* results) override {
+    fault_->ExecuteLaneBatch(lane_, op, results);
+  }
   void OnPhaseStart(int phase_index, bool holdout) override {
     // Intentionally empty: the orchestrator notifies the injector directly.
     (void)phase_index;
@@ -99,6 +104,12 @@ struct WorkerContext {
   std::optional<LaneSut> lane;
   std::optional<WorkloadStream> stream;
   std::optional<ResilientExecutor> executor;
+  /// The SUT (or per-worker lane adapter) the executor targets. Engine
+  /// selection monomorphizes against this pointer's proven runtime type.
+  SystemUnderTest* exec_target = nullptr;
+  /// Per-element result arena for batch ops, sized once (off the measured
+  /// loop) to the run's largest batch so the hot loop never allocates.
+  std::vector<OpResult> batch_results;
   /// Armed only in [service] mode; persists across phases (the shed budget
   /// and the smoothed service time are run-scoped, like the breaker).
   std::optional<AdmissionQueue> admission;
@@ -112,9 +123,16 @@ struct WorkerContext {
 
 /// Drains one worker's current phase: issue, pace, execute resiliently,
 /// record. This is the inner loop both the serial path and every worker
-/// thread run; at workers == 1 it reproduces the monolithic driver's loop
-/// bit-for-bit.
-void RunWorkerPhase(WorkerContext* ctx, int64_t run_start_nanos) {
+/// thread run; at workers == 1 with the generic engine it reproduces the
+/// monolithic driver's loop bit-for-bit.
+///
+/// The loop is a template over the executor's attempt-dispatch policy: the
+/// driver selects — once per phase — either the generic VirtualExec engine
+/// or a MonoExec<SutT> instantiation with the proven final SUT type baked
+/// in, so the steady state makes zero virtual calls per operation.
+template <typename Exec>
+void RunWorkerPhaseT(WorkerContext* ctx, int64_t run_start_nanos,
+                     const Exec exec) {
   WorkloadStream& stream = *ctx->stream;
   ResilientExecutor& executor = *ctx->executor;
   const Pacer pacer(ctx->clock, ctx->sim_clock);
@@ -129,8 +147,35 @@ void RunWorkerPhase(WorkerContext* ctx, int64_t run_start_nanos) {
       pacer.PaceUntil(run_start_nanos + issue.arrival_rel_nanos);
     }
 
+    if (IsBatchOp(issue.op.type)) {
+      // Batch ops: one request unit (breaker check, deadline, retries, and
+      // coordinated-omission charge all happen once), one recorded event
+      // per element with distinct seqs.
+      OpResult* results = ctx->batch_results.data();
+      const ExecOutcome outcome = executor.ExecuteBatchWith(
+          exec, issue.op, issue.arrival_rel_nanos, results);
+      const int64_t completion_rel = ctx->clock->NowNanos() - run_start_nanos;
+
+      OpEvent proto;
+      proto.timestamp_nanos = completion_rel;
+      proto.latency_nanos =
+          std::max<int64_t>(0, completion_rel - issue.arrival_rel_nanos);
+      proto.issue_nanos = completion_rel - proto.latency_nanos;
+      proto.phase = ctx->current_phase;
+      proto.type = issue.op.type;
+      proto.retries = outcome.retries;
+      proto.failed = outcome.failed;
+      proto.timed_out = outcome.timed_out;
+      proto.shed = outcome.shed;
+      proto.open_loop = issue.open_loop;
+      proto.batch = issue.op.batch_size;
+      ctx->sink.RecordBatch(proto, results, issue.op.batch_size);
+      stream.RecordCompletion(completion_rel);
+      continue;
+    }
+
     const ExecOutcome outcome =
-        executor.ExecuteOne(issue.op, issue.arrival_rel_nanos);
+        executor.ExecuteOneWith(exec, issue.op, issue.arrival_rel_nanos);
     const int64_t completion_rel = ctx->clock->NowNanos() - run_start_nanos;
 
     OpEvent event;
@@ -160,7 +205,9 @@ void RunWorkerPhase(WorkerContext* ctx, int64_t run_start_nanos) {
 /// sheds what cannot be served. Unlike RunWorkerPhase, an operation's issue
 /// time can lag its intended arrival — that gap (queue wait) is exactly
 /// what coordinated-omission-correct latency must include.
-void RunWorkerServicePhase(WorkerContext* ctx, int64_t run_start_nanos) {
+template <typename Exec>
+void RunWorkerServicePhaseT(WorkerContext* ctx, int64_t run_start_nanos,
+                            const Exec exec) {
   WorkloadStream& stream = *ctx->stream;
   ResilientExecutor& executor = *ctx->executor;
   AdmissionQueue& queue = *ctx->admission;
@@ -174,7 +221,8 @@ void RunWorkerServicePhase(WorkerContext* ctx, int64_t run_start_nanos) {
   // and the virtual clock does not advance (that keeps overload schedules
   // hand-computable). Their response time still counts from the intended
   // arrival — a dropped request is a served-badly request, not a missing
-  // sample.
+  // sample. A shed batch op sheds all of its elements: one event each,
+  // sharing the request unit's timestamps.
   const auto record_shed = [ctx](const WorkloadStream::Issue& issue,
                                  int64_t now_rel) {
     OpEvent event;
@@ -188,7 +236,8 @@ void RunWorkerServicePhase(WorkerContext* ctx, int64_t run_start_nanos) {
     event.failed = true;
     event.queue_shed = true;
     event.open_loop = issue.open_loop;
-    ctx->sink.Record(event);
+    event.batch = OpResultCount(issue.op);
+    for (uint32_t i = 0; i < event.batch; ++i) ctx->sink.Record(event);
   };
 
   while (stream.HasNext() || !queue.empty()) {
@@ -218,8 +267,34 @@ void RunWorkerServicePhase(WorkerContext* ctx, int64_t run_start_nanos) {
     }
 
     const WorkloadStream::Issue issue = queue.PopFront(now_rel);
+
+    if (IsBatchOp(issue.op.type)) {
+      OpResult* results = ctx->batch_results.data();
+      const ExecOutcome outcome = executor.ExecuteBatchWith(
+          exec, issue.op, issue.arrival_rel_nanos, results);
+      const int64_t completion_rel = ctx->clock->NowNanos() - run_start_nanos;
+      queue.RecordServiceTime(completion_rel - now_rel);
+
+      OpEvent proto;
+      proto.timestamp_nanos = completion_rel;
+      proto.latency_nanos =
+          std::max<int64_t>(0, completion_rel - issue.arrival_rel_nanos);
+      proto.issue_nanos = now_rel;
+      proto.phase = ctx->current_phase;
+      proto.type = issue.op.type;
+      proto.retries = outcome.retries;
+      proto.failed = outcome.failed;
+      proto.timed_out = outcome.timed_out;
+      proto.shed = outcome.shed;
+      proto.open_loop = issue.open_loop;
+      proto.batch = issue.op.batch_size;
+      ctx->sink.RecordBatch(proto, results, issue.op.batch_size);
+      stream.RecordCompletion(completion_rel);
+      continue;
+    }
+
     const ExecOutcome outcome =
-        executor.ExecuteOne(issue.op, issue.arrival_rel_nanos);
+        executor.ExecuteOneWith(exec, issue.op, issue.arrival_rel_nanos);
     const int64_t completion_rel = ctx->clock->NowNanos() - run_start_nanos;
     queue.RecordServiceTime(completion_rel - now_rel);
 
@@ -240,6 +315,71 @@ void RunWorkerServicePhase(WorkerContext* ctx, int64_t run_start_nanos) {
     ctx->sink.Record(event);
     stream.RecordCompletion(completion_rel);
   }
+}
+
+// ---- Engine selection ----
+// One inline-loop and one service-loop entry point per engine, with a
+// uniform signature so phase orchestration stays a plain function-pointer
+// call. The monomorphized wrappers re-derive the typed SUT pointer with a
+// static_cast that is only reached after SelectEngines proved the runtime
+// type via dynamic_cast.
+
+using PhaseFn = void (*)(WorkerContext*, int64_t);
+
+void RunWorkerPhaseVirtual(WorkerContext* ctx, int64_t run_start_nanos) {
+  RunWorkerPhaseT(ctx, run_start_nanos, VirtualExec{ctx->exec_target});
+}
+
+void RunWorkerServicePhaseVirtual(WorkerContext* ctx,
+                                  int64_t run_start_nanos) {
+  RunWorkerServicePhaseT(ctx, run_start_nanos, VirtualExec{ctx->exec_target});
+}
+
+template <typename SutT>
+void RunWorkerPhaseMono(WorkerContext* ctx, int64_t run_start_nanos) {
+  RunWorkerPhaseT(ctx, run_start_nanos,
+                  MonoExec<SutT>{static_cast<SutT*>(ctx->exec_target)});
+}
+
+template <typename SutT>
+void RunWorkerServicePhaseMono(WorkerContext* ctx, int64_t run_start_nanos) {
+  RunWorkerServicePhaseT(ctx, run_start_nanos,
+                         MonoExec<SutT>{static_cast<SutT*>(ctx->exec_target)});
+}
+
+struct PhaseEngines {
+  PhaseFn inline_loop = nullptr;
+  PhaseFn service_loop = nullptr;
+};
+
+template <typename SutT>
+constexpr PhaseEngines MonoEngines() {
+  return {&RunWorkerPhaseMono<SutT>, &RunWorkerServicePhaseMono<SutT>};
+}
+
+/// Picks the execution engine for the phase about to run. Monomorphization
+/// is sound only on a proven exact runtime type — all cases below are
+/// final classes, so a successful dynamic_cast is such a proof. The
+/// driver's own SerializingSut wrapper is itself in the chain: the mono
+/// engine binds the *wrapper's* Execute/ExecuteBatch statically (the lock
+/// still guards every call; only the outer virtual dispatch is removed),
+/// so serial SUTs under fan-out keep a monomorphized loop. Fault lanes and
+/// user-supplied decorators fail every cast and fall back to the generic
+/// virtual engine, preserving their must-see-every-call semantics.
+PhaseEngines SelectEngines(SystemUnderTest* target) {
+  if (dynamic_cast<BTreeSystem*>(target) != nullptr) {
+    return MonoEngines<BTreeSystem>();
+  }
+  if (dynamic_cast<LearnedKvSystem*>(target) != nullptr) {
+    return MonoEngines<LearnedKvSystem>();
+  }
+  if (dynamic_cast<PartitionedKvSystem*>(target) != nullptr) {
+    return MonoEngines<PartitionedKvSystem>();
+  }
+  if (dynamic_cast<SerializingSut*>(target) != nullptr) {
+    return MonoEngines<SerializingSut>();
+  }
+  return {&RunWorkerPhaseVirtual, &RunWorkerServicePhaseVirtual};
 }
 
 }  // namespace
@@ -382,11 +522,39 @@ Result<RunResult> BenchmarkDriver::Run(const RunSpec& spec,
   std::vector<WorkerContext> contexts(workers);
   uint64_t total_ops = 0;
   for (const PhaseSpec& p : spec.phases) total_ops += p.num_operations;
+
+  // Batch accounting: a batch issue expands into batch_size per-element
+  // events, and transition blending can carry the previous phase's batch
+  // class into this phase's window — so each phase's event multiplier is
+  // the largest batch its window can draw.
+  const auto phase_has_batch = [](const PhaseSpec& p) {
+    return p.mix.batch_get > 0.0 || p.mix.batch_put > 0.0;
+  };
+  uint32_t max_batch = 1;
+  std::vector<uint64_t> phase_event_mult(spec.phases.size(), 1);
+  for (size_t i = 0; i < spec.phases.size(); ++i) {
+    uint64_t mult = 1;
+    if (phase_has_batch(spec.phases[i])) mult = spec.phases[i].batch_size;
+    if (i > 0 && phase_has_batch(spec.phases[i - 1])) {
+      mult = std::max<uint64_t>(mult, spec.phases[i - 1].batch_size);
+    }
+    phase_event_mult[i] = mult;
+    max_batch = std::max<uint32_t>(max_batch,
+                                   static_cast<uint32_t>(mult));
+  }
+
   for (uint32_t w = 0; w < workers; ++w) {
     WorkerContext& ctx = contexts[w];
     ctx.worker_id = w;
     ctx.sink = EventSink(w);
-    ctx.sink.Reserve(WorkerShare(total_ops, workers, w) + workers);
+    uint64_t worker_events = 0;
+    for (size_t i = 0; i < spec.phases.size(); ++i) {
+      worker_events +=
+          WorkerShare(spec.phases[i].num_operations, workers, w) *
+          phase_event_mult[i];
+    }
+    ctx.sink.Reserve(worker_events + workers);
+    ctx.batch_results.resize(max_batch);
 
     // Clocks: the single worker shares the driver's; under simulated
     // fan-out each worker advances a private virtual clock, synchronized
@@ -411,6 +579,7 @@ Result<RunResult> BenchmarkDriver::Run(const RunSpec& spec,
       ctx.lane.emplace(&*fault_wrapper, w);
       target = &*ctx.lane;
     }
+    ctx.exec_target = target;
     ctx.executor.emplace(target, spec.resilience,
                          Pacer(ctx.clock, ctx.sim_clock),
                          root.Fork(kBackoffStreamTag).Next(),
@@ -494,11 +663,16 @@ Result<RunResult> BenchmarkDriver::Run(const RunSpec& spec,
           ctx.clock->NowNanos() - run_start);
     }
 
-    // Service mode swaps the inner loop: arrivals fire into the admission
-    // queue instead of pacing inline. Everything around it (barriers,
-    // merge, clocks) is unchanged.
-    const auto run_worker = spec.service.enabled ? RunWorkerServicePhase
-                                                 : RunWorkerPhase;
+    // Engine selection, once at phase start: if every worker drives the
+    // bare SUT (no wrappers, no lanes), monomorphize the whole inner loop
+    // on its proven final type — zero virtual calls per op in the steady
+    // state. Workers always share the target's runtime type, so worker 0
+    // decides for all. Service mode swaps the inner loop: arrivals fire
+    // into the admission queue instead of pacing inline. Everything around
+    // it (barriers, merge, clocks) is unchanged.
+    const PhaseEngines engines = SelectEngines(contexts[0].exec_target);
+    const PhaseFn run_worker =
+        spec.service.enabled ? engines.service_loop : engines.inline_loop;
 
     if (workers == 1) {
       run_worker(&contexts[0], run_start);

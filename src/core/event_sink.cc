@@ -40,14 +40,15 @@ EventStream MergeEventShards(std::vector<EventStream> shards) {
 
 std::string SerializeEventStream(const EventStream& events) {
   std::ostringstream out;
-  out << "# lsbench-events v2 events=" << events.size() << "\n";
+  out << "# lsbench-events v3 events=" << events.size() << "\n";
   for (const OpEvent& e : events) {
     out << e.timestamp_nanos << ' ' << e.latency_nanos << ' ' << e.issue_nanos
         << ' ' << e.phase << ' ' << static_cast<int>(e.type) << ' '
         << (e.ok ? 1 : 0) << ' ' << e.rows << ' ' << e.retries << ' '
         << (e.failed ? 1 : 0) << ' ' << (e.timed_out ? 1 : 0) << ' '
         << (e.shed ? 1 : 0) << ' ' << (e.queue_shed ? 1 : 0) << ' '
-        << (e.open_loop ? 1 : 0) << ' ' << e.worker << ' ' << e.seq << '\n';
+        << (e.open_loop ? 1 : 0) << ' ' << e.batch << ' ' << e.worker << ' '
+        << e.seq << '\n';
   }
   return out.str();
 }

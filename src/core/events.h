@@ -39,6 +39,14 @@ struct OpEvent {
   /// Scheduled by an open-loop arrival process (latency is a response
   /// time); false on closed-loop phases (latency is a service time).
   bool open_loop = false;
+  /// Elements in the request unit this event belongs to: 1 for scalar ops,
+  /// the batch size for every per-element event of a batch op. A batch is
+  /// ONE request unit — its elements share one intended arrival, issue,
+  /// completion, latency, and resilience outcome (coordinated-omission
+  /// accounting charges the batch once) but carry their own data-level
+  /// ok/rows and consecutive seqs. Effective per-op latency for batch rows
+  /// is latency_nanos / batch.
+  uint32_t batch = 1;
   // Provenance (multi-worker runs): which worker shard produced the event
   // and its issue order within that shard. Together with the timestamp they
   // define the deterministic merge order (timestamp, worker, seq) — ties

@@ -1,7 +1,5 @@
 #include "core/executor.h"
 
-#include <limits>
-
 #include "util/assert.h"
 
 namespace lsbench {
@@ -39,63 +37,7 @@ void ResilientExecutor::BindObservability(Tracer* tracer,
 
 ExecOutcome ResilientExecutor::ExecuteOne(const Operation& op,
                                           int64_t arrival_rel_nanos) {
-  const Clock* clock = pacer_.clock();
-  VirtualClock* vclock = pacer_.virtual_clock();
-  const int64_t deadline_rel =
-      spec_.op_timeout_nanos > 0
-          ? arrival_rel_nanos + spec_.op_timeout_nanos
-          : std::numeric_limits<int64_t>::max();
-
-  ExecOutcome out;
-  for (;;) {
-    if (breaker_ && !breaker_->AllowRequest(clock->NowNanos())) {
-      // Open breaker: degraded mode sheds the operation unexecuted.
-      out.shed = true;
-      out.failed = true;
-      out.result = OpResult();
-      if (shed_ != nullptr) shed_->Increment();
-      if (vclock != nullptr) {
-        vclock->AdvanceNanos(options_.virtual_shed_nanos);
-      }
-      break;
-    }
-    {
-      LSBENCH_TRACE_SPAN(tracer_, "execute");
-      LSBENCH_PROFILE_STAGE(profiler_, Stage::kExecute);
-      if (attempts_ != nullptr) attempts_->Increment();
-      out.result = sut_->Execute(op);
-      if (vclock != nullptr) {
-        vclock->AdvanceNanos(options_.virtual_service_nanos);
-      }
-    }
-    const int64_t now_rel = clock->NowNanos() - options_.run_start_nanos;
-    const bool past_deadline = now_rel > deadline_rel;
-    if (out.result.status.ok() && !past_deadline) {
-      if (breaker_) breaker_->RecordSuccess(clock->NowNanos());
-      break;
-    }
-    // Failure: a SUT error, a blown latency budget, or both.
-    if (breaker_) breaker_->RecordFailure(clock->NowNanos());
-    if (past_deadline) {
-      // The deadline is spent; retrying cannot deliver in time.
-      out.timed_out = true;
-      out.failed = true;
-      if (timeouts_ != nullptr) timeouts_->Increment();
-      break;
-    }
-    if (out.result.status.IsTransient() && out.retries < spec_.max_retries) {
-      ++out.retries;
-      if (retries_ != nullptr) retries_->Increment();
-      LSBENCH_TRACE_SPAN(tracer_, "backoff");
-      LSBENCH_PROFILE_STAGE(profiler_, Stage::kBackoff);
-      pacer_.PaceUntil(clock->NowNanos() + backoff_.NextDelayNanos(out.retries));
-      continue;
-    }
-    out.failed = true;
-    break;
-  }
-  if (out.failed && failures_ != nullptr) failures_->Increment();
-  return out;
+  return ExecuteOneWith(VirtualExec{sut_}, op, arrival_rel_nanos);
 }
 
 }  // namespace lsbench

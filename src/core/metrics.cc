@@ -314,6 +314,27 @@ RunMetrics ComputeRunMetrics(const EventStream& events,
   metrics.area_vs_ideal = AreaVsIdeal(metrics.cumulative);
   metrics.bands = BuildSlaBands(events, options.interval_nanos, sla);
 
+  // Per-op-type rollup: one row per operation class, batch classes counted
+  // per element with effective (per-element) latency alongside the
+  // request-unit latency.
+  metrics.op_types.resize(kNumOpTypes);
+  for (size_t i = 0; i < kNumOpTypes; ++i) {
+    metrics.op_types[i].type = static_cast<OpType>(i);
+  }
+  for (const OpEvent& e : events) {
+    const size_t idx = static_cast<size_t>(e.type);
+    LSBENCH_ASSERT(idx < kNumOpTypes);
+    OpTypeMetrics& ot = metrics.op_types[idx];
+    ++ot.operations;
+    if (e.ok) ++ot.ok_operations;
+    if (e.failed) ++ot.failed_operations;
+    ot.latency.Record(static_cast<double>(e.latency_nanos));
+    const uint32_t batch = e.batch > 0 ? e.batch : 1;
+    ot.effective_latency.Record(static_cast<double>(e.latency_nanos) /
+                                static_cast<double>(batch));
+    ot.batch_sum += batch;
+  }
+
   // Per-phase metrics.
   metrics.phases.reserve(boundaries.size());
   size_t event_idx = 0;

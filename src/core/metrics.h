@@ -140,6 +140,32 @@ struct ServiceMetrics {
   bool shed_bound_met = true; ///< shed_fraction <= max_shed_fraction.
 };
 
+/// Per-op-class rollup for the report's operation-type table. One row per
+/// OpType (the table is always sized kNumOpTypes; unused classes render as
+/// zero rows or are skipped by the renderer). Batch classes (kBatchGet /
+/// kBatchPut) count per-element events — a batch of 64 contributes 64
+/// operations — and additionally report *effective per-op latency*, the
+/// request-unit latency divided by the batch size, which is the number a
+/// batch row must be judged by when compared against scalar rows.
+struct OpTypeMetrics {
+  OpType type = OpType::kGet;
+  uint64_t operations = 0;        ///< Events (batch classes: elements).
+  uint64_t ok_operations = 0;     ///< Data-level successes.
+  uint64_t failed_operations = 0; ///< Errors, timeouts, sheds.
+  Histogram latency;              ///< Request-unit latency per event.
+  /// latency / batch per event; identical to `latency` for scalar classes.
+  Histogram effective_latency;
+  /// Sum of each event's `batch` field (== operations for scalar classes).
+  uint64_t batch_sum = 0;
+
+  double MeanBatchSize() const {
+    return operations > 0
+               ? static_cast<double>(batch_sum) /
+                     static_cast<double>(operations)
+               : 1.0;
+  }
+};
+
 /// Everything the benchmark reports about one run, computed purely from the
 /// event stream and phase boundaries.
 struct RunMetrics {
@@ -149,6 +175,8 @@ struct RunMetrics {
   int64_t sla_nanos = 0;
   uint64_t total_sla_violations = 0;
   Histogram overall_latency;
+  /// Always exactly kNumOpTypes rows, indexed by static_cast<size_t>(type).
+  std::vector<OpTypeMetrics> op_types;
   std::vector<PhaseMetrics> phases;
   std::vector<CumulativePoint> cumulative;
   std::vector<LatencyBand> bands;

@@ -71,6 +71,14 @@ Status RunSpec::Validate() const {
       return Status::InvalidArgument("phase " + std::to_string(i) +
                                      " has an empty operation mix");
     }
+    if (p.batch_size < 1 || p.batch_size > 4096) {
+      return Status::InvalidArgument("phase " + std::to_string(i) +
+                                     " batch_size must be in [1, 4096]");
+    }
+    if (p.mix.batch_get < 0.0 || p.mix.batch_put < 0.0) {
+      return Status::InvalidArgument("phase " + std::to_string(i) +
+                                     " has a negative batch_mix fraction");
+    }
     if (p.transition_operations > p.num_operations) {
       return Status::InvalidArgument(
           "phase " + std::to_string(i) +
@@ -180,6 +188,8 @@ uint64_t RunSpec::StructuralHash() const {
     h = MixHash(h, HashDouble(p.mix.update));
     h = MixHash(h, HashDouble(p.mix.del));
     h = MixHash(h, HashDouble(p.mix.range_count));
+    h = MixHash(h, HashDouble(p.mix.batch_get));
+    h = MixHash(h, HashDouble(p.mix.batch_put));
     h = MixHash(h, static_cast<uint64_t>(p.access));
     h = MixHash(h, HashDouble(p.access_param));
     h = MixHash(h, static_cast<uint64_t>(p.arrival));
@@ -192,6 +202,7 @@ uint64_t RunSpec::StructuralHash() const {
     h = MixHash(h, p.holdout ? 1 : 0);
     h = MixHash(h, p.scan_length);
     h = MixHash(h, HashDouble(p.range_selectivity));
+    h = MixHash(h, p.batch_size);
   }
   h = MixHash(h, faults.seed);
   h = MixHash(h, faults.load_failures);

@@ -195,8 +195,15 @@ Result<Dataset> BuildDataset(const DatasetDesc& desc) {
 }
 
 Status ParseMix(const std::string& value, OperationMix* mix) {
+  // `mix` names only the scalar op classes; batch fractions live in the
+  // separate `batch_mix` key. Preserve them so the two keys compose in
+  // either file order.
+  const double batch_get = mix->batch_get;
+  const double batch_put = mix->batch_put;
   *mix = OperationMix();
   mix->get = 0.0;
+  mix->batch_get = batch_get;
+  mix->batch_put = batch_put;
   for (const std::string& part : Split(value, ',')) {
     const std::vector<std::string> kv = Split(Trim(part), ':');
     if (kv.size() != 2) {
@@ -219,6 +226,35 @@ Status ParseMix(const std::string& value, OperationMix* mix) {
       mix->range_count = frac.value();
     } else {
       return Status::InvalidArgument("unknown op in mix: " + op);
+    }
+  }
+  return Status::OK();
+}
+
+/// Parses the `batch_mix` key: comma-separated `batch_get:frac` /
+/// `batch_put:frac` components. Touches only the batch fractions, so it
+/// composes with `mix` in either file order.
+Status ParseBatchMix(const std::string& value, OperationMix* mix) {
+  mix->batch_get = 0.0;
+  mix->batch_put = 0.0;
+  for (const std::string& part : Split(value, ',')) {
+    const std::vector<std::string> kv = Split(Trim(part), ':');
+    if (kv.size() != 2) {
+      return Status::InvalidArgument("bad batch_mix component: " + part);
+    }
+    const Result<double> frac = ParseDouble(Trim(kv[1]), "batch_mix");
+    if (!frac.ok()) return frac.status();
+    if (frac.value() < 0.0) {
+      return Status::InvalidArgument("batch_mix fraction must be >= 0, got " +
+                                     Trim(kv[1]));
+    }
+    const std::string op = Trim(kv[0]);
+    if (op == "batch_get") {
+      mix->batch_get = frac.value();
+    } else if (op == "batch_put") {
+      mix->batch_put = frac.value();
+    } else {
+      return Status::InvalidArgument("unknown op in batch_mix: " + op);
     }
   }
   return Status::OK();
@@ -607,6 +643,21 @@ Result<RunSpec> ParseRunSpecText(const std::string& text) {
           const auto v = ParseDouble(value, key);
           if (!v.ok()) return v.status();
           phase.range_selectivity = v.value();
+        } else if (key == "batch_size") {
+          const auto v = ParseU32(value, key);
+          if (!v.ok()) return v.status();
+          if (v.value() < 1 || v.value() > 4096) {
+            return Status::InvalidArgument(
+                "line " + std::to_string(line_no) +
+                ": batch_size must be in [1, 4096], got " + value);
+          }
+          phase.batch_size = v.value();
+        } else if (key == "batch_mix") {
+          if (const Status st = ParseBatchMix(value, &phase.mix); !st.ok()) {
+            return Status::InvalidArgument("line " +
+                                           std::to_string(line_no) + ": " +
+                                           st.message());
+          }
         } else {
           return Status::InvalidArgument("unknown phase key: " + key);
         }
@@ -935,6 +986,10 @@ Result<std::string> RenderRunSpecText(const RunSpec& spec) {
     emit_bool("holdout", phase.holdout);
     emit_u64("scan_length", phase.scan_length);
     emit_dbl("range_selectivity", phase.range_selectivity);
+    emit_str("batch_mix",
+             "batch_get:" + FullDouble(phase.mix.batch_get) +
+                 ",batch_put:" + FullDouble(phase.mix.batch_put));
+    emit_u64("batch_size", phase.batch_size);
   }
 
   if (!(spec.service == ServiceSpec())) {

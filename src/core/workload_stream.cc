@@ -25,9 +25,19 @@ void WorkloadStream::BeginPhase(size_t phase_idx, uint64_t num_operations,
   issued_ = 0;
 
   prev_generator_ = std::move(generator_);
+  // Batch-key arena sizing: a batch op's keys stay valid until the
+  // generator reuses the slot's ring entry. Inline and service paths keep
+  // at most one drawn-ahead issue (Peek) live, but the admission queue
+  // stores issues by value up to its capacity — so in [service] mode the
+  // ring must outlast queue_capacity in-flight batches (+ the popped issue
+  // and the peeked one).
+  const size_t batch_arena_slots =
+      spec_->service.enabled
+          ? static_cast<size_t>(spec_->service.queue_capacity) + 2
+          : size_t{4};
   generator_ = std::make_unique<OperationGenerator>(
       &spec_->datasets[phase.dataset_index], phase,
-      root_.Fork(phase_idx * 2 + 1).Next());
+      root_.Fork(phase_idx * 2 + 1).Next(), batch_arena_slots);
   mix_rng_ = root_.Fork(phase_idx * 2 + 2);
   arrival_ = MakeArrivalProcess(phase.arrival,
                                 phase.arrival_rate_qps * rate_scale_,

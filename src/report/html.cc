@@ -263,6 +263,35 @@ std::string RenderHtmlReport(const RunResult& result,
   }
   os << "</table>\n";
 
+  // Per-op-type rollup; batch rows (batch_get / batch_put) additionally
+  // report the effective per-op latency = request latency / batch size.
+  bool any_op_rows = false;
+  for (const OpTypeMetrics& ot : m.op_types) {
+    any_op_rows = any_op_rows || ot.operations > 0;
+  }
+  if (any_op_rows) {
+    os << "<h2>Per op type</h2>\n"
+          "<table><tr><th>op</th><th>ops</th><th>ok</th><th>failed</th>"
+          "<th>p50</th><th>p99</th><th>mean batch</th>"
+          "<th>effective p50</th><th>effective p99</th></tr>\n";
+    for (const OpTypeMetrics& ot : m.op_types) {
+      if (ot.operations == 0) continue;
+      const bool batch = IsBatchOp(ot.type);
+      os << "<tr><td>" << HtmlEscape(OpTypeToString(ot.type)) << "</td><td>"
+         << ot.operations << "</td><td>" << ot.ok_operations << "</td><td>"
+         << ot.failed_operations << "</td><td>"
+         << HumanDuration(ot.latency.Median()) << "</td><td>"
+         << HumanDuration(ot.latency.P99()) << "</td><td>"
+         << (batch ? FormatDouble(ot.MeanBatchSize(), 1) : "—")
+         << "</td><td>"
+         << (batch ? HumanDuration(ot.effective_latency.Median()) : "—")
+         << "</td><td>"
+         << (batch ? HumanDuration(ot.effective_latency.P99()) : "—")
+         << "</td></tr>\n";
+    }
+    os << "</table>\n";
+  }
+
   BoxPlotsSvg(&os, specialization);
   CumulativeSvg(&os, m.cumulative);
   BandsSvg(&os, m.bands);

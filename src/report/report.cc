@@ -106,6 +106,32 @@ std::string RenderRunSummary(const RunResult& result) {
   os << RenderTable({"phase", "holdout", "ops", "mean_tput", "median_tput",
                      "p99_lat", "sla_viol", "adjust_excess_s"},
                     rows);
+
+  // Per-op-class table. Batch classes (batch_get / batch_put) are judged by
+  // their *effective* per-op latency — the request-unit latency divided by
+  // the batch size — which is what makes their rows comparable to scalar
+  // rows; for scalar classes the two latency columns coincide and the
+  // effective columns are rendered as '-'.
+  std::vector<std::vector<std::string>> op_rows;
+  for (const OpTypeMetrics& ot : m.op_types) {
+    if (ot.operations == 0) continue;
+    const bool batch = IsBatchOp(ot.type);
+    op_rows.push_back(
+        {OpTypeToString(ot.type), std::to_string(ot.operations),
+         std::to_string(ot.ok_operations),
+         std::to_string(ot.failed_operations),
+         HumanDuration(ot.latency.Median()),
+         HumanDuration(ot.latency.P99()),
+         batch ? FormatDouble(ot.MeanBatchSize(), 1) : "-",
+         batch ? HumanDuration(ot.effective_latency.Median()) : "-",
+         batch ? HumanDuration(ot.effective_latency.P99()) : "-"});
+  }
+  if (!op_rows.empty()) {
+    os << "--- per op type (batch rows: eff_* = latency / batch size) ---\n";
+    os << RenderTable({"op", "ops", "ok", "failed", "p50_lat", "p99_lat",
+                       "mean_batch", "eff_p50", "eff_p99"},
+                      op_rows);
+  }
   return os.str();
 }
 
@@ -354,6 +380,26 @@ std::string PhaseMetricsCsv(const RunMetrics& metrics) {
                   CsvWriter::Field(pm.latency.P99()),
                   CsvWriter::Field(pm.sla_violations),
                   CsvWriter::Field(pm.adjustment_excess_seconds)});
+  }
+  return out.str();
+}
+
+std::string OpTypeCsv(const RunMetrics& metrics) {
+  std::ostringstream out;
+  CsvWriter csv(&out);
+  csv.WriteRow({"op_type", "operations", "ok", "failed", "p50_latency_ns",
+                "p99_latency_ns", "max_latency_ns", "mean_batch",
+                "effective_p50_ns", "effective_p99_ns"});
+  for (const OpTypeMetrics& ot : metrics.op_types) {
+    csv.WriteRow({OpTypeToString(ot.type), CsvWriter::Field(ot.operations),
+                  CsvWriter::Field(ot.ok_operations),
+                  CsvWriter::Field(ot.failed_operations),
+                  CsvWriter::Field(ot.latency.Median()),
+                  CsvWriter::Field(ot.latency.P99()),
+                  CsvWriter::Field(ot.latency.max()),
+                  CsvWriter::Field(ot.MeanBatchSize()),
+                  CsvWriter::Field(ot.effective_latency.Median()),
+                  CsvWriter::Field(ot.effective_latency.P99())});
   }
   return out.str();
 }

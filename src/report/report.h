@@ -51,6 +51,11 @@ std::string SpecializationCsv(const SpecializationReport& report);
 std::string CumulativeCsv(const std::vector<CumulativePoint>& curve);
 std::string SlaBandsCsv(const std::vector<LatencyBand>& bands);
 std::string PhaseMetricsCsv(const RunMetrics& metrics);
+/// Per-op-class rollup: one row per OpType (all kNumOpTypes rows, zero rows
+/// included so downstream columns line up across runs). Batch classes carry
+/// the effective per-op latency (request latency / batch size) next to the
+/// raw request-unit latency.
+std::string OpTypeCsv(const RunMetrics& metrics);
 /// One-row CSV of the [service] section's verdicts and latency
 /// decomposition (response vs service time, shed accounting).
 std::string ServiceCsv(const RunMetrics& metrics);

@@ -34,6 +34,11 @@ class PartitionedKvSystem final : public SystemUnderTest {
   Status Load(const std::vector<KeyValue>& sorted_pairs) override;
   LSBENCH_DETERMINISTIC
   OpResult Execute(const Operation& op) override;
+  /// Partition-grouped fan-out: walks the shards in order and serves every
+  /// batch element owned by a shard under one lock acquisition, so a batch
+  /// locks each touched partition exactly once instead of once per element.
+  LSBENCH_DETERMINISTIC
+  void ExecuteBatch(const Operation& op, OpResult* results) override;
   SutStats GetStats() const override;
 
   size_t partition_count() const { return shards_.size(); }

@@ -143,6 +143,42 @@ OpResult FaultInjectingSut::ExecuteLane(size_t lane, const Operation& op) {
   return inner_->Execute(op);
 }
 
+void FaultInjectingSut::ExecuteBatch(const Operation& op, OpResult* results) {
+  ExecuteLaneBatch(0, op, results);
+}
+
+void FaultInjectingSut::ExecuteLaneBatch(size_t lane, const Operation& op,
+                                         OpResult* results) {
+  LSBENCH_ASSERT(lane < lanes_.size());
+  const FaultWindow* w = plan_.WindowForPhase(current_phase_);
+  if (w != nullptr) {
+    Rng& rng = lane_rngs_[lane];
+    const double u_fail = rng.NextDouble();
+    const double u_spike = rng.NextDouble();
+    const double u_stall = rng.NextDouble();
+    if (w->stall_rate > 0.0 && u_stall < w->stall_rate) {
+      stats_.injected_stalls.fetch_add(1, std::memory_order_relaxed);
+      BurnNanos(lane, w->stall_nanos);
+    } else if (w->latency_spike_rate > 0.0 &&
+               u_spike < w->latency_spike_rate) {
+      stats_.injected_spikes.fetch_add(1, std::memory_order_relaxed);
+      BurnNanos(lane, w->latency_spike_nanos);
+    }
+    if (w->execute_fail_rate > 0.0 && u_fail < w->execute_fail_rate) {
+      stats_.injected_failures.fetch_add(1, std::memory_order_relaxed);
+      const uint32_t n = OpResultCount(op);
+      for (uint32_t i = 0; i < n; ++i) {
+        OpResult& r = results[i];
+        r.ok = false;
+        r.rows = 0;
+        r.status = Status(w->execute_fail_code, "injected fault");
+      }
+      return;
+    }
+  }
+  inner_->ExecuteBatch(op, results);
+}
+
 void FaultInjectingSut::OnPhaseStart(int phase_index, bool holdout) {
   current_phase_ = phase_index;
   for (size_t lane = 0; lane < lane_rngs_.size(); ++lane) {

@@ -77,6 +77,18 @@ class FaultInjectingSut final : public SystemUnderTest {
   LSBENCH_HOT_PATH
   LSBENCH_DETERMINISTIC
   OpResult ExecuteLane(size_t lane, const Operation& op);
+  /// Equivalent to ExecuteLaneBatch(0, op, results).
+  LSBENCH_HOT_PATH
+  LSBENCH_DETERMINISTIC
+  void ExecuteBatch(const Operation& op, OpResult* results) override;
+  /// Batch flavor of ExecuteLane. A batch is ONE request unit: the lane
+  /// draws one fault decision for the whole batch (same three draws as a
+  /// scalar op, so scalar and batch streams stay comparable), and an
+  /// injected failure fails every element. The batch is forwarded without
+  /// unbatching.
+  LSBENCH_HOT_PATH
+  LSBENCH_DETERMINISTIC
+  void ExecuteLaneBatch(size_t lane, const Operation& op, OpResult* results);
   void OnPhaseStart(int phase_index, bool holdout) override;
   SutStats GetStats() const override { return inner_->GetStats(); }
   void BindObservability(MetricsRegistry* registry) override {

@@ -52,6 +52,16 @@ class SerializingSut final : public SystemUnderTest {
     return inner_->Execute(op);
   }
 
+  /// Forwards the whole batch under ONE lock acquisition — the batch stays
+  /// one request unit, and the serialized system still amortizes its
+  /// per-batch costs across elements.
+  LSBENCH_HOT_PATH
+  LSBENCH_DETERMINISTIC
+  void ExecuteBatch(const Operation& op, OpResult* results) override {
+    MutexLock lock(mu_);
+    inner_->ExecuteBatch(op, results);
+  }
+
   void OnPhaseStart(int phase_index, bool holdout) override {
     MutexLock lock(mu_);
     inner_->OnPhaseStart(phase_index, holdout);

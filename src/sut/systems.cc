@@ -9,6 +9,30 @@ namespace {
 constexpr size_t kScanChunk = 1024;
 // KS drift checks sort reference+window samples (~30 us); amortize them.
 constexpr uint64_t kDriftCheckEvery = 512;
+
+/// Per-element batch loop over a *concrete* index type: because IndexT is
+/// the final class (BTree, RmiIndex, PgmIndex), the Get/Insert calls
+/// devirtualize and inline — this is where the batch path sheds the
+/// per-element KvIndex virtual dispatch.
+template <typename IndexT>
+void ExecuteBatchDirect(IndexT* idx, const Operation& op, OpResult* results) {
+  if (op.type == OpType::kBatchGet) {
+    for (uint32_t i = 0; i < op.batch_size; ++i) {
+      OpResult& r = results[i];
+      r.status = Status::OK();
+      r.ok = idx->Get(op.batch_keys[i]).has_value();
+      r.rows = r.ok ? 1 : 0;
+    }
+  } else {
+    for (uint32_t i = 0; i < op.batch_size; ++i) {
+      idx->Insert(op.batch_keys[i], op.batch_values[i]);
+      OpResult& r = results[i];
+      r.status = Status::OK();
+      r.ok = true;
+      r.rows = 1;
+    }
+  }
+}
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -117,9 +141,56 @@ OpResult KvSystemBase::Execute(const Operation& op) {
       }
       break;
     }
+    case OpType::kBatchGet: {
+      // Aggregate view of a multi-get: ok means the batch was served,
+      // rows counts the elements found.
+      KvIndex* idx = index();
+      uint64_t found = 0;
+      for (uint32_t i = 0; i < op.batch_size; ++i) {
+        if (idx->Get(op.batch_keys[i]).has_value()) ++found;
+      }
+      result.ok = true;
+      result.rows = found;
+      break;
+    }
+    case OpType::kBatchPut: {
+      KvIndex* idx = index();
+      for (uint32_t i = 0; i < op.batch_size; ++i) {
+        idx->Insert(op.batch_keys[i], op.batch_values[i]);
+      }
+      result.ok = true;
+      result.rows = op.batch_size;
+      break;
+    }
   }
   OnExecuted(op);
   return result;
+}
+
+void KvSystemBase::ExecuteBatch(const Operation& op, OpResult* results) {
+  if (!IsBatchOp(op.type)) {
+    // Non-batch op routed through the batch entry point: one result.
+    results[0] = Execute(op);
+    return;
+  }
+  KvIndex* idx = index();
+  if (op.type == OpType::kBatchGet) {
+    for (uint32_t i = 0; i < op.batch_size; ++i) {
+      OpResult& r = results[i];
+      r.status = Status::OK();
+      r.ok = idx->Get(op.batch_keys[i]).has_value();
+      r.rows = r.ok ? 1 : 0;
+    }
+  } else {
+    for (uint32_t i = 0; i < op.batch_size; ++i) {
+      idx->Insert(op.batch_keys[i], op.batch_values[i]);
+      OpResult& r = results[i];
+      r.status = Status::OK();
+      r.ok = true;
+      r.rows = 1;
+    }
+  }
+  OnExecuted(op);
 }
 
 SutStats KvSystemBase::GetStats() const {
@@ -151,6 +222,14 @@ Status BTreeSystem::Load(const std::vector<KeyValue>& sorted_pairs) {
   estimator_ =
       std::make_unique<EquiDepthHistogram>(keys, histogram_buckets_);
   return Status::OK();
+}
+
+void BTreeSystem::ExecuteBatch(const Operation& op, OpResult* results) {
+  if (!IsBatchOp(op.type)) {
+    results[0] = Execute(op);
+    return;
+  }
+  ExecuteBatchDirect(&btree_, op, results);
 }
 
 // ---------------------------------------------------------------------------
@@ -328,11 +407,30 @@ void LearnedKvSystem::MaybeRetrain() {
   }
 }
 
+void LearnedKvSystem::ExecuteBatch(const Operation& op, OpResult* results) {
+  if (!IsBatchOp(op.type)) {
+    results[0] = Execute(op);
+    return;
+  }
+  if (rmi_ != nullptr) {
+    ExecuteBatchDirect(rmi_.get(), op, results);
+  } else {
+    ExecuteBatchDirect(pgm_.get(), op, results);
+  }
+  OnExecuted(op);
+}
+
 void LearnedKvSystem::OnExecuted(const Operation& op) {
   if (!trained_) return;
   // Track the key distribution the workload touches/creates.
-  if (op.type == OpType::kInsert || op.type == OpType::kGet ||
-      op.type == OpType::kUpdate) {
+  if (IsBatchOp(op.type)) {
+    // Every batch key feeds the drift window: a batch is one request but
+    // batch_size distribution samples.
+    for (uint32_t i = 0; i < op.batch_size; ++i) {
+      drift_.Observe(static_cast<double>(op.batch_keys[i]));
+    }
+  } else if (op.type == OpType::kInsert || op.type == OpType::kGet ||
+             op.type == OpType::kUpdate) {
     drift_.Observe(static_cast<double>(op.key));
   }
   MaybeRetrain();

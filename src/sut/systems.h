@@ -28,6 +28,10 @@ class KvSystemBase : public SystemUnderTest {
  public:
   LSBENCH_DETERMINISTIC
   OpResult Execute(const Operation& op) override;
+  /// Hoists the virtual index() lookup out of the per-element loop; one
+  /// OnExecuted notification per batch (the batch is one request unit).
+  LSBENCH_DETERMINISTIC
+  void ExecuteBatch(const Operation& op, OpResult* results) override;
   SutStats GetStats() const override;
 
  protected:
@@ -62,6 +66,10 @@ class BTreeSystem final : public KvSystemBase {
 
   std::string name() const override { return "btree_system"; }
   Status Load(const std::vector<KeyValue>& sorted_pairs) override;
+  /// Native batch path: per-element calls go straight to the concrete
+  /// BTree (devirtualized and inlinable), not through KvIndex.
+  LSBENCH_DETERMINISTIC
+  void ExecuteBatch(const Operation& op, OpResult* results) override;
 
  protected:
   KvIndex* index() override { return &btree_; }
@@ -136,6 +144,10 @@ class LearnedKvSystem final : public KvSystemBase {
   /// "sut.retrains" / "sut.train_items" counters and a "sut.retrain_nanos"
   /// latency histogram over synchronous retrain stalls.
   void BindObservability(MetricsRegistry* registry) override;
+  /// Native batch path: resolves RMI-vs-PGM once per batch, then loops on
+  /// the concrete index; drift observes every batch key.
+  LSBENCH_DETERMINISTIC
+  void ExecuteBatch(const Operation& op, OpResult* results) override;
 
   uint64_t retrain_events() const { return retrain_events_; }
   size_t delta_size() const;

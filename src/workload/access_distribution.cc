@@ -13,6 +13,16 @@ uint64_t UniformAccess::NextRank(Rng* rng, uint64_t population) {
   return rng->NextBounded(population);
 }
 
+void UniformAccess::FillRanks(Rng* rng, uint64_t population, uint64_t* ranks,
+                              uint32_t count) {
+  LSBENCH_ASSERT(population > 0);
+  // Same draws as `count` NextRank calls, with the virtual dispatch and the
+  // per-draw assert hoisted out of the loop.
+  for (uint32_t i = 0; i < count; ++i) {
+    ranks[i] = rng->NextBounded(population);
+  }
+}
+
 ZipfianAccess::ZipfianAccess(double theta, bool scramble)
     : theta_(theta), scramble_(scramble) {
   LSBENCH_ASSERT(theta_ > 0.0 && theta_ < 1.0);

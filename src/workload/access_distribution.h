@@ -21,6 +21,18 @@ class AccessDistribution {
 
   /// A rank in [0, population). Requires population > 0.
   virtual uint64_t NextRank(Rng* rng, uint64_t population) = 0;
+
+  /// Draws `count` ranks — the batch generator's one-virtual-call-per-batch
+  /// draw path. MUST be observably identical to `count` successive NextRank
+  /// calls (same RNG consumption, same values); overrides exist purely to
+  /// devirtualize the inner loop, and the batch determinism tests pin the
+  /// equivalence.
+  virtual void FillRanks(Rng* rng, uint64_t population, uint64_t* ranks,
+                         uint32_t count) {
+    for (uint32_t i = 0; i < count; ++i) {
+      ranks[i] = NextRank(rng, population);
+    }
+  }
 };
 
 /// Every record equally likely.
@@ -28,6 +40,8 @@ class UniformAccess final : public AccessDistribution {
  public:
   std::string name() const override { return "uniform"; }
   uint64_t NextRank(Rng* rng, uint64_t population) override;
+  void FillRanks(Rng* rng, uint64_t population, uint64_t* ranks,
+                 uint32_t count) override;
 };
 
 /// YCSB-style Zipfian over ranks with parameter theta in (0, 1); rank

@@ -18,9 +18,13 @@ namespace lsbench {
 /// distributions"). Deterministic given the seed.
 class OperationGenerator {
  public:
-  /// `dataset` must outlive the generator.
+  /// `dataset` must outlive the generator. `batch_arena_slots` sizes the
+  /// ring of batch-payload slots handed out by Next(): a kBatchGet/kBatchPut
+  /// op's key/value pointers stay valid until `batch_arena_slots` further
+  /// batch draws have occurred. Callers that buffer draws (the admission
+  /// queue) must pass their buffering depth + in-flight headroom.
   OperationGenerator(const Dataset* dataset, const PhaseSpec& spec,
-                     uint64_t seed);
+                     uint64_t seed, size_t batch_arena_slots = 4);
 
   OperationGenerator(const OperationGenerator&) = delete;
   OperationGenerator& operator=(const OperationGenerator&) = delete;
@@ -38,6 +42,17 @@ class OperationGenerator {
   OpType PickType();
   Key PickExistingKey();
   Key MakeFreshKey();
+
+  /// Fills one batch's keys: population hoisted once, ranks drawn through a
+  /// single AccessDistribution::FillRanks call (one virtual dispatch per
+  /// batch, not per element), then mapped to keys. Draw-for-draw identical
+  /// to spec_.batch_size PickExistingKey calls.
+  void FillBatchKeys(Key* keys);
+
+  /// Claims the next ring slot and returns its key array; when `values` is
+  /// non-null also hands out the parallel value array (kBatchPut). Pure
+  /// index arithmetic over the pre-sized ring — never allocates.
+  Key* NextBatchSlot(Value** values);
 
   /// Appends to the inserted-key arena; allocation-free while the slots
   /// sized from the phase's expected insert count hold out.
@@ -62,6 +77,15 @@ class OperationGenerator {
   /// the rest is headroom sized in the constructor.
   std::vector<Key> inserted_keys_;
   size_t inserted_count_ = 0;
+  /// Batch-payload ring: `batch_arena_slots` slots of `spec.batch_size`
+  /// keys (and values, when kBatchPut is in the mix), recycled round-robin.
+  /// Sized once in the constructor; Next() never allocates for batches.
+  std::vector<Key> batch_keys_;
+  std::vector<Value> batch_values_;
+  /// Scratch for FillBatchKeys' rank draws (one batch wide; reused).
+  std::vector<uint64_t> batch_ranks_;
+  size_t batch_arena_slots_ = 0;
+  size_t batch_slot_ = 0;
   uint64_t generated_ = 0;
   uint64_t value_counter_ = 0;
 };

@@ -16,6 +16,10 @@ std::string OpTypeToString(OpType type) {
       return "delete";
     case OpType::kRangeCount:
       return "range_count";
+    case OpType::kBatchGet:
+      return "batch_get";
+    case OpType::kBatchPut:
+      return "batch_put";
   }
   return "unknown";
 }

@@ -106,6 +106,26 @@ std::unique_ptr<PlanNode> BuildPlan(const Operation& op, Key domain_max) {
       agg->children.push_back(std::move(filter));
       return agg;
     }
+    case OpType::kBatchGet: {
+      // Limit(batch-size bucket) over a probe: a multi-get's plan shape is
+      // a bounded set of point lookups.
+      auto probe = std::make_unique<PlanNode>(PlanNode::Kind::kIndexProbe,
+                                              key_bucket);
+      auto limit = std::make_unique<PlanNode>(
+          PlanNode::Kind::kLimit,
+          Log2Bucket(std::max<uint64_t>(1, op.batch_size)));
+      limit->children.push_back(std::move(probe));
+      return limit;
+    }
+    case OpType::kBatchPut: {
+      auto probe = std::make_unique<PlanNode>(PlanNode::Kind::kIndexProbe,
+                                              key_bucket);
+      auto put = std::make_unique<PlanNode>(
+          PlanNode::Kind::kMutatePut,
+          Log2Bucket(std::max<uint64_t>(1, op.batch_size)));
+      put->children.push_back(std::move(probe));
+      return put;
+    }
   }
   return std::make_unique<PlanNode>(PlanNode::Kind::kTableScan, 0);
 }

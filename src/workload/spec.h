@@ -49,6 +49,10 @@ struct PhaseSpec {
   uint32_t scan_length = 100;
   /// Width of kRangeCount predicates as a fraction of the key domain.
   double range_selectivity = 0.001;
+  /// Element count of kBatchGet / kBatchPut ops. `1` degrades batch draws
+  /// to their scalar equivalents (kGet / kUpdate) with identical RNG
+  /// consumption, so a batch_size=1 run is bit-identical to a scalar run.
+  uint32_t batch_size = 64;
 };
 
 }  // namespace lsbench

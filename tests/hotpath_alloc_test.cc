@@ -65,21 +65,38 @@ RunSpec MakeReadOnlySpec(uint64_t num_operations) {
   return spec;
 }
 
-uint64_t HeapAllocsForRun(uint64_t num_operations) {
+/// Batch analogue of MakeReadOnlySpec: the same element count driven as
+/// kBatchGet request units of `batch_size` keys through the monomorphized
+/// batch loop (one event per element, so the arenas see the same load).
+RunSpec MakeBatchReadOnlySpec(uint64_t num_elements, uint32_t batch_size) {
+  RunSpec spec = MakeReadOnlySpec(num_elements);
+  spec.name = "hotpath_alloc_batch_" + std::to_string(num_elements);
+  PhaseSpec& phase = spec.phases[0];
+  phase.mix.get = 0.0;
+  phase.mix.batch_get = 1.0;
+  phase.batch_size = batch_size;
+  phase.num_operations = num_elements / batch_size;
+  return spec;
+}
+
+uint64_t HeapAllocsForSpec(const RunSpec& spec, uint64_t expected_events) {
   VirtualClock clock;
   DriverOptions options;
   options.virtual_clock = &clock;
   options.virtual_service_nanos = 100000;  // 100 us per op.
   BenchmarkDriver driver(&clock, options);
   BTreeSystem sut;
-  const RunSpec spec = MakeReadOnlySpec(num_operations);
 
   const uint64_t before = g_heap_allocs.load(std::memory_order_relaxed);
   const Result<RunResult> result = driver.Run(spec, &sut);
   const uint64_t used = g_heap_allocs.load(std::memory_order_relaxed) - before;
   EXPECT_TRUE(result.ok()) << result.status().ToString();
-  EXPECT_EQ(result.value().events.size(), num_operations);
+  EXPECT_EQ(result.value().events.size(), expected_events);
   return used;
+}
+
+uint64_t HeapAllocsForRun(uint64_t num_operations) {
+  return HeapAllocsForSpec(MakeReadOnlySpec(num_operations), num_operations);
 }
 
 TEST(HotpathAllocTest, MarginalAllocationsPerOpWithinBudget) {
@@ -104,6 +121,32 @@ TEST(HotpathAllocTest, MarginalAllocationsPerOpWithinBudget) {
       << marginal << " (per-op budget " << kBudget << ", slack " << kSlack
       << ") — the hot path regressed to allocating per operation; run "
       << "tools/lint/deepcheck.py to find the new call path";
+}
+
+TEST(HotpathAllocTest, BatchSteadyStateAllocatesZeroPerElement) {
+  // The batch loop's steady state (draw ranks into the pre-sized scratch,
+  // fill the key ring, one ExecuteBatch, bulk-record into the event arena)
+  // must be exactly as allocation-free as the scalar loop: zero marginal
+  // heap calls per additional *element*, pinned with the same
+  // doubled-run-minus-base technique as the scalar test.
+  constexpr uint64_t kElements = 4096;
+  constexpr uint32_t kBatchSize = 64;
+  (void)HeapAllocsForSpec(MakeBatchReadOnlySpec(kElements, kBatchSize),
+                          kElements);
+
+  const uint64_t base = HeapAllocsForSpec(
+      MakeBatchReadOnlySpec(kElements, kBatchSize), kElements);
+  const uint64_t doubled = HeapAllocsForSpec(
+      MakeBatchReadOnlySpec(2 * kElements, kBatchSize), 2 * kElements);
+  ASSERT_GE(doubled, base);
+  const uint64_t marginal = doubled - base;
+
+  constexpr uint64_t kSlack = 96;
+  EXPECT_LE(marginal, kSlack)
+      << "marginal heap allocations for " << kElements
+      << " extra batch elements: " << marginal << " (slack " << kSlack
+      << ") — the batch hot path regressed to allocating in steady state; "
+      << "run tools/lint/deepcheck.py to find the new call path";
 }
 
 }  // namespace

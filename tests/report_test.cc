@@ -137,7 +137,8 @@ TEST_F(ReportRenderTest, SlaBandsRendersTotals) {
 TEST_F(ReportRenderTest, CsvEmittersRoundTrip) {
   for (const std::string& csv :
        {CumulativeCsv(run_.metrics.cumulative),
-        SlaBandsCsv(run_.metrics.bands), PhaseMetricsCsv(run_.metrics)}) {
+        SlaBandsCsv(run_.metrics.bands), PhaseMetricsCsv(run_.metrics),
+        OpTypeCsv(run_.metrics)}) {
     const auto parsed = ParseCsv(csv);
     ASSERT_TRUE(parsed.ok());
     EXPECT_GE(parsed.value().size(), 2u);

@@ -20,6 +20,7 @@ namespace lsbench {
 namespace {
 
 const char* const kSpecFiles[] = {
+    "batch_demo.lsb",
     "concurrent_demo.lsb",
     "demo_shift.lsb",
     "holdout_eval.lsb",
@@ -232,6 +233,65 @@ TEST(SpecFuzzTest, ServiceSectionValuesNeverCrashTheParser) {
       if (!rendered.ok()) continue;
       EXPECT_TRUE(ParseRunSpecText(rendered.value()).ok())
           << key << " = " << value << ": rendered spec failed to re-parse";
+    }
+  }
+}
+
+TEST(SpecFuzzTest, BatchKeysNeverCrashTheParser) {
+  // Targeted fuzz of the batch grammar: batch_size and batch_mix crossed
+  // with adversarial values. Each outcome must be a parsed spec or an error
+  // Status with a message — never a crash — and anything that parses,
+  // validates, and renders must re-parse.
+  const char* const kKeys[] = {"batch_size", "batch_mix"};
+  const char* const kValues[] = {
+      "",          "0",           "1",          "4096",
+      "4097",      "-1",          "0.5",        "nan",
+      "inf",       "1e309",       "banana",     "4294967296",
+      "99999999999999999999",     "batch_get:0.9,batch_put:0.1",
+      "batch_get:1",              "batch_put:-0.5",
+      "batch_get:nan",            "batch_get:0.9,batch_put",
+      "get:0.9",                  "batch_get:0.9,,",
+      "batch_get:inf",            ":",
+  };
+  for (const char* key : kKeys) {
+    for (const char* value : kValues) {
+      const std::string text = std::string("name = batch_fuzz\n") +
+                               "[dataset]\n"
+                               "kind = uniform\n"
+                               "num_keys = 100\n"
+                               "seed = 1\n"
+                               "[phase]\n"
+                               "name = p\n"
+                               "ops = 10\n"
+                               "batch_mix = batch_get:0.5\n" +
+                               key + " = " + value + "\n";
+      const Result<RunSpec> parsed = ParseRunSpecText(text);
+      if (!parsed.ok()) {
+        EXPECT_FALSE(parsed.status().ToString().empty())
+            << key << " = " << value;
+        continue;
+      }
+      const Status valid = parsed.value().Validate();
+      if (!valid.ok()) continue;
+      const Result<std::string> rendered = RenderRunSpecText(parsed.value());
+      if (!rendered.ok()) continue;
+      const Result<RunSpec> reparsed = ParseRunSpecText(rendered.value());
+      ASSERT_TRUE(reparsed.ok())
+          << key << " = " << value << ": rendered spec failed to re-parse";
+      // The batch fields themselves round-trip exactly.
+      ASSERT_EQ(parsed.value().phases.size(),
+                reparsed.value().phases.size());
+      for (size_t i = 0; i < parsed.value().phases.size(); ++i) {
+        EXPECT_EQ(parsed.value().phases[i].batch_size,
+                  reparsed.value().phases[i].batch_size)
+            << key << " = " << value;
+        EXPECT_EQ(parsed.value().phases[i].mix.batch_get,
+                  reparsed.value().phases[i].mix.batch_get)
+            << key << " = " << value;
+        EXPECT_EQ(parsed.value().phases[i].mix.batch_put,
+                  reparsed.value().phases[i].mix.batch_put)
+            << key << " = " << value;
+      }
     }
   }
 }

@@ -15,6 +15,7 @@
 #include "core/driver.h"
 #include "core/event_sink.h"
 #include "core/spec_text.h"
+#include "data/dataset.h"
 #include "obs/observability.h"
 #include "sut/systems.h"
 
@@ -42,6 +43,34 @@ RunResult RunOnce(uint32_t workers, bool observe = true) {
   spec.observability.profile = observe;
   spec.observability.metrics = observe;
 
+  VirtualClock clock;
+  DriverOptions options;
+  options.virtual_clock = &clock;
+  BenchmarkDriver driver(&clock, options);
+  LearnedSystemOptions sut_options;
+  LearnedKvSystem sut(sut_options, &clock);
+  Result<RunResult> result = driver.Run(spec, &sut);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  return std::move(result).value();
+}
+
+RunSpec LoadSpecFile(const char* name) {
+  const std::string path = std::string(LSBENCH_SPEC_DIR) + "/" + name;
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << "missing spec file: " << path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  Result<RunSpec> parsed = ParseRunSpecText(buffer.str());
+  EXPECT_TRUE(parsed.ok()) << parsed.status().ToString();
+  return std::move(parsed).value();
+}
+
+/// One full simulation run of an arbitrary spec with observability on.
+RunResult RunSpecOnce(RunSpec spec, uint32_t workers) {
+  spec.execution.workers = workers;
+  spec.observability.trace = true;
+  spec.observability.profile = true;
+  spec.observability.metrics = true;
   VirtualClock clock;
   DriverOptions options;
   options.virtual_clock = &clock;
@@ -89,6 +118,63 @@ TEST_P(TraceDeterminismTest, RepeatedRunsAreByteIdentical) {
 
 INSTANTIATE_TEST_SUITE_P(WorkerCounts, TraceDeterminismTest,
                          ::testing::Values(1u, 4u));
+
+class BatchDeterminismTest : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(BatchDeterminismTest, BatchRunsAreByteIdentical) {
+  // The batch dispatch path (kBatchGet/kBatchPut through the monomorphized
+  // executor, bulk-recorded into the event arena) is held to the same
+  // reproducibility bar as the scalar path: two independent runs of
+  // specs/batch_demo.lsb produce byte-identical merged event and trace
+  // streams, at workers = 1 and workers = 4 alike.
+  const uint32_t workers = GetParam();
+  const RunResult a = RunSpecOnce(LoadSpecFile("batch_demo.lsb"), workers);
+  const RunResult b = RunSpecOnce(LoadSpecFile("batch_demo.lsb"), workers);
+  EXPECT_EQ(SerializeEventStream(a.events), SerializeEventStream(b.events));
+  EXPECT_EQ(SerializeTrace(a.observability.trace),
+            SerializeTrace(b.observability.trace));
+  EXPECT_EQ(RenderTraceFile(a.observability, a.run_name, a.sut_name, workers),
+            RenderTraceFile(b.observability, b.run_name, b.sut_name, workers));
+}
+
+INSTANTIATE_TEST_SUITE_P(WorkerCounts, BatchDeterminismTest,
+                         ::testing::Values(1u, 4u));
+
+TEST(BatchDeterminismTest, BatchSizeOneIsBitIdenticalToScalar) {
+  // batch_size = 1 is not "a batch of one": the generator degrades the draw
+  // to the scalar op class with identical RNG consumption, so a batch_mix
+  // spec at batch_size = 1 and the equivalent scalar-mix spec produce
+  // byte-identical merged event streams. Batching is an execution-strategy
+  // knob, never a semantic one.
+  RunSpec scalar;
+  scalar.name = "degenerate";
+  scalar.seed = 99;
+  DatasetOptions dataset_options;
+  dataset_options.num_keys = 5000;
+  dataset_options.seed = 3;
+  scalar.datasets.push_back(GenerateDataset(UniformUnit(), dataset_options));
+  PhaseSpec phase;
+  phase.name = "p";
+  phase.dataset_index = 0;
+  phase.num_operations = 20000;
+  phase.mix.get = 0.9;
+  phase.mix.update = 0.1;
+  scalar.phases.push_back(phase);
+
+  RunSpec batched = scalar;
+  batched.phases[0].mix.get = 0.0;
+  batched.phases[0].mix.update = 0.0;
+  batched.phases[0].mix.batch_get = 0.9;
+  batched.phases[0].mix.batch_put = 0.1;
+  batched.phases[0].batch_size = 1;
+
+  for (const uint32_t workers : {1u, 4u}) {
+    const RunResult a = RunSpecOnce(scalar, workers);
+    const RunResult b = RunSpecOnce(batched, workers);
+    EXPECT_EQ(SerializeEventStream(a.events), SerializeEventStream(b.events))
+        << "workers=" << workers;
+  }
+}
 
 TEST(TraceDeterminismTest, ObservingDoesNotPerturbTheRun) {
   // The exact same simulated run with observability fully on and fully off

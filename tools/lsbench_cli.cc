@@ -241,6 +241,7 @@ int Run(int argc, char** argv) {
     std::printf("## bands.csv\n%s\n",
                 SlaBandsCsv(run.metrics.bands).c_str());
     std::printf("## phases.csv\n%s\n", PhaseMetricsCsv(run.metrics).c_str());
+    std::printf("## op_types.csv\n%s\n", OpTypeCsv(run.metrics).c_str());
     if (run.metrics.service.enabled ||
         run.metrics.service.open_loop_operations > 0) {
       std::printf("## service.csv\n%s\n", ServiceCsv(run.metrics).c_str());
