@@ -1,13 +1,13 @@
 #ifndef LSBENCH_OBS_METRICS_REGISTRY_H_
 #define LSBENCH_OBS_METRICS_REGISTRY_H_
 
-#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "util/atomic.h"
 #include "util/status.h"
 #include "util/sync.h"
 
@@ -18,13 +18,11 @@ namespace lsbench {
 /// per-shard counters are merged deterministically after the run.
 class Counter {
  public:
-  void Increment(uint64_t delta = 1) {
-    value_.fetch_add(delta, std::memory_order_relaxed);
-  }
-  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Increment(uint64_t delta = 1) { value_.Add(delta); }
+  uint64_t value() const { return value_.Load(); }
 
  private:
-  std::atomic<uint64_t> value_{0};
+  Atomic<uint64_t> value_{0};
 };
 
 /// Last-written signed level (queue depth, resident bytes, breaker state).
@@ -32,14 +30,12 @@ class Counter {
 /// levels (total in-flight = sum of per-worker in-flight).
 class Gauge {
  public:
-  void Set(int64_t value) { value_.store(value, std::memory_order_relaxed); }
-  void Add(int64_t delta) {
-    value_.fetch_add(delta, std::memory_order_relaxed);
-  }
-  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Set(int64_t value) { value_.Store(value); }
+  void Add(int64_t delta) { value_.Add(delta); }
+  int64_t value() const { return value_.Load(); }
 
  private:
-  std::atomic<int64_t> value_{0};
+  Atomic<int64_t> value_{0};
 };
 
 /// Plain-data snapshot of a fixed-bucket histogram. `bounds` are ascending

@@ -90,7 +90,7 @@ void FaultInjectingSut::BurnNanos(size_t lane, int64_t nanos) {
 Status FaultInjectingSut::Load(const std::vector<KeyValue>& sorted_pairs) {
   ++load_attempts_;
   if (load_attempts_ <= plan_.load_failures) {
-    stats_.failed_loads.fetch_add(1, std::memory_order_relaxed);
+    stats_.failed_loads.Add(1);
     return Status::IoError("injected fault: load I/O error (attempt " +
                            std::to_string(load_attempts_) + ")");
   }
@@ -100,11 +100,11 @@ Status FaultInjectingSut::Load(const std::vector<KeyValue>& sorted_pairs) {
 TrainReport FaultInjectingSut::Train() {
   const FaultWindow* w = plan_.WindowForPhase(current_phase_);
   if (w != nullptr && w->train_hang_nanos > 0) {
-    stats_.hung_trains.fetch_add(1, std::memory_order_relaxed);
+    stats_.hung_trains.Add(1);
     BurnNanos(0, w->train_hang_nanos);
   }
   if (w != nullptr && w->fail_train) {
-    stats_.failed_trains.fetch_add(1, std::memory_order_relaxed);
+    stats_.failed_trains.Add(1);
     TrainReport report;
     report.status = Status::Unavailable("injected fault: training failed");
     return report;
@@ -127,14 +127,14 @@ OpResult FaultInjectingSut::ExecuteLane(size_t lane, const Operation& op) {
     const double u_spike = rng.NextDouble();
     const double u_stall = rng.NextDouble();
     if (w->stall_rate > 0.0 && u_stall < w->stall_rate) {
-      stats_.injected_stalls.fetch_add(1, std::memory_order_relaxed);
+      stats_.injected_stalls.Add(1);
       BurnNanos(lane, w->stall_nanos);
     } else if (w->latency_spike_rate > 0.0 && u_spike < w->latency_spike_rate) {
-      stats_.injected_spikes.fetch_add(1, std::memory_order_relaxed);
+      stats_.injected_spikes.Add(1);
       BurnNanos(lane, w->latency_spike_nanos);
     }
     if (w->execute_fail_rate > 0.0 && u_fail < w->execute_fail_rate) {
-      stats_.injected_failures.fetch_add(1, std::memory_order_relaxed);
+      stats_.injected_failures.Add(1);
       OpResult result;
       result.status = Status(w->execute_fail_code, "injected fault");
       return result;
@@ -157,15 +157,15 @@ void FaultInjectingSut::ExecuteLaneBatch(size_t lane, const Operation& op,
     const double u_spike = rng.NextDouble();
     const double u_stall = rng.NextDouble();
     if (w->stall_rate > 0.0 && u_stall < w->stall_rate) {
-      stats_.injected_stalls.fetch_add(1, std::memory_order_relaxed);
+      stats_.injected_stalls.Add(1);
       BurnNanos(lane, w->stall_nanos);
     } else if (w->latency_spike_rate > 0.0 &&
                u_spike < w->latency_spike_rate) {
-      stats_.injected_spikes.fetch_add(1, std::memory_order_relaxed);
+      stats_.injected_spikes.Add(1);
       BurnNanos(lane, w->latency_spike_nanos);
     }
     if (w->execute_fail_rate > 0.0 && u_fail < w->execute_fail_rate) {
-      stats_.injected_failures.fetch_add(1, std::memory_order_relaxed);
+      stats_.injected_failures.Add(1);
       const uint32_t n = OpResultCount(op);
       for (uint32_t i = 0; i < n; ++i) {
         OpResult& r = results[i];
@@ -190,15 +190,15 @@ void FaultInjectingSut::OnPhaseStart(int phase_index, bool holdout) {
 FaultStats FaultInjectingSut::fault_stats() const {
   FaultStats snapshot;
   snapshot.injected_failures =
-      stats_.injected_failures.load(std::memory_order_relaxed);
+      stats_.injected_failures.Load();
   snapshot.injected_spikes =
-      stats_.injected_spikes.load(std::memory_order_relaxed);
+      stats_.injected_spikes.Load();
   snapshot.injected_stalls =
-      stats_.injected_stalls.load(std::memory_order_relaxed);
-  snapshot.failed_loads = stats_.failed_loads.load(std::memory_order_relaxed);
+      stats_.injected_stalls.Load();
+  snapshot.failed_loads = stats_.failed_loads.Load();
   snapshot.failed_trains =
-      stats_.failed_trains.load(std::memory_order_relaxed);
-  snapshot.hung_trains = stats_.hung_trains.load(std::memory_order_relaxed);
+      stats_.failed_trains.Load();
+  snapshot.hung_trains = stats_.hung_trains.Load();
   return snapshot;
 }
 

@@ -1,7 +1,6 @@
 #ifndef LSBENCH_SUT_FAULT_INJECTION_H_
 #define LSBENCH_SUT_FAULT_INJECTION_H_
 
-#include <atomic>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -9,6 +8,7 @@
 #include "sut/fault_plan.h"
 #include "sut/sut.h"
 #include "util/annotate.h"
+#include "util/atomic.h"
 #include "util/clock.h"
 #include "util/random.h"
 
@@ -116,12 +116,12 @@ class FaultInjectingSut final : public SystemUnderTest {
   uint32_t load_attempts_ = 0;
 
   struct AtomicFaultStats {
-    std::atomic<uint64_t> injected_failures{0};
-    std::atomic<uint64_t> injected_spikes{0};
-    std::atomic<uint64_t> injected_stalls{0};
-    std::atomic<uint64_t> failed_loads{0};
-    std::atomic<uint64_t> failed_trains{0};
-    std::atomic<uint64_t> hung_trains{0};
+    Atomic<uint64_t> injected_failures{0};
+    Atomic<uint64_t> injected_spikes{0};
+    Atomic<uint64_t> injected_stalls{0};
+    Atomic<uint64_t> failed_loads{0};
+    Atomic<uint64_t> failed_trains{0};
+    Atomic<uint64_t> hung_trains{0};
   };
   AtomicFaultStats stats_;
 };

@@ -1,0 +1,118 @@
+#ifndef LSBENCH_UTIL_ATOMIC_H_
+#define LSBENCH_UTIL_ATOMIC_H_
+
+// The sanctioned atomic wrapper: lsbench::Atomic<T>.
+//
+// Raw std::atomic scattered through the tree has two costs. First, every
+// use site picks its own memory_order, and a wrong pick is a bug no test
+// reliably catches. Second — the reason this wrapper exists — bare atomics
+// are invisible to lsbench-sched: the schedule-exploration checker
+// (tools/sched/) can only interleave what it can see, and an un-hooked
+// atomic is a shared-memory access the explorer silently serializes,
+// shrinking "every interleaving" to "the interleavings that happened".
+//
+// So: all atomics go through Atomic<T> (lsbench-lint rule no-bare-atomic
+// bans std::atomic and raw memory_order tokens outside this header), and
+// Atomic<T> announces each operation as a preemption point when the thread
+// is managed by the lsbench-sched controller (util/sched_hooks.h). In a
+// normal run the hook test is one thread-local load-and-branch that
+// predicts perfectly; the operation itself compiles to exactly the
+// std::atomic call it wraps.
+//
+// The API names the ordering instead of taking a memory_order parameter —
+// the call site says what it means, and the banned token never appears
+// outside this header:
+//
+//   Load / Store / Add / Sub / Exchange / CompareExchange   relaxed
+//   LoadAcquire / StoreRelease                              acq / rel
+//
+// Relaxed is the deliberate default: LSBench's atomics are pure tallies
+// (metrics counters, fault-injection stats) merged deterministically after
+// the run, never used to publish other memory. A new use that needs
+// acquire/release pairing should use the named variants — and think hard,
+// because needing them usually means the data belongs under a Mutex.
+//
+// deepcheck models lsbench::Atomic as a sanctioned gate: reachability walks
+// stop here (the hook dispatch below is controller machinery, active only
+// under exploration, and must not taint hot-path/determinism proofs).
+
+#include <atomic>
+
+#include "util/sched_hooks.h"
+
+namespace lsbench {
+
+template <typename T>
+class Atomic {
+ public:
+  constexpr Atomic() noexcept = default;
+  constexpr Atomic(T value) noexcept : value_(value) {}  // NOLINT: implicit
+  Atomic(const Atomic&) = delete;
+  Atomic& operator=(const Atomic&) = delete;
+
+  /// Relaxed read. For tallies and stats snapshots.
+  T Load() const {
+    Announce(SchedOp::kAtomicLoad);
+    return value_.load(std::memory_order_relaxed);
+  }
+
+  /// Acquire read, pairing with StoreRelease on the same object.
+  T LoadAcquire() const {
+    Announce(SchedOp::kAtomicLoad);
+    return value_.load(std::memory_order_acquire);
+  }
+
+  /// Relaxed write.
+  void Store(T value) {
+    Announce(SchedOp::kAtomicStore);
+    value_.store(value, std::memory_order_relaxed);
+  }
+
+  /// Release write, pairing with LoadAcquire on the same object.
+  void StoreRelease(T value) {
+    Announce(SchedOp::kAtomicStore);
+    value_.store(value, std::memory_order_release);
+  }
+
+  /// Relaxed fetch-add; returns the previous value.
+  T Add(T delta) {
+    Announce(SchedOp::kAtomicRmw);
+    return value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+
+  /// Relaxed fetch-sub; returns the previous value.
+  T Sub(T delta) {
+    Announce(SchedOp::kAtomicRmw);
+    return value_.fetch_sub(delta, std::memory_order_relaxed);
+  }
+
+  /// Relaxed swap; returns the previous value.
+  T Exchange(T value) {
+    Announce(SchedOp::kAtomicRmw);
+    return value_.exchange(value, std::memory_order_relaxed);
+  }
+
+  /// Strong relaxed CAS. On failure `expected` is updated to the observed
+  /// value, like std::atomic::compare_exchange_strong.
+  bool CompareExchange(T& expected, T desired) {
+    Announce(SchedOp::kAtomicRmw);
+    return value_.compare_exchange_strong(expected, desired,
+                                          std::memory_order_relaxed,
+                                          std::memory_order_relaxed);
+  }
+
+ private:
+  /// One thread-local load + never-taken branch in normal runs; a schedule
+  /// decision point under lsbench-sched. The announcement happens *before*
+  /// the operation: the explorer decides who runs, then the winner's
+  /// operation executes while it holds the schedule token.
+  void Announce(SchedOp op) const {
+    if (SchedObserver* s = SchedHook()) s->SchedPoint(op, this);
+  }
+
+  std::atomic<T> value_{};
+};
+
+}  // namespace lsbench
+
+#endif  // LSBENCH_UTIL_ATOMIC_H_

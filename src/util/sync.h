@@ -24,15 +24,27 @@
 //   };
 //
 // The annotations compile to nothing off-Clang (GCC builds are unaffected),
-// and the wrappers are zero-cost: Mutex is exactly a std::mutex, MutexLock
-// exactly a std::lock_guard. Raw std::mutex / std::lock_guard outside this
-// header are banned by lsbench-lint (no-raw-mutex / no-raw-lock) so new
-// concurrent state cannot silently opt out of the proof.
+// and the wrappers are near-zero-cost: Mutex is a std::mutex plus one
+// thread-local null test, MutexLock exactly a std::lock_guard. Raw
+// std::mutex / std::lock_guard outside this header are banned by
+// lsbench-lint (no-raw-mutex / no-raw-lock) so new concurrent state cannot
+// silently opt out of the proof.
 //
-// See docs/STATIC_ANALYSIS.md for the annotation how-to.
+// These wrappers are also lsbench-sched preemption points
+// (util/sched_hooks.h): on a thread managed by the schedule-exploration
+// controller, Lock/Unlock/Wait/Signal are *modeled* by the controller
+// instead of touching the real std primitives — a task blocking on a
+// modeled mutex yields to the scheduler rather than wedging the cooperative
+// run. Unmanaged threads (the normal case: the hook is a thread-local null)
+// take the plain std:: path.
+//
+// See docs/STATIC_ANALYSIS.md for the annotation how-to and the
+// lsbench-sched exploration workflow.
 
 #include <condition_variable>
 #include <mutex>
+
+#include "util/sched_hooks.h"
 
 #if defined(__clang__)
 #define LSBENCH_THREAD_ANNOTATION(x) __attribute__((x))
@@ -96,9 +108,24 @@ class LSBENCH_CAPABILITY("mutex") Mutex {
   Mutex(const Mutex&) = delete;
   Mutex& operator=(const Mutex&) = delete;
 
-  void Lock() LSBENCH_ACQUIRE() { mu_.lock(); }
-  void Unlock() LSBENCH_RELEASE() { mu_.unlock(); }
-  bool TryLock() LSBENCH_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+  void Lock() LSBENCH_ACQUIRE() {
+    if (SchedObserver* s = SchedHook()) {
+      s->MutexLock(this);
+      return;
+    }
+    mu_.lock();
+  }
+  void Unlock() LSBENCH_RELEASE() {
+    if (SchedObserver* s = SchedHook()) {
+      s->MutexUnlock(this);
+      return;
+    }
+    mu_.unlock();
+  }
+  bool TryLock() LSBENCH_TRY_ACQUIRE(true) {
+    if (SchedObserver* s = SchedHook()) return s->MutexTryLock(this);
+    return mu_.try_lock();
+  }
 
  private:
   friend class CondVar;
@@ -131,6 +158,10 @@ class CondVar {
   /// Blocks until notified. Spurious wakeups happen; callers loop on their
   /// predicate (or use the predicate overload).
   void Wait(Mutex& mu) LSBENCH_REQUIRES(mu) {
+    if (SchedObserver* s = SchedHook()) {
+      s->CondWait(this, &mu);
+      return;
+    }
     std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
     cv_.wait(lock);
     lock.release();
@@ -142,8 +173,20 @@ class CondVar {
     while (!pred()) Wait(mu);
   }
 
-  void Signal() { cv_.notify_one(); }
-  void SignalAll() { cv_.notify_all(); }
+  void Signal() {
+    if (SchedObserver* s = SchedHook()) {
+      s->CondSignal(this, /*all=*/false);
+      return;
+    }
+    cv_.notify_one();
+  }
+  void SignalAll() {
+    if (SchedObserver* s = SchedHook()) {
+      s->CondSignal(this, /*all=*/true);
+      return;
+    }
+    cv_.notify_all();
+  }
 
  private:
   std::condition_variable cv_;

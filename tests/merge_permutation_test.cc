@@ -1,0 +1,264 @@
+// Property test: the post-run shard merges are permutation-invariant. The
+// repo's reproducibility contract says the merged event stream, trace,
+// metrics snapshot, and stage breakdown are pure functions of the shards'
+// CONTENTS — never of the order workers happened to finish (which is the
+// order the driver collects them in). lsbench-sched proves this under every
+// interleaving for small pipelines (tests/sched_model_test.cc); this test
+// attacks the same invariant from the other side, feeding every permutation
+// of synthetic shards through the real merge functions and requiring
+// byte-identical serialized output.
+
+#include <algorithm>
+#include <cstdint>
+#include <numeric>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/event_sink.h"
+#include "core/events.h"
+#include "obs/metrics_registry.h"
+#include "obs/profile.h"
+#include "obs/trace.h"
+#include "util/random.h"
+
+namespace lsbench {
+namespace {
+
+// Runs `body(perm)` for every permutation of {0, ..., n-1}.
+void ForEachPermutation(size_t n,
+                        const std::function<void(const std::vector<size_t>&)>&
+                            body) {
+  std::vector<size_t> perm(n);
+  std::iota(perm.begin(), perm.end(), 0);
+  do {
+    body(perm);
+  } while (std::next_permutation(perm.begin(), perm.end()));
+}
+
+// --- Event shards -----------------------------------------------------------
+
+// One worker's shard: seqs ascend per shard (the sink contract), timestamps
+// overlap across shards and deliberately collide so the (timestamp, worker,
+// seq) tie-break is exercised, not just the timestamp sort.
+EventStream MakeEventShard(uint32_t worker, size_t n) {
+  Rng rng(1000 + worker);
+  EventStream shard;
+  shard.reserve(n);
+  int64_t ts = 0;
+  for (size_t i = 0; i < n; ++i) {
+    // Step 0 half the time: equal timestamps within AND across shards.
+    ts += static_cast<int64_t>(rng.NextBounded(2) * 100);
+    OpEvent e;
+    e.timestamp_nanos = ts;
+    e.latency_nanos = static_cast<int64_t>(rng.NextBounded(1000));
+    e.issue_nanos = ts - e.latency_nanos;
+    e.phase = static_cast<int32_t>(rng.NextBounded(2));
+    e.ok = rng.NextBounded(4) != 0;
+    e.rows = rng.NextBounded(8);
+    e.retries = static_cast<uint16_t>(rng.NextBounded(3));
+    e.worker = worker;
+    e.seq = i;
+    shard.push_back(e);
+  }
+  return shard;
+}
+
+TEST(MergePermutation, EventShardsMergeByteIdentically) {
+  constexpr size_t kShards = 4;
+  std::vector<EventStream> shards;
+  for (size_t w = 0; w < kShards; ++w) {
+    shards.push_back(MakeEventShard(static_cast<uint32_t>(w), 16));
+  }
+  const std::string reference = SerializeEventStream(
+      MergeEventShards(shards));
+  ASSERT_FALSE(reference.empty());
+
+  ForEachPermutation(kShards, [&](const std::vector<size_t>& perm) {
+    std::vector<EventStream> permuted;
+    for (size_t idx : perm) permuted.push_back(shards[idx]);
+    const EventStream merged = MergeEventShards(std::move(permuted));
+    EXPECT_EQ(reference, SerializeEventStream(merged))
+        << "shard order changed the merged event stream";
+  });
+}
+
+TEST(MergePermutation, MergedEventStreamIsProvenanceOrdered) {
+  std::vector<EventStream> shards;
+  for (size_t w = 0; w < 3; ++w) {
+    shards.push_back(MakeEventShard(static_cast<uint32_t>(w), 12));
+  }
+  const EventStream merged = MergeEventShards(std::move(shards));
+  for (size_t i = 1; i < merged.size(); ++i) {
+    const OpEvent& a = merged[i - 1];
+    const OpEvent& b = merged[i];
+    const auto key = [](const OpEvent& e) {
+      return std::make_tuple(e.timestamp_nanos, e.worker, e.seq);
+    };
+    EXPECT_LT(key(a), key(b)) << "merge order violated at index " << i;
+  }
+}
+
+// --- Trace shards -----------------------------------------------------------
+
+TraceStream MakeTraceShard(uint32_t worker, size_t n) {
+  static const char* const kNames[] = {"generate", "pace", "execute",
+                                       "record"};
+  Rng rng(2000 + worker);
+  TraceStream shard;
+  shard.reserve(n);
+  int64_t start = 0;
+  for (size_t i = 0; i < n; ++i) {
+    start += static_cast<int64_t>(rng.NextBounded(2) * 50);
+    TraceSpan span;
+    span.name = kNames[rng.NextBounded(4)];
+    span.start_nanos = start;
+    span.end_nanos = start + static_cast<int64_t>(rng.NextBounded(500));
+    span.phase = static_cast<int32_t>(rng.NextBounded(2));
+    span.worker = worker;
+    span.seq = i;
+    shard.push_back(span);
+  }
+  return shard;
+}
+
+TEST(MergePermutation, TraceShardsMergeByteIdentically) {
+  constexpr size_t kShards = 4;
+  std::vector<TraceStream> shards;
+  for (size_t w = 0; w < kShards; ++w) {
+    shards.push_back(MakeTraceShard(static_cast<uint32_t>(w), 12));
+  }
+  // Driver-level spans sort after all workers at equal timestamps.
+  shards.push_back(MakeTraceShard(kDriverTraceWorker, 6));
+
+  const std::string reference = SerializeTrace(MergeTraceShards(shards));
+  ASSERT_FALSE(reference.empty());
+
+  ForEachPermutation(shards.size(), [&](const std::vector<size_t>& perm) {
+    std::vector<TraceStream> permuted;
+    for (size_t idx : perm) permuted.push_back(shards[idx]);
+    EXPECT_EQ(reference, SerializeTrace(MergeTraceShards(
+                             std::move(permuted))))
+        << "shard order changed the merged trace";
+  });
+}
+
+// --- Metrics shards ---------------------------------------------------------
+
+// Canonical text form of a snapshot: MetricsSnapshot has no serializer of
+// its own (reports consume it structurally), so byte-identity here means
+// identity of this exhaustive stringification.
+std::string StringifySnapshot(const MetricsSnapshot& snap) {
+  std::ostringstream out;
+  for (const auto& [name, value] : snap.counters) {
+    out << "counter " << name << " " << value << "\n";
+  }
+  for (const auto& [name, value] : snap.gauges) {
+    out << "gauge " << name << " " << value << "\n";
+  }
+  for (const auto& [name, h] : snap.histograms) {
+    out << "hist " << name << " count=" << h.count << " sum=" << h.sum
+        << " min=" << h.min << " max=" << h.max << " counts=";
+    for (uint64_t c : h.counts) out << c << ",";
+    out << "\n";
+  }
+  return out.str();
+}
+
+// Shards with overlapping AND disjoint instrument sets: merge must sum the
+// shared names and pass the rest through, independent of shard order.
+MetricsSnapshot MakeMetricsShard(uint32_t worker) {
+  MetricsRegistry registry;
+  Rng rng(3000 + worker);
+  registry.GetCounter("ops.total")->Increment(rng.NextBounded(100));
+  registry.GetCounter("worker." + std::to_string(worker) + ".ops")
+      ->Increment(worker + 1);
+  registry.GetGauge("queue.depth")->Add(
+      static_cast<int64_t>(rng.NextBounded(16)));
+  FixedHistogram* hist = registry.GetHistogram("latency");
+  for (int i = 0; i < 32; ++i) {
+    hist->Record(static_cast<int64_t>(rng.NextBounded(4000000)));
+  }
+  return registry.Snapshot();
+}
+
+TEST(MergePermutation, MetricsShardsMergeByteIdentically) {
+  constexpr size_t kShards = 4;
+  std::vector<MetricsSnapshot> shards;
+  for (size_t w = 0; w < kShards; ++w) {
+    shards.push_back(MakeMetricsShard(static_cast<uint32_t>(w)));
+  }
+  auto reference = MergeMetricsShards(shards);
+  ASSERT_TRUE(reference.ok()) << reference.status().message();
+  const std::string reference_text = StringifySnapshot(reference.value());
+  ASSERT_FALSE(reference_text.empty());
+
+  ForEachPermutation(kShards, [&](const std::vector<size_t>& perm) {
+    std::vector<MetricsSnapshot> permuted;
+    for (size_t idx : perm) permuted.push_back(shards[idx]);
+    auto merged = MergeMetricsShards(permuted);
+    ASSERT_TRUE(merged.ok()) << merged.status().message();
+    EXPECT_EQ(reference_text, StringifySnapshot(merged.value()))
+        << "shard order changed the merged metrics snapshot";
+  });
+}
+
+// --- Stage breakdown shards -------------------------------------------------
+
+std::string StringifyBreakdown(const StageBreakdown& breakdown) {
+  std::ostringstream out;
+  for (const PhaseStageBreakdown& phase : breakdown) {
+    out << "phase " << phase.phase << ":";
+    for (size_t s = 0; s < kNumStages; ++s) {
+      out << " " << phase.stages[s].total_nanos << "/"
+          << phase.stages[s].samples;
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+// Shards cover overlapping phase sets (worker 0 has the run-level phase,
+// later workers only their own); the accumulate must stay phase-aligned.
+StageBreakdown MakeStageShard(uint32_t worker) {
+  Rng rng(4000 + worker);
+  StageBreakdown shard;
+  const int32_t first_phase =
+      worker == 0 ? PhaseStageBreakdown::kRunLevelPhase : 0;
+  for (int32_t phase = first_phase; phase <= 1; ++phase) {
+    PhaseStageBreakdown p;
+    p.phase = phase;
+    for (size_t s = 0; s < kNumStages; ++s) {
+      p.stages[s].total_nanos = static_cast<int64_t>(rng.NextBounded(100000));
+      p.stages[s].samples = rng.NextBounded(50);
+    }
+    shard.push_back(p);
+  }
+  return shard;
+}
+
+TEST(MergePermutation, StageBreakdownMergesByteIdentically) {
+  constexpr size_t kShards = 4;
+  std::vector<StageBreakdown> shards;
+  for (size_t w = 0; w < kShards; ++w) {
+    shards.push_back(MakeStageShard(static_cast<uint32_t>(w)));
+  }
+  StageBreakdown reference;
+  for (const StageBreakdown& shard : shards) {
+    MergeStageBreakdown(&reference, shard);
+  }
+  const std::string reference_text = StringifyBreakdown(reference);
+  ASSERT_FALSE(reference_text.empty());
+
+  ForEachPermutation(kShards, [&](const std::vector<size_t>& perm) {
+    StageBreakdown merged;
+    for (size_t idx : perm) MergeStageBreakdown(&merged, shards[idx]);
+    EXPECT_EQ(reference_text, StringifyBreakdown(merged))
+        << "accumulation order changed the stage breakdown";
+  });
+}
+
+}  // namespace
+}  // namespace lsbench

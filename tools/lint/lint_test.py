@@ -29,6 +29,8 @@ EXPECTED_FAILURES = {
     "fail/raw_sleep.cc": ("no-raw-sleep", 2),
     "fail/raw_mutex.cc": ("no-raw-mutex", 2),
     "fail/raw_lock.cc": ("no-raw-lock", 2),
+    "fail/bare_atomic.cc": ("no-bare-atomic", 2),
+    "fail/unordered_range_for.cc": ("unordered-range-for", 1),
 }
 
 
@@ -138,6 +140,37 @@ class EngineUnitTests(unittest.TestCase):
         allowed = lint.lint_files([("src/util/sync.h", body)])
         self.assertEqual(["no-raw-lock", "no-raw-mutex"],
                          sorted(f.rule for f in flagged))
+        self.assertEqual([], allowed)
+
+    def test_raw_sync_allowed_in_sched_tool(self):
+        # tools/sched implements the scheduler beneath the wrappers, so the
+        # raw primitives are sanctioned there (docs/STATIC_ANALYSIS.md).
+        body = ("#include <mutex>\n"
+                "struct R { std::mutex m; };\n"
+                "void F(R& r) { std::unique_lock<std::mutex> l(r.m); }\n")
+        self.assertEqual([], lint.lint_files([("tools/sched/sched.cc", body)]))
+
+    def test_bare_atomic_allowed_in_atomic_header(self):
+        body = ("#include <atomic>\n"
+                "std::atomic<int> v{0};\n"
+                "int Get() { return v.load(std::memory_order_relaxed); }\n")
+        flagged = lint.lint_files([("src/obs/counters.h", body)])
+        allowed = lint.lint_files([("src/util/atomic.h", body)])
+        self.assertEqual(["no-bare-atomic", "no-bare-atomic"],
+                         [f.rule for f in flagged])
+        self.assertEqual([], allowed)
+
+    def test_unordered_range_for_allowlist_honored(self):
+        body = ("#include <unordered_map>\n"
+                "int Sum(const std::unordered_map<int, int>& m) {\n"
+                "  std::unordered_map<int, int> merged = m;\n"
+                "  int s = 0;\n"
+                "  for (const auto& kv : merged) s += kv.second;\n"
+                "  return s;\n"
+                "}\n")
+        flagged = lint.lint_files([("src/core/agg.cc", body)])
+        allowed = lint.lint_files([("src/stats/similarity.cc", body)])
+        self.assertEqual(["unordered-range-for"], [f.rule for f in flagged])
         self.assertEqual([], allowed)
 
     def test_getenv_allowed_under_util(self):

@@ -28,11 +28,22 @@ Rules:
                         bypass the Clock abstraction and burn accuracy;
                         use SleepSpinUntil (util/clock.h) or a Pacer.
   no-raw-mutex          std::mutex / std::condition_variable outside
-                        util/sync.h dodge the Thread Safety Analysis
-                        annotations; use lsbench::Mutex / CondVar.
+                        util/sync.h (and the tools/sched/ scheduler that
+                        implements the machinery beneath it) dodge the
+                        Thread Safety Analysis annotations; use
+                        lsbench::Mutex / CondVar.
   no-raw-lock           std::lock_guard / unique_lock / scoped_lock outside
-                        util/sync.h hold locks the analysis cannot see;
-                        use lsbench::MutexLock.
+                        util/sync.h / tools/sched/ hold locks the analysis
+                        cannot see; use lsbench::MutexLock.
+  no-bare-atomic        std::atomic / raw memory_order tokens outside
+                        util/atomic.h pick ad-hoc orderings and dodge the
+                        lsbench-sched preemption points; use
+                        lsbench::Atomic<T>.
+  unordered-range-for   range-for over std::unordered_{map,set} anywhere
+                        visits elements in hash order; anything that feeds
+                        events, traces, reports, or serialization must take
+                        a sorted snapshot first. Reviewed order-insensitive
+                        reductions live on UNORDERED_ALLOWLIST.
 
 Suppress a finding with an inline comment on the offending line or the line
 directly above it:
@@ -59,6 +70,8 @@ ALL_RULES = (
     "no-raw-sleep",
     "no-raw-mutex",
     "no-raw-lock",
+    "no-bare-atomic",
+    "unordered-range-for",
 )
 
 SOURCE_EXTENSIONS = (".cc", ".cpp", ".cxx", ".h", ".hpp")
@@ -199,6 +212,8 @@ RAW_MUTEX_RE = re.compile(
     r"condition_variable(?:_any)?)\b")
 RAW_LOCK_RE = re.compile(
     r"\bstd\s*::\s*(?:lock_guard|unique_lock|scoped_lock|shared_lock)\b")
+BARE_ATOMIC_RE = re.compile(
+    r"\bstd\s*::\s*atomic(?:_\w+)?\b|\bmemory_order(?:_\w+)?\b")
 
 
 def in_util_dir(relpath):
@@ -206,11 +221,20 @@ def in_util_dir(relpath):
     return "src/util/" in norm or norm.startswith("util/")
 
 
-def is_sync_header(relpath):
-    """util/sync.h: the one place raw std synchronization may appear — it
-    wraps the raw types in annotated capabilities."""
+def is_sanctioned_sync(relpath):
+    """Where raw std synchronization may appear: util/sync.h wraps the raw
+    types in annotated capabilities, and tools/sched/ implements the
+    cooperative scheduler *beneath* those wrappers — a modeled mutex cannot
+    be built on the wrapper it models."""
     norm = relpath.replace(os.sep, "/")
-    return norm.endswith("util/sync.h")
+    return norm.endswith("util/sync.h") or "tools/sched/" in norm
+
+
+def is_atomic_header(relpath):
+    """util/atomic.h: the one place std::atomic / memory_order may appear —
+    it wraps them in the ordering-named, sched-instrumented Atomic<T>."""
+    norm = relpath.replace(os.sep, "/")
+    return norm.endswith("util/atomic.h")
 
 
 def in_report_scope(relpath):
@@ -257,36 +281,57 @@ def check_line_rules(relpath, code_lines):
                 relpath, idx, "no-raw-sleep",
                 "raw sleep_for/sleep_until outside util/ bypasses the Clock "
                 "abstraction; use SleepSpinUntil (util/clock.h) or a Pacer"))
-        if RAW_MUTEX_RE.search(line) and not is_sync_header(relpath):
+        if RAW_MUTEX_RE.search(line) and not is_sanctioned_sync(relpath):
             findings.append(Finding(
                 relpath, idx, "no-raw-mutex",
                 "raw std synchronization primitives outside util/sync.h "
                 "are invisible to Thread Safety Analysis; use "
                 "lsbench::Mutex / CondVar and annotate guarded fields"))
-        if RAW_LOCK_RE.search(line) and not is_sync_header(relpath):
+        if RAW_LOCK_RE.search(line) and not is_sanctioned_sync(relpath):
             findings.append(Finding(
                 relpath, idx, "no-raw-lock",
                 "raw std lock holders outside util/sync.h are invisible to "
                 "Thread Safety Analysis; use lsbench::MutexLock"))
+        if BARE_ATOMIC_RE.search(line) and not is_atomic_header(relpath):
+            findings.append(Finding(
+                relpath, idx, "no-bare-atomic",
+                "bare std::atomic / memory_order outside util/atomic.h "
+                "picks its own ordering and is invisible to the "
+                "lsbench-sched preemption points; use lsbench::Atomic<T> "
+                "(util/atomic.h)"))
     return findings
 
 
-# --- unordered-iteration ----------------------------------------------------
+# --- unordered-iteration / unordered-range-for ------------------------------
 
 UNORDERED_DECL_RE = re.compile(
     r"\bunordered_(?:map|set)\s*<[^;{}]*?>\s*&?\s*(\w+)\s*[;={(),]")
 RANGE_FOR_RE = re.compile(r"\bfor\s*\(\s*[^;)]*?:\s*\*?([\w.\->]+)\s*\)")
 UNORDERED_TYPE_RE = re.compile(r"\bunordered_(?:map|set)\b")
 
+# Reviewed sorted-snapshot allowlist for unordered-range-for, keyed by
+# "path:container". Every entry must be an order-insensitive reduction (the
+# loop body commutes: counting, set-membership sums, min/max accumulations)
+# or sort its output before anything downstream can observe the order.
+# Adding an entry is a reviewed change — justify it here.
+UNORDERED_ALLOWLIST = frozenset({
+    # WeightedJaccard: accumulates num/den sums over the merged weight map.
+    # Floating-point addition order is fixed for a given libstdc++ build +
+    # insertion sequence, and both are pinned by the workload seed.
+    "src/stats/similarity.cc:merged",
+    # Trace fitting: pushes access counts into a vector that is immediately
+    # std::sort-ed; hash order never reaches the fitted spec.
+    "src/data/synthesizer.cc:access_counts",
+})
 
-def check_unordered_iteration(relpath, code_lines):
-    if not in_report_scope(relpath):
-        return []
+
+def iter_unordered_range_fors(code_lines):
+    """Yields (line_idx, sequence_expr) for each range-for over a container
+    declared unordered in this file (or an inline unordered temporary)."""
     unordered_names = set()
     for line in code_lines:
         for m in UNORDERED_DECL_RE.finditer(line):
             unordered_names.add(m.group(1))
-    findings = []
     for idx, line in enumerate(code_lines, start=1):
         m = RANGE_FOR_RE.search(line)
         if not m:
@@ -295,12 +340,41 @@ def check_unordered_iteration(relpath, code_lines):
         # `for (auto& kv : counts_)` where counts_ was declared unordered in
         # this file, or an inline unordered temporary in the loop header.
         tail = seq.split("->")[-1].split(".")[-1]
-        if tail in unordered_names or UNORDERED_TYPE_RE.search(line[:m.start(1)]):
-            findings.append(Finding(
-                relpath, idx, "unordered-iteration",
-                f"iteration over unordered container '{seq}' in "
-                "report/metrics code is hash-order-dependent; copy into a "
-                "sorted vector/map first"))
+        if tail in unordered_names or UNORDERED_TYPE_RE.search(
+                line[:m.start(1)]):
+            yield idx, seq
+
+
+def check_unordered_iteration(relpath, code_lines):
+    if not in_report_scope(relpath):
+        return []
+    findings = []
+    for idx, seq in iter_unordered_range_fors(code_lines):
+        findings.append(Finding(
+            relpath, idx, "unordered-iteration",
+            f"iteration over unordered container '{seq}' in "
+            "report/metrics code is hash-order-dependent; copy into a "
+            "sorted vector/map first"))
+    return findings
+
+
+def check_unordered_range_for(relpath, code_lines):
+    # Report/metrics scope is covered by the stricter unordered-iteration
+    # rule above (no allowlist there: output code must sort, full stop).
+    if in_report_scope(relpath):
+        return []
+    norm = relpath.replace(os.sep, "/")
+    findings = []
+    for idx, seq in iter_unordered_range_fors(code_lines):
+        tail = seq.split("->")[-1].split(".")[-1]
+        if f"{norm}:{tail}" in UNORDERED_ALLOWLIST:
+            continue
+        findings.append(Finding(
+            relpath, idx, "unordered-range-for",
+            f"range-for over unordered container '{seq}' visits elements "
+            "in hash order; take a sorted snapshot before anything feeds "
+            "events/traces/reports/serialization, or add the reviewed "
+            "order-insensitive site to UNORDERED_ALLOWLIST"))
     return findings
 
 
@@ -450,6 +524,7 @@ def lint_files(files, rules=ALL_RULES):
         file_findings = []
         file_findings += check_line_rules(relpath, code_lines)
         file_findings += check_unordered_iteration(relpath, code_lines)
+        file_findings += check_unordered_range_for(relpath, code_lines)
         if "discarded-status" in rules:
             file_findings += check_discarded_status(
                 relpath, code_text, status_names)

@@ -1,0 +1,11 @@
+// Fixture: no-bare-atomic must fire twice — once on the raw std::atomic
+// declaration, once on the explicit memory_order token.
+#include <atomic>
+
+struct Stats {
+  std::atomic<unsigned long> hits{0};
+};
+
+unsigned long Read(const Stats& s) {
+  return s.hits.load(std::memory_order_acquire);
+}

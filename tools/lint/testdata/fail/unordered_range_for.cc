@@ -1,0 +1,13 @@
+// Fixture: unordered-range-for must fire on the hash-order loop feeding
+// the serialized output (and this site is not on UNORDERED_ALLOWLIST).
+#include <string>
+#include <unordered_map>
+
+std::string Serialize(const std::unordered_map<int, int>& m) {
+  std::unordered_map<int, int> counts = m;
+  std::string out;
+  for (const auto& kv : counts) {
+    out += std::to_string(kv.first) + "=" + std::to_string(kv.second) + "\n";
+  }
+  return out;
+}

@@ -1,0 +1,11 @@
+// Suppressed twin of fail/bare_atomic.cc: both findings silenced inline.
+#include <atomic>
+
+struct Stats {
+  std::atomic<unsigned long> hits{0};  // lsbench-lint: allow(no-bare-atomic)
+};
+
+unsigned long Read(const Stats& s) {
+  // lsbench-lint: allow(no-bare-atomic)
+  return s.hits.load(std::memory_order_acquire);
+}

@@ -1,0 +1,13 @@
+// Suppressed twin of fail/unordered_range_for.cc.
+#include <string>
+#include <unordered_map>
+
+std::string Serialize(const std::unordered_map<int, int>& m) {
+  std::unordered_map<int, int> counts = m;
+  std::string out;
+  // lsbench-lint: allow(unordered-range-for)
+  for (const auto& kv : counts) {
+    out += std::to_string(kv.first) + "=" + std::to_string(kv.second) + "\n";
+  }
+  return out;
+}

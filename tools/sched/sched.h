@@ -1,0 +1,135 @@
+#ifndef LSBENCH_TOOLS_SCHED_SCHED_H_
+#define LSBENCH_TOOLS_SCHED_SCHED_H_
+
+// lsbench-sched: deterministic schedule exploration for the concurrent core.
+//
+// TSan proves the absence of data races *on the schedules a test happens to
+// run*. This checker proves invariants on EVERY schedule of a small model:
+// it serializes N logical tasks onto a cooperative scheduler (only one task
+// ever runs; everyone else is parked), intercepts each visible operation at
+// the sanctioned primitives — lsbench::Mutex / CondVar (util/sync.h) and
+// lsbench::Atomic (util/atomic.h), via the util/sched_hooks.h preemption
+// points — and drives a depth-first search over every scheduling decision,
+// re-executing the model once per schedule (stateless model checking, in
+// the style of Godefroid's VeriSoft / CDSChecker / loom).
+//
+// Reduction. Full enumeration is factorial; two layers keep it tractable:
+//
+//  * Sleep-set dynamic partial-order reduction. At each decision point the
+//    controller knows every runnable task's *pending* operation (announced
+//    before executing). Two schedules differing only in the order of
+//    adjacent independent operations (different objects, or two atomic
+//    loads of one object) are equivalent; sleep sets prune all but one
+//    member of each such class. With per-task-private pipelines that share
+//    a handful of counters and one mutex, this cuts the space by orders of
+//    magnitude while still visiting every Mazurkiewicz trace — the result
+//    is exhaustive over behaviors, not merely over sampled interleavings.
+//
+//  * Bounded preemption (fallback for deep states). With
+//    `preemption_bound >= 0`, schedules using more than that many
+//    *involuntary* context switches (switching away from a task that could
+//    have continued) are skipped. Most concurrency bugs manifest within 2
+//    preemptions (CHESS); the 3-worker model tests use this mode, and
+//    ExploreResult::complete reports that the guarantee is bounded.
+//
+// Modeled primitives. A parked task must never hold a real lock, so under
+// exploration the wrappers defer to the model: mutex ownership, condvar
+// wait-sets, and blocking live in the controller's state table, and a task
+// whose pending operation cannot proceed (lock held, no signal yet) is
+// simply not enabled — the scheduler runs someone else. A state where no
+// task is enabled and not everyone finished is reported as a deadlock,
+// with the schedule that reached it. CondVar::Signal wakes every waiter
+// (SignalAll semantics): spurious wakeups are already part of CondVar's
+// contract, so waking more waiters than strictly necessary is a sound
+// over-approximation for predicate-loop users — and it keeps the wake-set
+// choice out of the branching factor.
+//
+// Memory model. Exploration serializes tasks, so the explored semantics is
+// sequential consistency. LSBench's Atomic wrapper only exposes relaxed /
+// acquire / release tallies that are never used for cross-thread
+// publication (see util/atomic.h); weak-memory reorderings are out of
+// scope here and delegated to TSan.
+//
+// Replay. Every violation carries a compact decision string ("2.0.1.1...":
+// the task id chosen at each decision point). Explorer::Replay re-executes
+// exactly that schedule — same decisions, same model, deterministic
+// components — so a counterexample found in CI reproduces locally with
+// `sched_model_test --sched-model=<name> --sched-replay=<string>`.
+//
+// Determinism requirement. Re-execution only works when the model is a
+// pure function of its schedule: bodies must draw randomness from fixed
+// seeds and time from explicit values or private VirtualClocks (LSBench
+// core components already satisfy this; it is exactly the repo's
+// reproducibility contract, which is why they can be model-checked
+// unmocked).
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/sched_hooks.h"
+
+namespace lsbench {
+namespace sched {
+
+/// What to explore: per-schedule fresh state, task bodies, and an
+/// end-of-schedule invariant check. `setup` runs on the controller thread
+/// before the tasks start; `check` after every task finished. Bodies and
+/// `check` report invariant violations via sched::Check — gtest macros
+/// would abort the wrong thread and lose the replay string.
+struct Model {
+  std::function<void()> setup;
+  std::vector<std::function<void()>> tasks;
+  std::function<void()> check;
+};
+
+struct Options {
+  /// Involuntary-context-switch budget per schedule; -1 = unbounded
+  /// (exhaustive over traces, via sleep sets).
+  int preemption_bound = -1;
+  /// Exploration budget: stop after this many schedules even if the state
+  /// space is not exhausted (complete=false in the result).
+  uint64_t max_schedules = 1000000;
+  /// Per-schedule decision limit; tripping it means a livelock (or a model
+  /// far bigger than intended) and is reported as a violation.
+  uint64_t max_steps = 100000;
+};
+
+/// One invariant violation, with the schedule that produced it.
+struct Violation {
+  std::string message;
+  /// Decision string: task id chosen at each decision point, '.'-joined.
+  std::string schedule;
+};
+
+struct ExploreResult {
+  uint64_t schedules = 0;        ///< Schedules actually executed.
+  bool complete = false;         ///< State space exhausted within budget.
+  std::optional<Violation> violation;  ///< First violation found, if any.
+
+  bool ok() const { return !violation.has_value(); }
+};
+
+/// In-model assertion. Records the first failure (with the current
+/// schedule prefix) and lets the schedule run to completion — tasks are
+/// never unwound mid-lock, so teardown stays orderly. Callable from task
+/// bodies and from Model::check.
+void Check(bool condition, const std::string& message);
+
+/// Explores every schedule of `model` (subject to options). Runs
+/// setup -> tasks (under one interleaving) -> check, repeatedly, branching
+/// the DFS at each decision point, until the space is exhausted, the
+/// budget is spent, or a violation is found.
+ExploreResult Explore(const Model& model, const Options& options = {});
+
+/// Re-executes exactly one schedule from a decision string (as printed in
+/// Violation::schedule). Decisions beyond the string's end — replaying a
+/// prefix is legal — follow the default policy deterministically.
+ExploreResult Replay(const Model& model, const std::string& schedule);
+
+}  // namespace sched
+}  // namespace lsbench
+
+#endif  // LSBENCH_TOOLS_SCHED_SCHED_H_
