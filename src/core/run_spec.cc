@@ -43,6 +43,12 @@ bool operator==(const ServiceSpec& a, const ServiceSpec& b) {
          a.max_shed_fraction == b.max_shed_fraction;
 }
 
+bool operator==(const DriftSpec& a, const DriftSpec& b) {
+  return a.declared == b.declared && a.trajectory == b.trajectory &&
+         a.tolerance == b.tolerance && a.sample_ops == b.sample_ops &&
+         a.seed == b.seed;
+}
+
 Status RunSpec::Validate() const {
   if (datasets.empty()) {
     return Status::InvalidArgument("run spec has no datasets");
@@ -167,6 +173,27 @@ Status RunSpec::Validate() const {
   if (execution.workers == 0 || execution.workers > 1024) {
     return Status::InvalidArgument("execution workers must be in [1, 1024]");
   }
+  if (drift.declared) {
+    if (drift.trajectory.size() + 1 != phases.size()) {
+      return Status::InvalidArgument(
+          "drift trajectory must declare one factor per phase transition (" +
+          std::to_string(phases.size() - 1) + " expected, " +
+          std::to_string(drift.trajectory.size()) + " declared)");
+    }
+    for (size_t i = 0; i < drift.trajectory.size(); ++i) {
+      if (!(drift.trajectory[i] >= 0.0 && drift.trajectory[i] <= 1.0)) {
+        return Status::InvalidArgument("drift trajectory entry " +
+                                       std::to_string(i) +
+                                       " outside [0, 1]");
+      }
+    }
+    if (!(drift.tolerance > 0.0 && drift.tolerance <= 1.0)) {
+      return Status::InvalidArgument("drift tolerance must be in (0, 1]");
+    }
+    if (drift.sample_ops == 0) {
+      return Status::InvalidArgument("drift sample_ops must be positive");
+    }
+  }
   return Status::OK();
 }
 
@@ -192,6 +219,7 @@ uint64_t RunSpec::StructuralHash() const {
     h = MixHash(h, HashDouble(p.mix.batch_put));
     h = MixHash(h, static_cast<uint64_t>(p.access));
     h = MixHash(h, HashDouble(p.access_param));
+    h = MixHash(h, HashDouble(p.access_param2));
     h = MixHash(h, static_cast<uint64_t>(p.arrival));
     h = MixHash(h, HashDouble(p.arrival_rate_qps));
     h = MixHash(h, HashDouble(p.arrival_amplitude));

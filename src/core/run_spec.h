@@ -61,6 +61,25 @@ struct ServiceSpec {
 
 bool operator==(const ServiceSpec& a, const ServiceSpec& b);
 
+/// Declared drift trajectory (`[drift]` section): the spec author's claim
+/// about how far each phase transition moves the workload distribution,
+/// verified against the DriftMeter by the scenario-matrix sweep. Purely an
+/// annotation — it never changes what the run executes, so (like
+/// observability) it is excluded from StructuralHash.
+struct DriftSpec {
+  bool declared = false;
+  /// Intended drift factor per transition; length must be phases.size() - 1
+  /// when declared. Values in [0, 1].
+  std::vector<double> trajectory;
+  /// |measured - declared| bound the sweep enforces per transition.
+  double tolerance = 0.15;
+  /// DriftMeter sampling budget and seed (see DriftMeterOptions).
+  uint64_t sample_ops = 4096;
+  uint64_t seed = 7;
+};
+
+bool operator==(const DriftSpec& a, const DriftSpec& b);
+
 /// How the driver fans the operation stream out (`[execution]` section).
 /// `workers = 1` is the serial staged pipeline and is bit-identical to the
 /// historical monolithic driver; `workers = N` splits every phase's
@@ -115,6 +134,10 @@ struct RunSpec {
   /// change its identity, and a determinism test pins that the op stream
   /// is byte-identical with observability on and off.
   ObservabilitySpec observability;
+  /// Declared drift trajectory ([drift] section). Like observability, an
+  /// annotation about the run rather than part of it — excluded from
+  /// StructuralHash so declaring drift does not change run identity.
+  DriftSpec drift;
   /// Generation provenance for `datasets`, parallel by index when the spec
   /// came from ParseRunSpecText. May be empty for programmatically built
   /// specs — then the spec cannot be rendered back to text.

@@ -364,7 +364,8 @@ Result<RunSpec> ParseRunSpecText(const std::string& text) {
     kResilience,
     kExecution,
     kObservability,
-    kService
+    kService,
+    kDrift
   };
   Section section = Section::kTop;
   DatasetDesc dataset_desc;
@@ -476,6 +477,12 @@ Result<RunSpec> ParseRunSpecText(const std::string& text) {
     if (line == "[service]") {
       LSBENCH_RETURN_IF_ERROR(close_sections());
       section = Section::kService;
+      continue;
+    }
+    if (line == "[drift]") {
+      LSBENCH_RETURN_IF_ERROR(close_sections());
+      section = Section::kDrift;
+      spec.drift.declared = true;
       continue;
     }
     if (line.front() == '[') {
@@ -590,6 +597,10 @@ Result<RunSpec> ParseRunSpecText(const std::string& text) {
           const auto v = ParseDouble(value, key);
           if (!v.ok()) return v.status();
           phase.access_param = v.value();
+        } else if (key == "access_param2") {
+          const auto v = ParseDouble(value, key);
+          if (!v.ok()) return v.status();
+          phase.access_param2 = v.value();
         } else if (key == "arrival") {
           const auto v = ParseArrival(value);
           if (!v.ok()) return v.status();
@@ -825,6 +836,34 @@ Result<RunSpec> ParseRunSpecText(const std::string& text) {
         }
         break;
       }
+      case Section::kDrift: {
+        DriftSpec& d = spec.drift;
+        if (key == "trajectory") {
+          d.trajectory.clear();
+          if (!value.empty()) {
+            for (const std::string& part : Split(value, ',')) {
+              const auto v = ParseDouble(Trim(part), key);
+              if (!v.ok()) return v.status();
+              d.trajectory.push_back(v.value());
+            }
+          }
+        } else if (key == "tolerance") {
+          const auto v = ParseDouble(value, key);
+          if (!v.ok()) return v.status();
+          d.tolerance = v.value();
+        } else if (key == "sample_ops") {
+          const auto v = ParseU64(value, key);
+          if (!v.ok()) return v.status();
+          d.sample_ops = v.value();
+        } else if (key == "seed") {
+          const auto v = ParseU64(value, key);
+          if (!v.ok()) return v.status();
+          d.seed = v.value();
+        } else {
+          return Status::InvalidArgument("unknown drift key: " + key);
+        }
+        break;
+      }
     }
   }
   LSBENCH_RETURN_IF_ERROR(close_sections());
@@ -977,6 +1016,7 @@ Result<std::string> RenderRunSpecText(const RunSpec& spec) {
                         ",range_count:" + FullDouble(phase.mix.range_count));
     emit_str("access", AccessToSpecString(phase.access));
     emit_dbl("access_param", phase.access_param);
+    emit_dbl("access_param2", phase.access_param2);
     emit_str("arrival", ArrivalToSpecString(phase.arrival));
     emit_dbl("arrival_qps", phase.arrival_rate_qps);
     emit_dbl("arrival_amplitude", phase.arrival_amplitude);
@@ -1015,6 +1055,22 @@ Result<std::string> RenderRunSpecText(const RunSpec& spec) {
     emit_bool("trace", spec.observability.trace);
     emit_bool("profile", spec.observability.profile);
     emit_bool("metrics", spec.observability.metrics);
+  }
+
+  if (spec.drift.declared) {
+    emit("");
+    emit("[drift]");
+    if (!spec.drift.trajectory.empty()) {
+      std::string joined;
+      for (size_t i = 0; i < spec.drift.trajectory.size(); ++i) {
+        if (i > 0) joined += ", ";
+        joined += FullDouble(spec.drift.trajectory[i]);
+      }
+      emit_str("trajectory", joined);
+    }
+    emit_dbl("tolerance", spec.drift.tolerance);
+    emit_u64("sample_ops", spec.drift.sample_ops);
+    emit_u64("seed", spec.drift.seed);
   }
 
   const std::string resilience = RenderResilienceText(spec);

@@ -33,6 +33,7 @@ namespace lsbench {
 /// mix = get:0.7,insert:0.3  # get,scan,insert,update,delete,range_count
 /// access = zipfian          # uniform|zipfian|hotspot|latest|sequential
 /// access_param = 0.99
+/// access_param2 = 0         # hotspot: hot region start in [0, 1)
 /// arrival = closed          # closed|poisson|diurnal|bursty
 /// arrival_qps = 10000
 /// transition = linear       # abrupt|linear|cosine
@@ -83,6 +84,12 @@ namespace lsbench {
 /// trace = false              # record LSBENCH_TRACE_SPAN shards
 /// profile = false            # per-phase stage-time breakdown
 /// metrics = true             # export the metrics registry snapshot
+///
+/// [drift]                    # declared drift trajectory (optional)
+/// trajectory = 0.0, 0.3, 0.8 # intended drift factor per phase transition
+/// tolerance = 0.15           # |measured - declared| bound per transition
+/// sample_ops = 4096          # DriftMeter sampling budget per phase
+/// seed = 7                   # DriftMeter sampling seed
 /// ```
 ///
 /// Dataset kind parameters: gaussian(param1=mean, param2=stddev),

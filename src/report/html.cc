@@ -178,7 +178,8 @@ void BoxPlotsSvg(std::ostringstream* os, const SpecializationReport& report) {
 }  // namespace
 
 std::string RenderHtmlReport(const RunResult& result,
-                             const SpecializationReport& specialization) {
+                             const SpecializationReport& specialization,
+                             const DriftTrajectoryReport* drift) {
   std::ostringstream os;
   os << "<!DOCTYPE html>\n<html><head><meta charset=\"utf-8\">\n<title>"
      << HtmlEscape(result.run_name) << " — " << HtmlEscape(result.sut_name)
@@ -292,6 +293,34 @@ std::string RenderHtmlReport(const RunResult& result,
     os << "</table>\n";
   }
 
+  if (drift != nullptr && !drift->transitions.empty()) {
+    os << "<h2>Drift trajectory</h2>\n";
+    if (drift->declared) {
+      os << "<p>declared trajectory, tolerance "
+         << FormatDouble(drift->tolerance, 3) << " — "
+         << (drift->AllWithinTolerance() ? "met" : "<b>VIOLATED</b>")
+         << "</p>\n";
+    }
+    os << "<table><tr><th>transition</th><th>factor</th><th>declared</th>"
+          "<th>within tol</th><th>key KS</th><th>key MMD</th>"
+          "<th>key overlap</th><th>op-mix TV</th></tr>\n";
+    for (const DriftTransitionReport& t : drift->transitions) {
+      os << "<tr><td>" << HtmlEscape(t.from_phase) << " → "
+         << HtmlEscape(t.to_phase) << "</td><td>"
+         << FormatDouble(t.components.factor, 3) << "</td><td>"
+         << (t.declared >= 0.0 ? FormatDouble(t.declared, 3) : "—")
+         << "</td><td>"
+         << (t.declared >= 0.0 ? (t.within_tolerance ? "yes" : "<b>NO</b>")
+                               : "—")
+         << "</td><td>" << FormatDouble(t.components.key_ks, 3)
+         << "</td><td>" << FormatDouble(t.components.key_mmd, 3)
+         << "</td><td>" << FormatDouble(t.components.key_overlap, 3)
+         << "</td><td>" << FormatDouble(t.components.op_mix_tv, 3)
+         << "</td></tr>\n";
+    }
+    os << "</table>\n";
+  }
+
   BoxPlotsSvg(&os, specialization);
   CumulativeSvg(&os, m.cumulative);
   BandsSvg(&os, m.bands);
@@ -355,12 +384,13 @@ std::string RenderHtmlReport(const RunResult& result,
 
 Status WriteHtmlReport(const RunResult& result,
                        const SpecializationReport& specialization,
-                       const std::string& path) {
+                       const std::string& path,
+                       const DriftTrajectoryReport* drift) {
   std::FILE* file = std::fopen(path.c_str(), "w");
   if (file == nullptr) {
     return Status::IoError("cannot open for write: " + path);
   }
-  const std::string html = RenderHtmlReport(result, specialization);
+  const std::string html = RenderHtmlReport(result, specialization, drift);
   const size_t written = std::fwrite(html.data(), 1, html.size(), file);
   std::fclose(file);
   if (written != html.size()) {

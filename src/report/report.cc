@@ -449,6 +449,55 @@ std::string StageBreakdownCsv(const StageBreakdown& stages) {
   return out.str();
 }
 
+std::string RenderDriftReport(const DriftTrajectoryReport& report) {
+  if (report.transitions.empty()) return "";
+  std::ostringstream os;
+  os << "=== Drift trajectory ===\n";
+  if (report.declared) {
+    os << "declared trajectory, tolerance "
+       << FormatDouble(report.tolerance, 3) << " -> "
+       << (report.AllWithinTolerance() ? "met" : "VIOLATED") << "\n";
+  }
+  std::vector<std::vector<std::string>> rows;
+  for (const DriftTransitionReport& t : report.transitions) {
+    rows.push_back({t.from_phase + " -> " + t.to_phase,
+                    FormatDouble(t.components.factor, 3),
+                    t.declared >= 0.0 ? FormatDouble(t.declared, 3) : "-",
+                    t.declared >= 0.0
+                        ? (t.within_tolerance ? "yes" : "NO")
+                        : "-",
+                    FormatDouble(t.components.key_ks, 3),
+                    FormatDouble(t.components.key_mmd, 3),
+                    FormatDouble(t.components.key_overlap, 3),
+                    FormatDouble(t.components.op_mix_tv, 3)});
+  }
+  os << RenderTable({"transition", "factor", "declared", "within_tol",
+                     "key_ks", "key_mmd", "key_overlap", "op_mix_tv"},
+                    rows);
+  return os.str();
+}
+
+std::string DriftCsv(const DriftTrajectoryReport& report) {
+  std::ostringstream out;
+  CsvWriter csv(&out);
+  csv.WriteRow({"transition", "from_phase", "to_phase", "factor", "declared",
+                "tolerance", "within_tolerance", "key_ks", "key_mmd",
+                "key_overlap", "op_mix_tv"});
+  for (size_t i = 0; i < report.transitions.size(); ++i) {
+    const DriftTransitionReport& t = report.transitions[i];
+    csv.WriteRow({CsvWriter::Field(static_cast<uint64_t>(i)), t.from_phase,
+                  t.to_phase, CsvWriter::Field(t.components.factor),
+                  t.declared >= 0.0 ? CsvWriter::Field(t.declared) : "",
+                  report.declared ? CsvWriter::Field(report.tolerance) : "",
+                  t.declared >= 0.0 ? (t.within_tolerance ? "1" : "0") : "",
+                  CsvWriter::Field(t.components.key_ks),
+                  CsvWriter::Field(t.components.key_mmd),
+                  CsvWriter::Field(t.components.key_overlap),
+                  CsvWriter::Field(t.components.op_mix_tv)});
+  }
+  return out.str();
+}
+
 std::string CostCurveCsv(
     const std::vector<std::pair<std::string, std::vector<CostPoint>>>&
         curves) {

@@ -5,6 +5,7 @@
 #include <utility>
 #include <vector>
 
+#include "core/drift.h"
 #include "core/driver.h"
 #include "core/metrics.h"
 #include "core/specialization.h"
@@ -46,6 +47,11 @@ std::string RenderCostReport(
 /// histograms), and the trace span count. Empty report renders nothing.
 std::string RenderObservability(const ObsReport& report);
 
+/// Per-transition drift trajectory (measured factor + components, declared
+/// target and verdict when the spec carries a [drift] section). A report
+/// with no transitions renders nothing.
+std::string RenderDriftReport(const DriftTrajectoryReport& report);
+
 /// CSV emitters (one header row + data rows) for downstream plotting.
 std::string SpecializationCsv(const SpecializationReport& report);
 std::string CumulativeCsv(const std::vector<CumulativePoint>& curve);
@@ -60,6 +66,10 @@ std::string OpTypeCsv(const RunMetrics& metrics);
 /// decomposition (response vs service time, shed accounting).
 std::string ServiceCsv(const RunMetrics& metrics);
 std::string StageBreakdownCsv(const StageBreakdown& stages);
+/// One row per phase transition: measured drift factor and its components,
+/// plus the declared target and within-tolerance verdict (-1 / empty when
+/// the spec declares no trajectory).
+std::string DriftCsv(const DriftTrajectoryReport& report);
 std::string CostCurveCsv(
     const std::vector<std::pair<std::string, std::vector<CostPoint>>>& curves);
 

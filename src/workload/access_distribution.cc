@@ -82,15 +82,21 @@ uint64_t ZipfianAccess::NextRank(Rng* rng, uint64_t population) {
   return rank;
 }
 
-HotSpotAccess::HotSpotAccess(double hot_fraction, double hot_probability)
-    : hot_fraction_(hot_fraction), hot_probability_(hot_probability) {
+HotSpotAccess::HotSpotAccess(double hot_fraction, double hot_probability,
+                             double hot_start)
+    : hot_fraction_(hot_fraction),
+      hot_probability_(hot_probability),
+      hot_start_(hot_start) {
   LSBENCH_ASSERT(hot_fraction_ > 0.0 && hot_fraction_ <= 1.0);
   LSBENCH_ASSERT(hot_probability_ >= 0.0 && hot_probability_ <= 1.0);
+  LSBENCH_ASSERT(hot_start_ >= 0.0 && hot_start_ < 1.0);
 }
 
 std::string HotSpotAccess::name() const {
-  return "hotspot(" + FormatDouble(hot_fraction_, 2) + "," +
-         FormatDouble(hot_probability_, 2) + ")";
+  std::string out = "hotspot(" + FormatDouble(hot_fraction_, 2) + "," +
+                    FormatDouble(hot_probability_, 2);
+  if (hot_start_ > 0.0) out += "," + FormatDouble(hot_start_, 2);
+  return out + ")";
 }
 
 uint64_t HotSpotAccess::NextRank(Rng* rng, uint64_t population) {
@@ -98,11 +104,19 @@ uint64_t HotSpotAccess::NextRank(Rng* rng, uint64_t population) {
   const uint64_t hot_count = std::max<uint64_t>(
       1, static_cast<uint64_t>(hot_fraction_ *
                                static_cast<double>(population)));
+  // The start offset rotates both the hot and the cold region by the same
+  // amount, so the RNG consumption (one NextBool + one NextBounded with the
+  // same bound) is identical for every hot_start — and a hot_start of 0
+  // reproduces the historical hot-ranks-first draws bit-for-bit.
+  const uint64_t start =
+      static_cast<uint64_t>(hot_start_ * static_cast<double>(population)) %
+      population;
   if (rng->NextBool(hot_probability_)) {
-    return rng->NextBounded(hot_count);
+    return (start + rng->NextBounded(hot_count)) % population;
   }
   if (hot_count >= population) return rng->NextBounded(population);
-  return hot_count + rng->NextBounded(population - hot_count);
+  return (start + hot_count + rng->NextBounded(population - hot_count)) %
+         population;
 }
 
 LatestAccess::LatestAccess(double theta) : zipf_(theta, /*scramble=*/false) {}
@@ -138,14 +152,16 @@ std::string AccessPatternToString(AccessPattern pattern) {
 }
 
 std::unique_ptr<AccessDistribution> MakeAccessDistribution(
-    AccessPattern pattern, double param) {
+    AccessPattern pattern, double param, double param2) {
   switch (pattern) {
     case AccessPattern::kUniform:
       return std::make_unique<UniformAccess>();
     case AccessPattern::kZipfian:
       return std::make_unique<ZipfianAccess>(param > 0.0 ? param : 0.99);
     case AccessPattern::kHotSpot:
-      return std::make_unique<HotSpotAccess>(param > 0.0 ? param : 0.1, 0.9);
+      return std::make_unique<HotSpotAccess>(
+          param > 0.0 ? param : 0.1, 0.9,
+          param2 > 0.0 && param2 < 1.0 ? param2 : 0.0);
     case AccessPattern::kLatest:
       return std::make_unique<LatestAccess>(param > 0.0 ? param : 0.99);
     case AccessPattern::kSequential:

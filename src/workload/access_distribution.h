@@ -68,10 +68,15 @@ class ZipfianAccess final : public AccessDistribution {
 };
 
 /// `hot_fraction` of the records receive `hot_probability` of the accesses;
-/// the rest are uniform over the cold set.
+/// the rest are uniform over the cold set. `hot_start` places the hot
+/// region: the hot ranks are [hot_start * population, hot_start * population
+/// + hot_fraction * population), wrapping around the rank space — the
+/// "hotspot location" knob the drift synthesizer searches over. The default
+/// of 0 reproduces the historical hot-ranks-first behaviour draw-for-draw.
 class HotSpotAccess final : public AccessDistribution {
  public:
-  HotSpotAccess(double hot_fraction, double hot_probability);
+  HotSpotAccess(double hot_fraction, double hot_probability,
+                double hot_start = 0.0);
 
   std::string name() const override;
   uint64_t NextRank(Rng* rng, uint64_t population) override;
@@ -79,6 +84,7 @@ class HotSpotAccess final : public AccessDistribution {
  private:
   double hot_fraction_;
   double hot_probability_;
+  double hot_start_;
 };
 
 /// Favors the most recently inserted records: rank = population - 1 - Z
@@ -117,8 +123,10 @@ std::string AccessPatternToString(AccessPattern pattern);
 
 /// `param` meaning: zipfian/latest -> theta (<=0 selects 0.99);
 /// hotspot -> hot_fraction (hot_probability fixed at 0.9); else unused.
+/// `param2` meaning: hotspot -> hot region start as a fraction of the rank
+/// space (values outside (0, 1) select 0); else unused.
 std::unique_ptr<AccessDistribution> MakeAccessDistribution(
-    AccessPattern pattern, double param = 0.0);
+    AccessPattern pattern, double param = 0.0, double param2 = 0.0);
 
 }  // namespace lsbench
 

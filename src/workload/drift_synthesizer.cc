@@ -1,0 +1,176 @@
+#include "workload/drift_synthesizer.h"
+
+#include <cmath>
+#include <string>
+
+#include "util/assert.h"
+#include "util/string_util.h"
+
+namespace lsbench {
+
+namespace {
+
+/// How far the hot region travels across the rank space at full dial.
+constexpr double kHotStartTravel = 0.6;
+/// Bisection bracket below this width cannot move the measured factor:
+/// treat it as stagnation rather than looping to the iteration cap.
+constexpr double kMinBracket = 1e-6;
+
+double Lerp(double a, double b, double t) { return a + (b - a) * t; }
+
+/// The mix the dial steers toward: chosen opposite the phase's current
+/// leaning so op-mix divergence grows monotonically with t.
+OperationMix OppositeMixAnchor(const OperationMix& mix) {
+  const double total = mix.Total();
+  const bool read_heavy = total <= 0.0 || mix.get / total >= 0.5;
+  OperationMix anchor;
+  if (read_heavy) {
+    anchor.get = 0.2;
+    anchor.update = 0.5;
+    anchor.insert = 0.2;
+    anchor.scan = 0.1;
+  } else {
+    anchor.get = 0.9;
+    anchor.update = 0.05;
+    anchor.insert = 0.05;
+    anchor.scan = 0.0;
+  }
+  return anchor;
+}
+
+}  // namespace
+
+DriftSynthesizer::DriftSynthesizer(const DriftSynthesizerOptions& options)
+    : options_(options) {
+  LSBENCH_ASSERT(options_.tolerance > 0.0 && options_.tolerance <= 1.0);
+  LSBENCH_ASSERT(options_.max_iterations_per_transition > 0);
+}
+
+PhaseSpec DriftSynthesizer::ApplyDial(const PhaseSpec& prev, double t) const {
+  LSBENCH_ASSERT(t >= 0.0 && t <= 1.0);
+  PhaseSpec out = prev;
+  if (t == 0.0) return out;
+
+  // Hotspot location: the strongest key-distribution mover. Wraps around
+  // the rank space so repeated transitions keep making progress.
+  double start = prev.access_param2 + kHotStartTravel * t;
+  start -= std::floor(start);
+  out.access_param2 = start;
+
+  // Hot fraction: widen a narrow hotspot / narrow a wide one, so the shape
+  // of the access CDF changes along with its location.
+  const double fraction = prev.access_param > 0.0 ? prev.access_param : 0.1;
+  const double fraction_anchor = fraction < 0.25 ? 0.5 : 0.05;
+  out.access_param = Lerp(fraction, fraction_anchor, t);
+
+  // Operation mix: lerp toward the opposite leaning.
+  const OperationMix anchor = OppositeMixAnchor(prev.mix);
+  out.mix.get = Lerp(prev.mix.get, anchor.get, t);
+  out.mix.scan = Lerp(prev.mix.scan, anchor.scan, t);
+  out.mix.insert = Lerp(prev.mix.insert, anchor.insert, t);
+  out.mix.update = Lerp(prev.mix.update, anchor.update, t);
+  out.mix.del = Lerp(prev.mix.del, anchor.del, t);
+  out.mix.range_count = Lerp(prev.mix.range_count, anchor.range_count, t);
+  out.mix.batch_get = Lerp(prev.mix.batch_get, anchor.batch_get, t);
+  out.mix.batch_put = Lerp(prev.mix.batch_put, anchor.batch_put, t);
+  return out;
+}
+
+Result<SynthesizedTrajectory> DriftSynthesizer::Synthesize(
+    const Dataset& dataset, const PhaseSpec& base,
+    const std::vector<double>& targets) const {
+  if (dataset.empty()) {
+    return Status::InvalidArgument("drift synthesizer: empty dataset");
+  }
+  for (size_t i = 0; i < targets.size(); ++i) {
+    if (!(targets[i] >= 0.0 && targets[i] <= 1.0)) {
+      return Status::InvalidArgument(
+          "drift synthesizer: target " + std::to_string(i) + " (" +
+          FormatDouble(targets[i], 3) + ") outside [0, 1]");
+    }
+  }
+
+  // The dial only moves hotspot parameters, so normalize the base phase to
+  // the hotspot access family; everything else (ops, arrival, batch shape)
+  // is preserved.
+  SynthesizedTrajectory out;
+  PhaseSpec first = base;
+  first.access = AccessPattern::kHotSpot;
+  if (first.access_param <= 0.0) first.access_param = 0.1;
+  out.phases.push_back(first);
+
+  const DriftMeter meter(options_.meter);
+  for (size_t i = 0; i < targets.size(); ++i) {
+    const PhaseSpec& prev = out.phases.back();
+    const PhaseDistributionSample prev_sample =
+        meter.SamplePhase(dataset, prev);
+    const double target = targets[i];
+    int evals = 0;
+    auto factor_at = [&](double t) {
+      ++evals;
+      return meter
+          .Measure(prev_sample,
+                   meter.SamplePhase(dataset, ApplyDial(prev, t)))
+          .factor;
+    };
+
+    double best_dial = 0.0;
+    DriftComponents best;
+    if (target > options_.tolerance) {
+      // Feasibility first: the dial's range is [f(0) = 0, f(1)]. A target
+      // beyond the reachable maximum fails fast with the measured ceiling
+      // instead of bisecting toward a limit it can never reach.
+      const double max_factor = factor_at(1.0);
+      if (target > max_factor + options_.tolerance) {
+        return Status::InvalidArgument(
+            "drift synthesizer: transition " + std::to_string(i) +
+            " target " + FormatDouble(target, 3) +
+            " infeasible; dial maximum is " + FormatDouble(max_factor, 3));
+      }
+      double lo = 0.0, hi = 1.0;
+      double best_err = target;  // f(0) = 0, so the starting error.
+      bool converged = std::fabs(max_factor - target) <= options_.tolerance;
+      if (converged) {
+        best_dial = 1.0;
+      } else {
+        while (evals < options_.max_iterations_per_transition) {
+          if (hi - lo < kMinBracket) break;  // Stagnated: bracket collapsed.
+          const double mid = 0.5 * (lo + hi);
+          const double f = factor_at(mid);
+          const double err = std::fabs(f - target);
+          if (err < best_err) {
+            best_err = err;
+            best_dial = mid;
+          }
+          if (err <= options_.tolerance) {
+            converged = true;
+            break;
+          }
+          (f < target ? lo : hi) = mid;
+        }
+      }
+      if (!converged) {
+        return Status::FailedPrecondition(
+            "drift synthesizer: transition " + std::to_string(i) +
+            " stagnated after " + std::to_string(evals) +
+            " evaluations; target " + FormatDouble(target, 3) +
+            ", best |error| " + FormatDouble(best_err, 4));
+      }
+    }
+    // Re-measure at the chosen dial so `achieved` reflects the phase that
+    // is actually emitted (for target <= tolerance the dial stays at 0 and
+    // the transition is a declared-identical repeat).
+    PhaseSpec next = ApplyDial(prev, best_dial);
+    next.name = first.name.empty()
+                    ? "drift_" + std::to_string(i + 1)
+                    : first.name + "_d" + std::to_string(i + 1);
+    out.achieved.push_back(
+        meter.Measure(prev_sample, meter.SamplePhase(dataset, next)));
+    out.dials.push_back(best_dial);
+    out.iterations.push_back(evals);
+    out.phases.push_back(next);
+  }
+  return out;
+}
+
+}  // namespace lsbench

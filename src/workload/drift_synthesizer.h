@@ -1,0 +1,74 @@
+#ifndef LSBENCH_WORKLOAD_DRIFT_SYNTHESIZER_H_
+#define LSBENCH_WORKLOAD_DRIFT_SYNTHESIZER_H_
+
+#include <vector>
+
+#include "data/dataset.h"
+#include "stats/drift.h"
+#include "util/status.h"
+#include "workload/spec.h"
+
+namespace lsbench {
+
+/// Search configuration for the drift-targeted synthesizer.
+struct DriftSynthesizerOptions {
+  /// Measurement configuration; the synthesizer optimizes the factor this
+  /// meter reports, so fitting and verification use the same yardstick.
+  DriftMeterOptions meter;
+  /// Accept a dial setting once |achieved - target| <= tolerance.
+  double tolerance = 0.05;
+  /// Stagnation guard: the bisection gives up with a diagnostic after this
+  /// many meter evaluations per transition instead of spinning on an
+  /// infeasible or non-converging target.
+  int max_iterations_per_transition = 32;
+};
+
+/// One fitted phase sequence: phases[0] is the (normalized) base phase and
+/// phases[i+1] realizes transitions[i]. Parallel vectors carry what each
+/// transition actually measured and how hard the search worked.
+struct SynthesizedTrajectory {
+  std::vector<PhaseSpec> phases;
+  std::vector<DriftComponents> achieved;  ///< One per transition.
+  std::vector<double> dials;              ///< Search dial in [0, 1].
+  std::vector<int> iterations;            ///< Meter evaluations used.
+};
+
+/// Fits phase parameters to a requested drift trajectory: given a base
+/// phase and targets (e.g. 0.0, 0.3, 0.6), searches a one-dimensional dial
+/// per transition — jointly moving the hotspot location (access_param2),
+/// the hot fraction, and the operation mix — until the DriftMeter factor
+/// between consecutive phases matches each target within tolerance.
+///
+/// Deterministic: the search is pure bisection and the meter is seeded, so
+/// the same inputs always produce the same phases. Fitting happens entirely
+/// offline (spec-construction time); the synthesized phases are ordinary
+/// PhaseSpecs with zero hot-path cost beyond any other phase.
+class DriftSynthesizer {
+ public:
+  explicit DriftSynthesizer(const DriftSynthesizerOptions& options = {});
+
+  const DriftSynthesizerOptions& options() const { return options_; }
+
+  /// Synthesizes phases.size() == targets.size() + 1 phases over `dataset`.
+  /// Errors:
+  ///  - InvalidArgument if a target is outside [0, 1] or exceeds the dial's
+  ///    maximum achievable drift for its transition (infeasible trajectory);
+  ///  - FailedPrecondition if the bisection stagnates (bracket collapsed or
+  ///    iteration budget exhausted) before reaching tolerance — the message
+  ///    carries the target, best achieved factor, and iterations used.
+  Result<SynthesizedTrajectory> Synthesize(
+      const Dataset& dataset, const PhaseSpec& base,
+      const std::vector<double>& targets) const;
+
+  /// The dial: a copy of `prev` whose hotspot location, hot fraction, and
+  /// mix have moved by `t` in [0, 1]. t = 0 returns `prev` unchanged (drift
+  /// exactly 0); larger t moves further. Exposed for tests.
+  PhaseSpec ApplyDial(const PhaseSpec& prev, double t) const;
+
+ private:
+  DriftSynthesizerOptions options_;
+};
+
+}  // namespace lsbench
+
+#endif  // LSBENCH_WORKLOAD_DRIFT_SYNTHESIZER_H_

@@ -13,7 +13,8 @@ OperationGenerator::OperationGenerator(const Dataset* dataset,
     : dataset_(dataset),
       spec_(spec),
       rng_(seed),
-      access_(MakeAccessDistribution(spec.access, spec.access_param)),
+      access_(MakeAccessDistribution(spec.access, spec.access_param,
+                                     spec.access_param2)),
       batch_arena_slots_(batch_arena_slots) {
   LSBENCH_ASSERT(dataset_ != nullptr);
   LSBENCH_ASSERT(!dataset_->empty());

@@ -34,6 +34,11 @@ struct PhaseSpec {
   OperationMix mix;
   AccessPattern access = AccessPattern::kZipfian;
   double access_param = 0.0;  ///< Pattern-specific (theta / hot fraction).
+  /// Second pattern-specific parameter: for hotspot, the hot region's start
+  /// as a fraction of the rank space — the "hotspot location" knob the drift
+  /// synthesizer moves between phases. 0 (the default) keeps the hot region
+  /// at the low ranks, matching historical behaviour bit-for-bit.
+  double access_param2 = 0.0;
   ArrivalPattern arrival = ArrivalPattern::kClosedLoop;
   double arrival_rate_qps = 0.0;
   /// Diurnal sinusoid shape (ignored by other arrival patterns).

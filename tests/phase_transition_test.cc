@@ -1,0 +1,214 @@
+// Phase-transition coverage for the operation stream: the exact op where a
+// phase boundary takes effect. An abrupt boundary must draw its very first
+// operation from the new phase's distribution (no stale-generator leakage),
+// a linear window must actually blend and then finish clean, and the new
+// hotspot-location knob (access_param2) must move the hot region without
+// perturbing historical draws at its default.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/run_spec.h"
+#include "core/workload_stream.h"
+#include "data/dataset.h"
+#include "util/random.h"
+#include "workload/access_distribution.h"
+#include "workload/generator.h"
+#include "workload/operation.h"
+
+namespace lsbench {
+namespace {
+
+/// Two-phase spec with disjoint op mixes: phase 0 issues only gets, phase 1
+/// only inserts — so every drawn op type names the generator it came from.
+RunSpec TwoPhaseSpec(TransitionKind transition, uint64_t transition_ops) {
+  RunSpec spec;
+  spec.name = "phase_transition";
+  spec.seed = 11;
+  DatasetOptions options;
+  options.num_keys = 5000;
+  options.seed = 3;
+  spec.datasets.push_back(GenerateDataset(UniformUnit(), options));
+
+  PhaseSpec reads;
+  reads.name = "reads";
+  reads.mix.get = 1.0;
+  reads.num_operations = 2000;
+  spec.phases.push_back(reads);
+
+  PhaseSpec writes;
+  writes.name = "writes";
+  writes.mix.get = 0.0;  // The mix defaults to pure gets; make it pure inserts.
+  writes.mix.insert = 1.0;
+  writes.num_operations = 2000;
+  writes.transition_in = transition;
+  writes.transition_operations = transition_ops;
+  spec.phases.push_back(writes);
+  return spec;
+}
+
+std::vector<OpType> DrawPhase(WorkloadStream* stream, size_t phase_idx,
+                              const RunSpec& spec) {
+  const PhaseSpec& phase = spec.phases[phase_idx];
+  stream->BeginPhase(phase_idx, phase.num_operations,
+                     phase.transition_operations, /*now_rel_nanos=*/0);
+  std::vector<OpType> types;
+  while (stream->HasNext()) types.push_back(stream->Next().op.type);
+  return types;
+}
+
+TEST(PhaseTransitionTest, AbruptBoundaryFirstOpIsFromTheNewDistribution) {
+  const RunSpec spec = TwoPhaseSpec(TransitionKind::kAbrupt, 0);
+  WorkloadStream stream(&spec, Rng(spec.seed), /*rate_scale=*/1.0);
+  const std::vector<OpType> phase0 = DrawPhase(&stream, 0, spec);
+  const std::vector<OpType> phase1 = DrawPhase(&stream, 1, spec);
+
+  for (const OpType t : phase0) ASSERT_EQ(t, OpType::kGet);
+  ASSERT_FALSE(phase1.empty());
+  // The very first op after the boundary — and every one after it — comes
+  // from the new phase's generator.
+  for (size_t i = 0; i < phase1.size(); ++i) {
+    ASSERT_EQ(phase1[i], OpType::kInsert) << "op " << i << " after boundary";
+  }
+}
+
+TEST(PhaseTransitionTest, AbruptTransitionOpsRequestedButKindAbruptStillCut) {
+  // transition_operations > 0 with kAbrupt is a no-op window: the blend
+  // only arms for non-abrupt kinds.
+  const RunSpec spec = TwoPhaseSpec(TransitionKind::kAbrupt, 1000);
+  WorkloadStream stream(&spec, Rng(spec.seed), /*rate_scale=*/1.0);
+  (void)DrawPhase(&stream, 0, spec);
+  const std::vector<OpType> phase1 = DrawPhase(&stream, 1, spec);
+  for (const OpType t : phase1) ASSERT_EQ(t, OpType::kInsert);
+}
+
+TEST(PhaseTransitionTest, AbruptPhaseMatchesStandaloneGenerator) {
+  // The documented fork discipline: phase i's generator is seeded from
+  // root.Fork(i * 2 + 1).Next(). An abrupt closed-loop phase therefore
+  // replays a standalone OperationGenerator draw for draw.
+  const RunSpec spec = TwoPhaseSpec(TransitionKind::kAbrupt, 0);
+  WorkloadStream stream(&spec, Rng(spec.seed), /*rate_scale=*/1.0);
+  (void)DrawPhase(&stream, 0, spec);
+
+  OperationGenerator reference(&spec.datasets[0], spec.phases[1],
+                               Rng(spec.seed).Fork(1 * 2 + 1).Next());
+  stream.BeginPhase(1, spec.phases[1].num_operations, 0, 0);
+  for (int i = 0; i < 500; ++i) {
+    ASSERT_TRUE(stream.HasNext());
+    const Operation from_stream = stream.Next().op;
+    const Operation from_reference = reference.Next();
+    ASSERT_EQ(from_stream.type, from_reference.type) << "op " << i;
+    ASSERT_EQ(from_stream.key, from_reference.key) << "op " << i;
+  }
+}
+
+TEST(PhaseTransitionTest, LinearWindowBlendsThenRunsClean) {
+  const uint64_t window = 1000;
+  const RunSpec spec = TwoPhaseSpec(TransitionKind::kLinear, window);
+  WorkloadStream stream(&spec, Rng(spec.seed), /*rate_scale=*/1.0);
+  (void)DrawPhase(&stream, 0, spec);
+  const std::vector<OpType> phase1 = DrawPhase(&stream, 1, spec);
+  ASSERT_EQ(phase1.size(), spec.phases[1].num_operations);
+
+  // Inside the window both distributions appear; the old phase's share
+  // fades (first half of the window leans old, second half leans new).
+  size_t old_first_half = 0, old_second_half = 0, old_after_window = 0;
+  for (size_t i = 0; i < phase1.size(); ++i) {
+    const bool from_old = phase1[i] == OpType::kGet;
+    if (i < window / 2) {
+      old_first_half += from_old ? 1 : 0;
+    } else if (i < window) {
+      old_second_half += from_old ? 1 : 0;
+    } else {
+      old_after_window += from_old ? 1 : 0;
+    }
+  }
+  EXPECT_GT(old_first_half, 0u);
+  EXPECT_GT(old_second_half, 0u);
+  EXPECT_GT(old_first_half, old_second_half);
+  // Past the window the old generator is never consulted again.
+  EXPECT_EQ(old_after_window, 0u);
+}
+
+TEST(PhaseTransitionTest, PeekAcrossBoundaryDoesNotPerturbTheStream) {
+  // Peeking every op (the service driver's pattern) yields the same type
+  // sequence as plain Next() calls, across the phase boundary included.
+  const RunSpec spec = TwoPhaseSpec(TransitionKind::kLinear, 500);
+  WorkloadStream plain(&spec, Rng(spec.seed), 1.0);
+  WorkloadStream peeked(&spec, Rng(spec.seed), 1.0);
+  for (size_t phase = 0; phase < spec.phases.size(); ++phase) {
+    const PhaseSpec& p = spec.phases[phase];
+    plain.BeginPhase(phase, p.num_operations, p.transition_operations, 0);
+    peeked.BeginPhase(phase, p.num_operations, p.transition_operations, 0);
+    while (plain.HasNext()) {
+      const OpType via_peek = peeked.Peek().op.type;
+      ASSERT_EQ(peeked.Next().op.type, via_peek);
+      ASSERT_EQ(plain.Next().op.type, via_peek);
+    }
+    ASSERT_FALSE(peeked.HasNext());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// The hotspot-location knob feeding cross-phase drift
+// ---------------------------------------------------------------------------
+
+TEST(PhaseTransitionTest, HotStartZeroReproducesHistoricalDraws) {
+  // access_param2 = 0 must be bit-for-bit the historical two-argument
+  // hotspot: same RNG consumption, same ranks.
+  HotSpotAccess historical(0.1, 0.9);
+  HotSpotAccess with_knob(0.1, 0.9, 0.0);
+  Rng a(77), b(77);
+  for (int i = 0; i < 2000; ++i) {
+    ASSERT_EQ(historical.NextRank(&a, 10000), with_knob.NextRank(&b, 10000));
+  }
+}
+
+TEST(PhaseTransitionTest, HotStartMovesTheHotRegion) {
+  // With hot_start = 0.5 the 10%-wide hot region covers ranks
+  // [5000, 6000); 90% of draws must land there, none of the cold draws are
+  // lost, and the equivalent phase spec routes the knob through the
+  // generator factory.
+  HotSpotAccess moved(0.1, 0.9, 0.5);
+  Rng rng(78);
+  const uint64_t population = 10000;
+  uint64_t in_region = 0;
+  const int draws = 20000;
+  for (int i = 0; i < draws; ++i) {
+    const uint64_t rank = moved.NextRank(&rng, population);
+    ASSERT_LT(rank, population);
+    if (rank >= 5000 && rank < 6000) ++in_region;
+  }
+  EXPECT_NEAR(static_cast<double>(in_region) / draws, 0.9, 0.02);
+
+  const auto via_factory =
+      MakeAccessDistribution(AccessPattern::kHotSpot, 0.1, 0.5);
+  Rng check(78);
+  uint64_t factory_in_region = 0;
+  for (int i = 0; i < draws; ++i) {
+    const uint64_t rank = via_factory->NextRank(&check, population);
+    if (rank >= 5000 && rank < 6000) ++factory_in_region;
+  }
+  EXPECT_EQ(factory_in_region, in_region);
+}
+
+TEST(PhaseTransitionTest, HotStartWrapsAroundTheRankSpace) {
+  // hot_start = 0.95 with a 10% hot fraction wraps: the hot region is
+  // [9500, 10000) plus [0, 500).
+  HotSpotAccess wrapped(0.1, 0.9, 0.95);
+  Rng rng(79);
+  const uint64_t population = 10000;
+  uint64_t in_region = 0;
+  const int draws = 20000;
+  for (int i = 0; i < draws; ++i) {
+    const uint64_t rank = wrapped.NextRank(&rng, population);
+    ASSERT_LT(rank, population);
+    if (rank >= 9500 || rank < 500) ++in_region;
+  }
+  EXPECT_NEAR(static_cast<double>(in_region) / draws, 0.9, 0.02);
+}
+
+}  // namespace
+}  // namespace lsbench

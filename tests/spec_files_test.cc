@@ -32,11 +32,15 @@ INSTANTIATE_TEST_SUITE_P(ShippedSpecs, SpecFilesTest,
                                            "demo_shift.lsb",
                                            "holdout_eval.lsb",
                                            "resilience_demo.lsb",
-                                           "service_overload_demo.lsb"),
+                                           "service_overload_demo.lsb",
+                                           "scenarios/diurnal_burst.lsb",
+                                           "scenarios/flash_crowd.lsb",
+                                           "scenarios/hotspot_migration.lsb",
+                                           "scenarios/repeating_session.lsb"),
                          [](const ::testing::TestParamInfo<const char*>& param_info) {
                            std::string name = param_info.param;
                            for (char& c : name) {
-                             if (c == '.') c = '_';
+                             if (c == '.' || c == '/') c = '_';
                            }
                            return name;
                          });

@@ -26,6 +26,10 @@ const char* const kSpecFiles[] = {
     "holdout_eval.lsb",
     "resilience_demo.lsb",
     "service_overload_demo.lsb",
+    "scenarios/diurnal_burst.lsb",
+    "scenarios/flash_crowd.lsb",
+    "scenarios/hotspot_migration.lsb",
+    "scenarios/repeating_session.lsb",
 };
 
 std::string ReadSpecFile(const char* name) {
@@ -76,7 +80,7 @@ INSTANTIATE_TEST_SUITE_P(ShippedSpecs, SpecRoundTripTest,
                                 param_info) {
                            std::string name = param_info.param;
                            for (char& c : name) {
-                             if (c == '.') c = '_';
+                             if (c == '.' || c == '/') c = '_';
                            }
                            return name;
                          });
@@ -233,6 +237,57 @@ TEST(SpecFuzzTest, ServiceSectionValuesNeverCrashTheParser) {
       if (!rendered.ok()) continue;
       EXPECT_TRUE(ParseRunSpecText(rendered.value()).ok())
           << key << " = " << value << ": rendered spec failed to re-parse";
+    }
+  }
+}
+
+TEST(SpecFuzzTest, DriftSectionValuesNeverCrashTheParser) {
+  // Targeted fuzz of the [drift] section: every key crossed with
+  // adversarial values. Each outcome must be a parsed spec or an error
+  // Status with a message — never a crash — and anything that parses,
+  // validates, and renders must re-parse with the drift section intact.
+  const char* const kKeys[] = {"trajectory", "tolerance", "sample_ops",
+                               "seed"};
+  const char* const kValues[] = {
+      "",          "0",       "-1",        "1",
+      "0.5",       "nan",     "inf",       "-inf",
+      "1e309",     "banana",  "0.3, 0.8",  "0.3,0.8,",
+      ",",         "0.3,,0.8", "1.5",      "0.0, -0.2",
+      "4294967296",           "99999999999999999999",
+      "0.1, 0.2, 0.3, 0.4, 0.5",           "=",
+  };
+  for (const char* key : kKeys) {
+    for (const char* value : kValues) {
+      const std::string text = std::string("name = drift_fuzz\n") +
+                               "[dataset]\n"
+                               "kind = uniform\n"
+                               "num_keys = 100\n"
+                               "seed = 1\n"
+                               "[phase]\n"
+                               "name = a\n"
+                               "ops = 10\n"
+                               "[phase]\n"
+                               "name = b\n"
+                               "ops = 10\n"
+                               "[drift]\n" +
+                               key + " = " + value + "\n";
+      const Result<RunSpec> parsed = ParseRunSpecText(text);
+      if (!parsed.ok()) {
+        EXPECT_FALSE(parsed.status().ToString().empty())
+            << key << " = " << value;
+        continue;
+      }
+      EXPECT_TRUE(parsed.value().drift.declared) << key << " = " << value;
+      const Status valid = parsed.value().Validate();
+      if (!valid.ok()) continue;
+      const Result<std::string> rendered = RenderRunSpecText(parsed.value());
+      if (!rendered.ok()) continue;
+      const Result<RunSpec> reparsed = ParseRunSpecText(rendered.value());
+      ASSERT_TRUE(reparsed.ok())
+          << key << " = " << value << ": rendered spec failed to re-parse";
+      // The drift section round-trips exactly.
+      EXPECT_TRUE(parsed.value().drift == reparsed.value().drift)
+          << key << " = " << value;
     }
   }
 }

@@ -235,6 +235,68 @@ TEST(MmdTest, TinySamplesReturnZero) {
 }
 
 // ---------------------------------------------------------------------------
+// Similarity metric properties (what the drift factor builds on)
+// ---------------------------------------------------------------------------
+
+TEST(KsTest, InvariantUnderMonotoneRescaling) {
+  // KS compares CDFs through order statistics only: applying the same
+  // affine map to both samples cannot change the statistic.
+  Rng rng(73);
+  const auto a = SampleUniform(&rng, 400);
+  const auto b = SampleUniform(&rng, 300);
+  std::vector<double> a_scaled, b_scaled;
+  for (double x : a) a_scaled.push_back(1000.0 * x + 5.0);
+  for (double x : b) b_scaled.push_back(1000.0 * x + 5.0);
+  EXPECT_DOUBLE_EQ(KolmogorovSmirnov(a, b).statistic,
+                   KolmogorovSmirnov(a_scaled, b_scaled).statistic);
+}
+
+TEST(MmdTest, SymmetricInArguments) {
+  Rng rng(79);
+  std::vector<double> a, b;
+  for (int i = 0; i < 250; ++i) {
+    a.push_back(rng.NextGaussian() * 0.2 + 0.3);
+    b.push_back(rng.NextDouble());
+  }
+  // Symmetric up to floating-point summation order (the cross term is
+  // accumulated in a different sequence when the arguments swap).
+  EXPECT_NEAR(MmdSquared(a, b), MmdSquared(b, a), 1e-9);
+  EXPECT_NEAR(MmdSquared(a, b, 0.5), MmdSquared(b, a, 0.5), 1e-9);
+}
+
+TEST(MmdTest, IdenticalSamplesEstimateZero) {
+  // d(X, X): the unbiased estimator may dip slightly below zero but must
+  // stay within sampling noise of it — this is the property the drift
+  // factor's clamp-then-sqrt relies on.
+  Rng rng(83);
+  const auto a = SampleUniform(&rng, 400);
+  EXPECT_NEAR(MmdSquared(a, a), 0.0, 5e-3);
+}
+
+TEST(MmdTest, MedianHeuristicIsScaleInvariant) {
+  // With the default bandwidth (median heuristic), rescaling both samples
+  // by the same factor rescales the bandwidth too, so the estimate is
+  // (numerically) scale-free. A fixed bandwidth loses this property.
+  Rng rng(89);
+  std::vector<double> a, b;
+  for (int i = 0; i < 300; ++i) {
+    a.push_back(rng.NextGaussian() * 0.05 + 0.2);
+    b.push_back(rng.NextGaussian() * 0.05 + 0.6);
+  }
+  std::vector<double> a_scaled, b_scaled;
+  for (double x : a) a_scaled.push_back(40.0 * x);
+  for (double x : b) b_scaled.push_back(40.0 * x);
+  EXPECT_NEAR(MmdSquared(a, b), MmdSquared(a_scaled, b_scaled), 1e-9);
+}
+
+TEST(MmdTest, DeterministicAcrossCalls) {
+  Rng rng(97);
+  const auto a = SampleUniform(&rng, 300);
+  const auto b = SampleUniform(&rng, 300);
+  EXPECT_EQ(MmdSquared(a, b), MmdSquared(a, b));
+}
+
+// ---------------------------------------------------------------------------
 // Jaccard
 // ---------------------------------------------------------------------------
 

@@ -6,6 +6,7 @@
 //               [--no-holdout-enforcement] [--csv] [--html=PATH]
 //               [--faults=RATE] [--no-faults] [--op-timeout-us=N]
 //               [--retries=N] [--workers=N] [--trace-out=PATH] [--sim]
+//               [--drift-csv=PATH]
 //
 //   --sut               system under test (default btree). "stdcmp" runs
 //                       btree + rmi + adaptive through the comparison
@@ -30,6 +31,9 @@
 //   --sim               run on a virtual clock (simulation mode): fully
 //                       deterministic timestamps, so two identical --sim
 //                       runs produce byte-identical --trace-out files
+//   --drift-csv=PATH    write the per-transition drift-trajectory CSV to
+//                       PATH (measured factor + components, declared
+//                       targets, verdicts)
 //
 // See src/core/spec_text.h for the spec file format; sample specs live in
 // specs/.
@@ -43,6 +47,7 @@
 #include <string>
 
 #include "core/comparison.h"
+#include "core/drift.h"
 #include "core/driver.h"
 #include "core/spec_text.h"
 #include "core/specialization.h"
@@ -84,6 +89,7 @@ int Run(int argc, char** argv) {
   int workers = -1;
   std::string html_path;
   std::string trace_path;
+  std::string drift_csv_path;
   bool simulate = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -107,6 +113,8 @@ int Run(int argc, char** argv) {
       workers = std::atoi(arg.c_str() + 10);
     } else if (arg.rfind("--trace-out=", 0) == 0) {
       trace_path = arg.substr(12);
+    } else if (arg.rfind("--drift-csv=", 0) == 0) {
+      drift_csv_path = arg.substr(12);
     } else if (arg == "--sim") {
       simulate = true;
     } else if (!arg.empty() && arg[0] != '-') {
@@ -166,6 +174,20 @@ int Run(int argc, char** argv) {
                 static_cast<unsigned long long>(spec.faults.seed));
   }
 
+  // Offline measurement over throwaway generators — runs before execution
+  // and is identical in --sim and real-time mode.
+  const DriftTrajectoryReport drift = MeasureDriftTrajectory(spec);
+  if (!drift_csv_path.empty()) {
+    std::ofstream drift_out(drift_csv_path,
+                            std::ios::binary | std::ios::trunc);
+    if (!drift_out || !(drift_out << DriftCsv(drift))) {
+      std::fprintf(stderr, "cannot write drift csv to %s\n",
+                   drift_csv_path.c_str());
+      return 1;
+    }
+    std::printf("wrote drift trajectory to %s\n", drift_csv_path.c_str());
+  }
+
   DriverOptions driver_options;
   driver_options.enforce_holdout_once = enforce_holdout;
   VirtualClock virtual_clock;
@@ -188,6 +210,9 @@ int Run(int argc, char** argv) {
       return 1;
     }
     std::printf("%s\n", RenderComparison(report.value()).c_str());
+    if (!drift.transitions.empty()) {
+      std::printf("%s\n", RenderDriftReport(drift).c_str());
+    }
     return 0;
   }
 
@@ -225,8 +250,11 @@ int Run(int argc, char** argv) {
   std::printf("%s\n",
               RenderSlaBands(run.metrics.bands, run.metrics.sla_nanos)
                   .c_str());
+  if (!drift.transitions.empty()) {
+    std::printf("%s\n", RenderDriftReport(drift).c_str());
+  }
   if (!html_path.empty()) {
-    const Status st = WriteHtmlReport(run, specialization, html_path);
+    const Status st = WriteHtmlReport(run, specialization, html_path, &drift);
     if (!st.ok()) {
       std::fprintf(stderr, "html report: %s\n", st.ToString().c_str());
       return 1;
@@ -249,6 +277,9 @@ int Run(int argc, char** argv) {
     if (!run.observability.stages.empty()) {
       std::printf("## stages.csv\n%s\n",
                   StageBreakdownCsv(run.observability.stages).c_str());
+    }
+    if (!drift.transitions.empty()) {
+      std::printf("## drift.csv\n%s\n", DriftCsv(drift).c_str());
     }
   }
   return 0;
